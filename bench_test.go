@@ -1,0 +1,526 @@
+// Benchmark harness: one benchmark per figure/experiment of the paper's
+// evaluation, plus kernel microbenchmarks. Figure benchmarks run at Small
+// scale so the whole suite completes in minutes; the cmd/ tools regenerate
+// the same experiments at medium or full (paper) scale.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/formats"
+	"repro/internal/genmat"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/perfmodel"
+	"repro/internal/rcm"
+	"repro/internal/simexec"
+	"repro/internal/solver"
+	"repro/internal/spmv"
+	"repro/internal/stream"
+)
+
+// ---- shared fixtures -------------------------------------------------
+
+var (
+	hmePSmall *matrix.CSR
+	samgSmall *matrix.CSR
+)
+
+func holsteinSmall(b *testing.B, o genmat.Ordering) *matrix.CSR {
+	b.Helper()
+	if o == genmat.HMeP && hmePSmall != nil {
+		return hmePSmall
+	}
+	h, err := expt.HolsteinSource(o, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.Materialize(h)
+	if o == genmat.HMeP {
+		hmePSmall = a
+	}
+	return a
+}
+
+func poissonSmall(b *testing.B) *matrix.CSR {
+	b.Helper()
+	if samgSmall != nil {
+		return samgSmall
+	}
+	p, err := expt.PoissonSource(expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samgSmall = matrix.Materialize(p)
+	return samgSmall
+}
+
+func randomX(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// reportSpmv attaches GFlop/s to a kernel benchmark.
+func reportSpmv(b *testing.B, nnz int64) {
+	b.ReportMetric(2*float64(nnz)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+// ---- node-level kernels (host-real, Fig. 3 companions) ----------------
+
+func BenchmarkSpMVSerialHMeP(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmv.Serial(y, a, x)
+	}
+	reportSpmv(b, a.Nnz())
+}
+
+func BenchmarkSpMVSerialSAMG(b *testing.B) {
+	a := poissonSmall(b)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmv.Serial(y, a, x)
+	}
+	reportSpmv(b, a.Nnz())
+}
+
+func BenchmarkSpMVParallel(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			team := spmv.NewTeam(workers)
+			defer team.Close()
+			p := spmv.NewParallel(a, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MulVec(team, y, x)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+	}
+}
+
+// BenchmarkSplitPenalty measures the §3.1 effect on the host: the split
+// (local+remote) kernel writes the result twice and runs measurably slower
+// than the monolithic kernel (Eq. 2 vs Eq. 1 predicts 8–15%).
+func BenchmarkSplitPenalty(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	split := spmv.NewSplit(a, a.NumCols/2)
+	team := spmv.NewTeam(4)
+	defer team.Close()
+	chunks := spmv.BalanceNnz(a.RowPtr, 4)
+	b.Run("monolithic", func(b *testing.B) {
+		p := spmv.NewParallel(a, 4)
+		for i := 0; i < b.N; i++ {
+			p.MulVec(team, y, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+	b.Run("split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			split.MulVecLocal(team, chunks, y, x)
+			split.MulVecRemoteAdd(team, chunks, y, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+}
+
+// BenchmarkFormats compares CRS against ELLPACK and JDS on the HMeP
+// matrix — substantiating §1.2's choice of CRS as "the most efficient
+// format for general sparse matrices on cache-based microprocessors".
+func BenchmarkFormats(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	b.Run("CRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spmv.Serial(y, a, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+	b.Run("ELLPACK", func(b *testing.B) {
+		e, err := formats.NewELLPACK(a, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(e.PaddingRatio(a.Nnz()), "padding-ratio")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.MulVec(y, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+	b.Run("JDS", func(b *testing.B) {
+		j := formats.NewJDS(a)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j.MulVec(y, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+}
+
+// BenchmarkSymmetricKernel measures the §1.3.1 symmetric-storage variant:
+// roughly half the matrix traffic against the full CRS kernel, at the cost
+// of the scatter-reduction — the routine the paper said was missing for
+// shared memory.
+func BenchmarkSymmetricKernel(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
+	s, err := spmv.NewSymmetricFromFull(a, 1e-12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("full/workers=%d", workers), func(b *testing.B) {
+			team := spmv.NewTeam(workers)
+			defer team.Close()
+			p := spmv.NewParallel(a, workers)
+			for i := 0; i < b.N; i++ {
+				p.MulVec(team, y, x)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+		b.Run(fmt.Sprintf("symmetric/workers=%d", workers), func(b *testing.B) {
+			team := spmv.NewTeam(workers)
+			defer team.Close()
+			sp := spmv.NewSymmetricParallel(s, workers)
+			b.ReportMetric(float64(s.Nnz())/float64(a.Nnz()), "stored-fraction")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.MulVec(team, y, x)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+	}
+}
+
+// BenchmarkAblationTorusFragmentation quantifies the paper's "job topology
+// and machine load" observation: the same XE6 job, compact vs scattered.
+func BenchmarkAblationTorusFragmentation(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wc := expt.NewWorkloadCache("HMeP", h, 2.5)
+	wl, err := wc.For(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(occupancy float64) float64 {
+		res, err := simexec.Run(simexec.Config{
+			Cluster: machine.CrayXE6(), Nodes: 16, Layout: simexec.ProcPerNode,
+			Mode: core.VectorNoOverlap, Iters: 8, TorusOccupancy: occupancy,
+		}, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.GFlops
+	}
+	var compact, scattered float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compact = run(1.0)
+		scattered = run(0.2)
+	}
+	b.ReportMetric(compact, "compact-GFlop/s")
+	b.ReportMetric(scattered, "scattered-GFlop/s")
+}
+
+func BenchmarkSTREAMTriad(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var r stream.Result
+			for i := 0; i < b.N; i++ {
+				r = stream.Triad(1<<22, 1, workers)
+			}
+			b.ReportMetric(r.BytesPerSec/1e9, "GB/s")
+		})
+	}
+}
+
+// ---- distributed kernels on the real message-passing runtime ----------
+
+func BenchmarkDistributedModes(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	part := core.PartitionByNnz(a, 4)
+	plan, err := core.BuildPlan(a, part, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MulDistributed(plan, x, mode, 2, 1)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+	}
+}
+
+// ---- Fig. 1: sparsity pattern extraction ------------------------------
+
+func BenchmarkFig1Occupancy(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		matrix.BlockOccupancy(h, 48)
+	}
+}
+
+// ---- Fig. 3: node-level model ------------------------------------------
+
+func BenchmarkFig3aModel(b *testing.B) {
+	var rows []expt.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = expt.Fig3(machine.NehalemEP(), 15, 2.5)
+	}
+	// Report the socket-level anchor the paper measures: 2.25 GFlop/s.
+	b.ReportMetric(rows[3].SpmvGFlops, "GFlop/s@4cores")
+}
+
+func BenchmarkFig3bModel(b *testing.B) {
+	var wsm, amd []expt.Fig3Row
+	for i := 0; i < b.N; i++ {
+		wsm = expt.Fig3(machine.WestmereEP(), 15, 2.5)
+		amd = expt.Fig3(machine.MagnyCours(), 15, 2.5)
+	}
+	b.ReportMetric(wsm[len(wsm)-1].SpmvGFlops, "Westmere-node-GFlop/s")
+	b.ReportMetric(amd[len(amd)-1].SpmvGFlops, "MagnyCours-node-GFlop/s")
+}
+
+// ---- §2: κ via cache simulation ----------------------------------------
+
+func BenchmarkKappaHMePvsHMEp(b *testing.B) {
+	cache := cachesim.Config{SizeBytes: 128 << 10, Ways: 16, LineBytes: 64}
+	aGood := holsteinSmall(b, genmat.HMeP)
+	aBad := holsteinSmall(b, genmat.HMEp)
+	var kGood, kBad float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trG, err := cachesim.SpMVTraffic(aGood, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trB, err := cachesim.SpMVTraffic(aBad, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kGood, kBad = trG.Kappa, trB.Kappa
+	}
+	b.ReportMetric(kGood, "kappa-HMeP")
+	b.ReportMetric(kBad, "kappa-HMEp")
+	if kBad <= kGood {
+		b.Fatalf("κ ordering violated: HMEp %.3f ≤ HMeP %.3f", kBad, kGood)
+	}
+}
+
+// ---- Figs. 5 and 6: strong scaling on the simulated clusters -----------
+
+func scalingBench(b *testing.B, name string, kappa float64, src matrix.PatternSource) {
+	wc := expt.NewWorkloadCache(name, src, kappa)
+	study := &expt.ScalingStudy{
+		Cluster:    machine.WestmereCluster(),
+		NodeCounts: []int{1, 4, 16},
+		Iters:      6,
+	}
+	var points []expt.ScalingPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = study.Run(wc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the 16-node task-mode vs no-overlap per-LD comparison — the
+	// figure's headline.
+	var task, noov float64
+	for _, p := range points {
+		if p.Nodes == 16 && p.Layout == simexec.ProcPerLD {
+			switch p.Mode {
+			case core.TaskMode:
+				task = p.GFlops
+			case core.VectorNoOverlap:
+				noov = p.GFlops
+			}
+		}
+	}
+	b.ReportMetric(task, "task-GFlop/s@16")
+	b.ReportMetric(noov, "noov-GFlop/s@16")
+}
+
+func BenchmarkFig5ScalingHMeP(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scalingBench(b, "HMeP", expt.PaperKappa("HMeP"), h)
+}
+
+func BenchmarkFig6ScalingSAMG(b *testing.B) {
+	p, err := expt.PoissonSource(expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scalingBench(b, "sAMG", expt.PaperKappa("sAMG"), p)
+}
+
+// BenchmarkCrayReference simulates the XE6 best-variant sweep (the "best
+// Cray" line of Figs. 5/6).
+func BenchmarkCrayReference(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wc := expt.NewWorkloadCache("HMeP", h, expt.PaperKappa("HMeP"))
+	study := &expt.ScalingStudy{
+		Cluster:    machine.CrayXE6(),
+		NodeCounts: []int{1, 8},
+		Iters:      6,
+	}
+	var best map[int]expt.ScalingPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := study.Run(wc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = expt.BestPerNodeCount(points)
+	}
+	b.ReportMetric(best[8].GFlops, "bestCray-GFlop/s@8")
+}
+
+// ---- ablations ----------------------------------------------------------
+
+// BenchmarkAblationAsyncProgress quantifies the §5 outlook: an MPI library
+// with a progress thread rescues naive overlap.
+func BenchmarkAblationAsyncProgress(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster := machine.WestmereCluster()
+	cluster.Net.EagerThreshold = 0
+	wc := expt.NewWorkloadCache("HMeP", h, 2.5)
+	wl, err := wc.For(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(async bool) float64 {
+		res, err := simexec.Run(simexec.Config{
+			Cluster: cluster, Nodes: 8, Layout: simexec.ProcPerLD,
+			Mode: core.VectorNaiveOverlap, Iters: 8, AsyncProgress: async,
+		}, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.GFlops
+	}
+	var plain, async float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain = run(false)
+		async = run(true)
+	}
+	b.ReportMetric(plain, "std-GFlop/s")
+	b.ReportMetric(async, "async-GFlop/s")
+}
+
+// BenchmarkAblationPartitioning compares nonzero-balanced against naive
+// row-balanced partitioning (§3.1 footnote 2).
+func BenchmarkAblationPartitioning(b *testing.B) {
+	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, _ := h.Dims()
+	var byNnz, byRows float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byNnz = core.PartitionByNnz(h, 16).Imbalance(h)
+		byRows = core.PartitionByRows(rows, 16).Imbalance(h)
+	}
+	b.ReportMetric(byNnz, "imbalance-nnz")
+	b.ReportMetric(byRows, "imbalance-rows")
+}
+
+// ---- §1.3.1: RCM -----------------------------------------------------
+
+func BenchmarkRCM(b *testing.B) {
+	a := poissonSmall(b)
+	var p *rcm.Permutation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = rcm.ReverseCuthillMcKee(a)
+	}
+	bw := rcm.Bandwidth(rcm.ApplySymmetric(a, p))
+	b.ReportMetric(float64(bw), "bandwidth-after")
+	b.ReportMetric(float64(rcm.Bandwidth(a)), "bandwidth-before")
+}
+
+// ---- application solvers ------------------------------------------------
+
+func BenchmarkLanczosGroundState(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	op := solver.CSROperator{A: a}
+	var e0 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		e0, err = solver.GroundState(op, 40, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(e0, "E0")
+}
+
+func BenchmarkCGPoisson(b *testing.B) {
+	a := poissonSmall(b)
+	n := a.NumRows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	op := solver.CSROperator{A: a}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		if _, err := solver.CG(op, rhs, x, 1e-6, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- model sanity anchor -------------------------------------------------
+
+func BenchmarkModelAnchors(b *testing.B) {
+	var kappa float64
+	for i := 0; i < b.N; i++ {
+		kappa = perfmodel.KappaFromMeasurement(18.1e9, 2.25e9, 15)
+	}
+	b.ReportMetric(kappa, "paper-kappa")
+}

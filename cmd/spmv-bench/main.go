@@ -1,0 +1,84 @@
+// Command spmv-bench reproduces the node-level analysis of the paper:
+// the machine topologies (Fig. 2), the calibrated node-level performance
+// model (Fig. 3a/3b), and — with -host — the same experiment measured for
+// real on the machine running this binary (Go kernels: STREAM triad and the
+// parallel CRS spMVM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/expt"
+	"repro/internal/genmat"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+func main() {
+	var (
+		topology = flag.Bool("topology", false, "print the benchmark node topologies (Fig. 2)")
+		fig3a    = flag.Bool("fig3a", false, "print the Nehalem EP node-level analysis (Fig. 3a)")
+		fig3b    = flag.Bool("fig3b", false, "print the Westmere / Magny Cours analysis (Fig. 3b)")
+		host     = flag.Bool("host", false, "measure STREAM and spMVM on this machine")
+		scale    = flag.String("scale", "small", "matrix scale for -host: small|medium|full")
+		kappa    = flag.Float64("kappa", 2.5, "κ (extra B(:) bytes per nonzero) for the model")
+		workers  = flag.Int("workers", runtime.NumCPU(), "max workers for -host")
+		reps     = flag.Int("reps", 5, "repetitions for -host measurements")
+	)
+	flag.Parse()
+	if !*topology && !*fig3a && !*fig3b && !*host {
+		*topology, *fig3a, *fig3b = true, true, true
+	}
+	out := os.Stdout
+
+	if *topology {
+		fmt.Fprintln(out, "Node topologies (paper Fig. 2):")
+		if err := expt.Fig2(out); err != nil {
+			fatal(err)
+		}
+	}
+	if *fig3a {
+		fmt.Fprintln(out, "\nFig. 3a — Nehalem EP node-level performance (HMeP, calibrated model):")
+		if err := expt.RenderFig3(out, []machine.NodeSpec{machine.NehalemEP()}, 15, *kappa); err != nil {
+			fatal(err)
+		}
+	}
+	if *fig3b {
+		fmt.Fprintln(out, "\nFig. 3b — Westmere EP and AMD Magny Cours (HMeP, calibrated model):")
+		if err := expt.RenderFig3(out, []machine.NodeSpec{machine.WestmereEP(), machine.MagnyCours()}, 15, *kappa); err != nil {
+			fatal(err)
+		}
+	}
+	if *host {
+		sc, err := expt.ParseScale(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := expt.HolsteinSource(genmat.HMeP, sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "\nHost measurement (HMeP at %s scale, real Go kernels):\n", sc)
+		a := matrix.Materialize(h)
+		rows := expt.HostNodePerf(a, *kappa, *workers, *reps)
+		tbl := expt.NewTable("workers", "triad [GB/s]", "spMVM [GFlop/s]", "implied BW [GB/s]", "κ=0 ceiling [GFlop/s]")
+		for _, r := range rows {
+			tbl.Row(r.Workers,
+				fmt.Sprintf("%.1f", r.TriadGBs),
+				fmt.Sprintf("%.2f", r.SpmvGFlops),
+				fmt.Sprintf("%.1f", r.SpmvImplGBs),
+				fmt.Sprintf("%.2f", r.ModelCeiling))
+		}
+		if err := tbl.Render(out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmv-bench:", err)
+	os.Exit(1)
+}

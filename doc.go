@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "Parallel sparse matrix-vector
+// multiplication as a test case for hybrid MPI+OpenMP programming"
+// (Schubert, Hager, Fehske, Wellein; arXiv:1101.0091).
+//
+// The library lives under internal/: the distributed hybrid SpMV kernels
+// (internal/core) run for real on an in-process message-passing runtime
+// (internal/chanmpi) and are re-enacted, with the paper's MPI progress
+// semantics and calibrated ccNUMA/network models, on a discrete-event
+// cluster simulator (internal/des, fluid, machine, netmodel, simmpi,
+// simexec) that regenerates every figure of the evaluation. See README.md
+// and DESIGN.md.
+package repro

@@ -1,0 +1,113 @@
+// Poisson solve: the sAMG-style application of the paper (§1.3.1) — a
+// graded-mesh Poisson system solved with conjugate gradients, where the
+// sparse matrix-vector multiplication dominates run time. Runs the same
+// solve on the serial, node-parallel, and distributed kernels and prints
+// the residual history and spMVM throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+	"repro/internal/solver"
+	"repro/internal/spmv"
+)
+
+func main() {
+	var (
+		nx      = flag.Int("nx", 48, "grid cells in x")
+		ny      = flag.Int("ny", 48, "grid cells in y")
+		nz      = flag.Int("nz", 48, "grid cells in z")
+		tol     = flag.Float64("tol", 1e-8, "relative residual tolerance")
+		workers = flag.Int("workers", 4, "worker threads for the node-parallel solve")
+		ranks   = flag.Int("ranks", 4, "ranks for the distributed solve")
+	)
+	flag.Parse()
+
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{
+		Nx: *nx, Ny: *ny, Nz: *nz, GradingZ: 1.02, PermWindow: 64, PermSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := matrix.Materialize(p)
+	n := a.NumRows
+	fmt.Printf("Poisson system: %dx%dx%d graded mesh → N = %d, Nnz = %d, Nnzr = %.2f (paper sAMG: ≈ 7)\n",
+		*nx, *ny, *nz, n, a.Nnz(), a.NnzRow())
+
+	// Manufactured solution: u(x) = sin-like profile; b = A·u.
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(float64(i) * 0.001)
+	}
+	b := make([]float64, n)
+	a.MulVec(b, u)
+
+	solve := func(name string, op solver.Operator) {
+		x := make([]float64, n)
+		t0 := time.Now()
+		res, err := solver.CG(op, b, x, *tol, 10*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt := time.Since(t0).Seconds()
+		var errNorm float64
+		for i := range x {
+			if d := math.Abs(x[i] - u[i]); d > errNorm {
+				errNorm = d
+			}
+		}
+		gflops := 2 * float64(a.Nnz()) * float64(res.MVMs) / dt / 1e9
+		fmt.Printf("%-18s %4d iters, residual %.2e, ‖x-u‖∞ %.2e, %6.2fs, spMVM ≈ %.2f GFlop/s\n",
+			name, res.Iterations, res.Residual, errNorm, dt, gflops)
+	}
+
+	solve("serial CG:", solver.CSROperator{A: a})
+
+	team := spmv.NewTeam(*workers)
+	defer team.Close()
+	solve(fmt.Sprintf("team CG (%d):", *workers), solver.NewTeamOperator(a, team))
+
+	part := core.PartitionByNnz(p, *ranks)
+	plan, err := core.BuildPlan(p, part, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fully distributed SPMD solve: persistent ranks, halo exchanges per
+	// multiplication, dot products via Allreduce.
+	xd := make([]float64, n)
+	t0 := time.Now()
+	resD, err := solver.DistCG(plan, b, xd, core.TaskMode, 2, *tol, 10*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt := time.Since(t0).Seconds()
+	var errNorm float64
+	for i := range xd {
+		if d := math.Abs(xd[i] - u[i]); d > errNorm {
+			errNorm = d
+		}
+	}
+	fmt.Printf("%-18s %4d iters, residual %.2e, ‖x-u‖∞ %.2e, %6.2fs, spMVM ≈ %.2f GFlop/s\n",
+		fmt.Sprintf("dist CG (%dx2):", *ranks), resD.Iterations, resD.Residual, errNorm, dt,
+		2*float64(a.Nnz())*float64(resD.MVMs)/dt/1e9)
+
+	// Residual history of a fresh serial solve, every few iterations.
+	x := make([]float64, n)
+	res, err := solver.CG(solver.CSROperator{A: a}, b, x, *tol, 10*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresidual history:")
+	for k := 0; k < len(res.History); k += len(res.History)/12 + 1 {
+		fmt.Printf("  iter %4d: %.3e\n", k+1, res.History[k])
+	}
+	fmt.Printf("  iter %4d: %.3e (converged=%v)\n", res.Iterations, res.Residual, res.Converged)
+}

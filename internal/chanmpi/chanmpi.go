@@ -1,0 +1,432 @@
+// Package chanmpi is an in-process message-passing runtime with MPI-like
+// semantics: a fixed set of ranks (goroutines), nonblocking point-to-point
+// sends and receives matched by (source, tag) in posting order, and the
+// collectives the distributed SpMV needs (Barrier, Allreduce, Allgather).
+//
+// It is the functional substitute for MPI in this reproduction: the
+// distributed kernels in internal/core run unchanged on top of it and are
+// verified numerically. Timing semantics (the paper's "no asynchronous
+// progress" observation) are modeled separately by internal/simmpi on the
+// discrete-event simulator; chanmpi is always asynchronous, as a perfect
+// progress engine would be.
+package chanmpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World owns the shared state of a set of communicating ranks.
+type World struct {
+	size     int
+	boxes    []*mailbox
+	barrier  *barrier
+	reducer  *reducer
+	gatherer *gatherer
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("chanmpi: world size %d < 1", size))
+	}
+	w := &World{
+		size:     size,
+		boxes:    make([]*mailbox, size),
+		barrier:  newBarrier(size),
+		reducer:  newReducer(size),
+		gatherer: newGatherer(size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle of the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("chanmpi: rank %d outside [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run spawns one goroutine per rank executing body and blocks until all
+// ranks return. Panics inside ranks are collected and re-raised.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r] = p
+				}
+			}()
+			body(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("chanmpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Request tracks a nonblocking operation. A send request completes when the
+// message has been handed to the runtime (buffered semantics); a receive
+// request completes when a matching message has been copied into its buffer.
+type Request struct {
+	done chan struct{}
+	// For receives: number of elements delivered.
+	n int
+	// Identity for matching (receives queued at the destination).
+	src, tag int
+	buf      []float64
+	isRecv   bool
+	matched  bool
+	// err records a delivery error (truncation); Wait re-raises it so both
+	// endpoints observe the failure, as an MPI error would abort both.
+	err string
+}
+
+// Wait blocks until the operation completes and returns the element count
+// (zero for sends). Wait panics if the operation failed (truncation).
+func (r *Request) Wait() int {
+	if r == nil {
+		return 0
+	}
+	<-r.done
+	if r.err != "" {
+		panic(r.err)
+	}
+	return r.n
+}
+
+// Done reports whether the operation has completed without blocking
+// (MPI_Test).
+func (r *Request) Done() bool {
+	if r == nil {
+		return true
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Waitall waits for every request (MPI_Waitall).
+func Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// mailbox holds the unmatched messages and posted receives of one rank.
+type mailbox struct {
+	mu sync.Mutex
+	// recvs are posted, unmatched receive requests in posting order.
+	recvs []*Request
+	// sends are arrived, unmatched messages in arrival order.
+	sends []*inflight
+}
+
+type inflight struct {
+	src, tag int
+	data     []float64
+}
+
+// Isend starts a nonblocking send of data to rank dst with the given tag.
+// The runtime copies the payload immediately (buffered send), so the caller
+// may reuse data as soon as Isend returns; the returned request is already
+// complete and exists for symmetry with MPI call sites.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("chanmpi: Isend to invalid rank %d", dst))
+	}
+	req := &Request{done: make(chan struct{})}
+	box := c.world.boxes[dst]
+	box.mu.Lock()
+	// Match the earliest posted receive with the same (src, tag).
+	for _, rr := range box.recvs {
+		if rr.matched || rr.src != c.rank || rr.tag != tag {
+			continue
+		}
+		deliver(rr, data)
+		box.compactLocked()
+		box.mu.Unlock()
+		close(req.done)
+		return req
+	}
+	// No receive posted yet: buffer a copy.
+	box.sends = append(box.sends, &inflight{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
+	box.mu.Unlock()
+	close(req.done)
+	return req
+}
+
+// Irecv posts a nonblocking receive into buf for a message from rank src
+// with the given tag. The message length must not exceed len(buf); a longer
+// message is a truncation error and panics, matching MPI's error semantics.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("chanmpi: Irecv from invalid rank %d", src))
+	}
+	req := &Request{done: make(chan struct{}), src: src, tag: tag, buf: buf, isRecv: true}
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	// Match the earliest buffered message with the same (src, tag).
+	for i, m := range box.sends {
+		if m == nil || m.src != src || m.tag != tag {
+			continue
+		}
+		box.sends[i] = nil
+		deliver(req, m.data)
+		box.compactLocked()
+		box.mu.Unlock()
+		return req
+	}
+	box.recvs = append(box.recvs, req)
+	box.mu.Unlock()
+	return req
+}
+
+// deliver copies data into the receive buffer and completes the request.
+// Callers hold the destination mailbox lock. On truncation the request is
+// completed with an error (so a rank blocked in Wait observes the failure)
+// and deliver panics in the calling rank.
+func deliver(r *Request, data []float64) {
+	if len(data) > len(r.buf) {
+		msg := fmt.Sprintf("chanmpi: message of %d elements truncated by %d-element buffer (src %d, tag %d)",
+			len(data), len(r.buf), r.src, r.tag)
+		r.err = msg
+		r.matched = true
+		close(r.done)
+		panic(msg)
+	}
+	copy(r.buf, data)
+	r.n = len(data)
+	r.matched = true
+	close(r.done)
+}
+
+// compactLocked removes matched receives and consumed sends.
+func (b *mailbox) compactLocked() {
+	recvs := b.recvs[:0]
+	for _, r := range b.recvs {
+		if !r.matched {
+			recvs = append(recvs, r)
+		}
+	}
+	b.recvs = recvs
+	sends := b.sends[:0]
+	for _, s := range b.sends {
+		if s != nil {
+			sends = append(sends, s)
+		}
+	}
+	b.sends = sends
+}
+
+// Send is a blocking send (trivially complete under buffered semantics).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.Isend(dst, tag, data).Wait()
+}
+
+// Recv is a blocking receive; it returns the element count.
+func (c *Comm) Recv(src, tag int, buf []float64) int {
+	return c.Irecv(src, tag, buf).Wait()
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// ReduceOp selects the combining operation of Allreduce.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// Allreduce combines in-vectors elementwise across all ranks and returns
+// the combined vector (the same backing array is returned to every rank;
+// callers must treat it as read-only).
+func (c *Comm) Allreduce(op ReduceOp, in []float64) []float64 {
+	return c.world.reducer.allreduce(op, in)
+}
+
+// AllreduceScalar combines a single value across all ranks.
+func (c *Comm) AllreduceScalar(op ReduceOp, v float64) float64 {
+	return c.Allreduce(op, []float64{v})[0]
+}
+
+// AllgatherInt64 gathers one int64 from every rank; the result is indexed
+// by rank and shared read-only across ranks.
+func (c *Comm) AllgatherInt64(v int64) []int64 {
+	return c.world.gatherer.gather(c.rank, v)
+}
+
+// barrier is a reusable generation-counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// reducer implements Allreduce with one shared accumulator per round.
+// A round cannot overlap the next because every rank participates exactly
+// once per round.
+type reducer struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+	acc   []float64
+	res   []float64
+}
+
+func newReducer(size int) *reducer {
+	r := &reducer{size: size}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *reducer) allreduce(op ReduceOp, in []float64) []float64 {
+	r.mu.Lock()
+	if r.count == 0 {
+		r.acc = append([]float64(nil), in...)
+	} else {
+		if len(in) != len(r.acc) {
+			panic(fmt.Sprintf("chanmpi: Allreduce length mismatch: %d vs %d", len(in), len(r.acc)))
+		}
+		for i, v := range in {
+			r.acc[i] = op.combine(r.acc[i], v)
+		}
+	}
+	r.count++
+	if r.count == r.size {
+		r.count = 0
+		r.res = r.acc
+		r.acc = nil
+		r.gen++
+		r.cond.Broadcast()
+		res := r.res
+		r.mu.Unlock()
+		return res
+	}
+	gen := r.gen
+	for gen == r.gen {
+		r.cond.Wait()
+	}
+	res := r.res
+	r.mu.Unlock()
+	return res
+}
+
+// gatherer implements AllgatherInt64 analogously.
+type gatherer struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+	acc   []int64
+	res   []int64
+}
+
+func newGatherer(size int) *gatherer {
+	g := &gatherer{size: size}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *gatherer) gather(rank int, v int64) []int64 {
+	g.mu.Lock()
+	if g.count == 0 {
+		g.acc = make([]int64, g.size)
+	}
+	g.acc[rank] = v
+	g.count++
+	if g.count == g.size {
+		g.count = 0
+		g.res = g.acc
+		g.acc = nil
+		g.gen++
+		g.cond.Broadcast()
+		res := g.res
+		g.mu.Unlock()
+		return res
+	}
+	gen := g.gen
+	for gen == g.gen {
+		g.cond.Wait()
+	}
+	res := g.res
+	g.mu.Unlock()
+	return res
+}

@@ -1,0 +1,275 @@
+package chanmpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPingPong(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+			buf := make([]float64, 3)
+			n := c.Recv(1, 8, buf)
+			if n != 3 || buf[0] != 2 || buf[1] != 4 || buf[2] != 6 {
+				t.Errorf("rank 0 got %v (n=%d)", buf, n)
+			}
+		} else {
+			buf := make([]float64, 3)
+			c.Recv(0, 7, buf)
+			for i := range buf {
+				buf[i] *= 2
+			}
+			c.Send(0, 8, buf)
+		}
+	})
+}
+
+func TestIrecvBeforeIsend(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := make([]float64, 4)
+			req := c.Irecv(1, 1, buf)
+			if req.Done() {
+				t.Error("receive complete before matching send")
+			}
+			n := req.Wait()
+			if n != 2 || buf[0] != 5 || buf[1] != 6 {
+				t.Errorf("got %v (n=%d)", buf[:n], n)
+			}
+		} else {
+			time.Sleep(10 * time.Millisecond) // let the receive post first
+			c.Isend(0, 1, []float64{5, 6}).Wait()
+		}
+	})
+}
+
+func TestMessageOrderingSameTag(t *testing.T) {
+	// Non-overtaking: two messages with the same (src, tag) arrive in
+	// posting order.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 3, []float64{1})
+			c.Isend(1, 3, []float64{2})
+		} else {
+			a := make([]float64, 1)
+			b := make([]float64, 1)
+			ra := c.Irecv(0, 3, a)
+			rb := c.Irecv(0, 3, b)
+			Waitall(ra, rb)
+			if a[0] != 1 || b[0] != 2 {
+				t.Errorf("message overtaking: got %v then %v", a[0], b[0])
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 10, []float64{10})
+			c.Isend(1, 20, []float64{20})
+		} else {
+			b20 := make([]float64, 1)
+			b10 := make([]float64, 1)
+			// Receive tag 20 first even though tag 10 was sent first.
+			c.Recv(0, 20, b20)
+			c.Recv(0, 10, b10)
+			if b20[0] != 20 || b10[0] != 10 {
+				t.Errorf("tag matching wrong: %v %v", b20[0], b10[0])
+			}
+		}
+	})
+}
+
+func TestSendBufferReusableImmediately(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Isend(1, 0, buf)
+			buf[0] = 0 // buffered semantics: mutation after Isend is safe
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got := make([]float64, 1)
+			c.Recv(0, 0, got)
+			if got[0] != 42 {
+				t.Errorf("got %v, want 42 (send not buffered)", got[0])
+			}
+		}
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("truncated receive did not panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, []float64{1, 2, 3})
+		} else {
+			c.Recv(0, 0, make([]float64, 1))
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const ranks = 8
+	w := NewWorld(ranks)
+	var before, after int64
+	w.Run(func(c *Comm) {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != ranks {
+			t.Error("barrier released before all ranks arrived")
+		}
+		atomic.AddInt64(&after, 1)
+	})
+	if after != ranks {
+		t.Errorf("after = %d, want %d", after, ranks)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const ranks, rounds = 5, 50
+	w := NewWorld(ranks)
+	var counter int64
+	w.Run(func(c *Comm) {
+		for round := 0; round < rounds; round++ {
+			atomic.AddInt64(&counter, 1)
+			c.Barrier()
+			want := int64((round + 1) * ranks)
+			if atomic.LoadInt64(&counter) != want {
+				t.Errorf("round %d: counter %d, want %d", round, counter, want)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const ranks = 6
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		got := c.AllreduceScalar(OpSum, float64(c.Rank()+1))
+		if got != 21 { // 1+2+...+6
+			t.Errorf("rank %d: sum = %g, want 21", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduceMaxMinVector(t *testing.T) {
+	const ranks = 4
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		in := []float64{float64(c.Rank()), -float64(c.Rank())}
+		mx := c.Allreduce(OpMax, in)
+		if mx[0] != 3 || mx[1] != 0 {
+			t.Errorf("max = %v", mx)
+		}
+		mn := c.Allreduce(OpMin, in)
+		if mn[0] != 0 || mn[1] != -3 {
+			t.Errorf("min = %v", mn)
+		}
+	})
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	const ranks = 3
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		for round := 1; round <= 30; round++ {
+			got := c.AllreduceScalar(OpSum, float64(round))
+			if math.Abs(got-float64(3*round)) > 0 {
+				t.Errorf("round %d: %g", round, got)
+			}
+		}
+	})
+}
+
+func TestAllgatherInt64(t *testing.T) {
+	const ranks = 5
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		got := c.AllgatherInt64(int64(c.Rank() * 10))
+		for r := 0; r < ranks; r++ {
+			if got[r] != int64(r*10) {
+				t.Errorf("gather[%d] = %d", r, got[r])
+			}
+		}
+	})
+}
+
+func TestManyRanksHaloExchangePattern(t *testing.T) {
+	// Ring halo exchange across 16 ranks, 20 iterations — the communication
+	// pattern of the distributed SpMV.
+	const ranks, iters = 16, 20
+	w := NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		left := (c.Rank() + ranks - 1) % ranks
+		right := (c.Rank() + 1) % ranks
+		val := float64(c.Rank())
+		for it := 0; it < iters; it++ {
+			fromLeft := make([]float64, 1)
+			fromRight := make([]float64, 1)
+			rl := c.Irecv(left, 100+it, fromLeft)
+			rr := c.Irecv(right, 100+it, fromRight)
+			c.Isend(left, 100+it, []float64{val})
+			c.Isend(right, 100+it, []float64{val})
+			Waitall(rl, rr)
+			val = (fromLeft[0] + fromRight[0]) / 2
+		}
+		// Averaging converges toward the global mean (7.5).
+		if val < 0 || val > float64(ranks) {
+			t.Errorf("rank %d diverged: %g", c.Rank(), val)
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w := NewWorld(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("rank panic not propagated")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestInvalidRanks(t *testing.T) {
+	w := NewWorld(2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	c := w.Comm(0)
+	mustPanic("Isend", func() { c.Isend(5, 0, nil) })
+	mustPanic("Irecv", func() { c.Irecv(-1, 0, nil) })
+	mustPanic("Comm", func() { w.Comm(9) })
+	mustPanic("NewWorld", func() { NewWorld(0) })
+}
+
+func TestNilRequestWait(t *testing.T) {
+	var r *Request
+	if r.Wait() != 0 || !r.Done() {
+		t.Error("nil request should be trivially complete")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chanmpi"
+	"repro/internal/spmv"
+)
+
+// Mode selects the kernel organization of the distributed SpMV (Fig. 4).
+type Mode int
+
+const (
+	// VectorNoOverlap exchanges the full halo, then runs the entire local
+	// SpMV (Fig. 4a). Communication and computation are serialized.
+	VectorNoOverlap Mode = iota
+	// VectorNaiveOverlap posts nonblocking communication, computes the
+	// local-only part, waits, then finishes the halo part (Fig. 4b). The
+	// result vector is written twice (Eq. 2). With standard MPI progress
+	// semantics the "overlap" does not actually overlap — the paper's
+	// central observation.
+	VectorNaiveOverlap
+	// TaskMode dedicates one thread to communication while the remaining
+	// threads compute the local part, then all threads finish the halo part
+	// (Fig. 4c). Communication genuinely overlaps computation because the
+	// communication thread sits inside MPI the whole time.
+	TaskMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case VectorNoOverlap:
+		return "vector-no-overlap"
+	case VectorNaiveOverlap:
+		return "vector-naive-overlap"
+	case TaskMode:
+		return "task-mode"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all kernel modes in presentation order.
+var Modes = []Mode{VectorNoOverlap, VectorNaiveOverlap, TaskMode}
+
+// haloTag is the message tag of halo exchanges. Matching is FIFO per
+// (source, tag), so a single tag is sufficient across iterations.
+const haloTag = 0
+
+// Worker is the per-rank execution state of the distributed SpMV.
+// X holds the owned RHS elements in [0, NLocal) and the halo in
+// [NLocal, VectorLen); Y holds the owned result rows.
+type Worker struct {
+	Plan *RankPlan
+	Comm *chanmpi.Comm
+	Team *spmv.Team
+
+	X []float64
+	Y []float64
+
+	chunks   []spmv.Range // thread chunks of the owned rows
+	sendBufs [][]float64
+	reqs     []*chanmpi.Request
+}
+
+// NewWorker prepares the execution state of one rank. threads is the size
+// of the compute team (the paper's "worker threads"); in task mode the
+// communication role is played by the rank's own goroutine, mirroring the
+// dedicated communication thread that may run on a virtual core.
+func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
+	if rp.A == nil {
+		panic("core: NewWorker needs a plan built with values")
+	}
+	if threads < 1 {
+		panic(fmt.Sprintf("core: threads %d < 1", threads))
+	}
+	w := &Worker{
+		Plan: rp,
+		Comm: comm,
+		Team: spmv.NewTeam(threads),
+		X:    make([]float64, rp.VectorLen()),
+		Y:    make([]float64, rp.NLocal),
+	}
+	w.chunks = spmv.BalanceNnz(rp.A.RowPtr, threads)
+	w.sendBufs = make([][]float64, len(rp.SendTo))
+	for i, tx := range rp.SendTo {
+		w.sendBufs[i] = make([]float64, tx.Count)
+	}
+	return w
+}
+
+// Close releases the worker's compute team.
+func (w *Worker) Close() { w.Team.Close() }
+
+// postRecvs posts one nonblocking receive per halo segment, directly into
+// the halo region of X (segments are contiguous by construction).
+func (w *Worker) postRecvs() {
+	w.reqs = w.reqs[:0]
+	for _, rx := range w.Plan.RecvFrom {
+		seg := w.X[w.Plan.NLocal+rx.Offset : w.Plan.NLocal+rx.Offset+rx.Count]
+		w.reqs = append(w.reqs, w.Comm.Irecv(rx.Peer, haloTag, seg))
+	}
+}
+
+// gatherAndSend copies the owned elements each peer needs into contiguous
+// send buffers and posts the sends. The local gather may be done after the
+// receives are initiated, potentially hiding the copy cost (§3.1).
+func (w *Worker) gatherAndSend() {
+	for i, tx := range w.Plan.SendTo {
+		buf := w.sendBufs[i]
+		for j, idx := range tx.Indices {
+			buf[j] = w.X[idx]
+		}
+		w.Comm.Isend(tx.Peer, haloTag, buf)
+	}
+}
+
+// waitHalo blocks until every halo segment has arrived.
+func (w *Worker) waitHalo() {
+	chanmpi.Waitall(w.reqs...)
+}
+
+// Step performs one distributed multiplication Y = A·X in the given mode.
+// The caller must have filled X[0:NLocal] with the owned RHS elements.
+func (w *Worker) Step(mode Mode) {
+	switch mode {
+	case VectorNoOverlap:
+		w.stepNoOverlap()
+	case VectorNaiveOverlap:
+		w.stepNaiveOverlap()
+	case TaskMode:
+		w.stepTaskMode()
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", mode))
+	}
+}
+
+func (w *Worker) stepNoOverlap() {
+	w.postRecvs()
+	w.gatherAndSend()
+	w.waitHalo()
+	// Full kernel: one pass, result written once (code balance Eq. 1).
+	a := w.Plan.A
+	w.Team.RunSubteam(len(w.chunks), func(t int) {
+		spmv.RangeKernel(w.Y, a, w.X, w.chunks[t])
+	})
+}
+
+func (w *Worker) stepNaiveOverlap() {
+	w.postRecvs()
+	w.gatherAndSend()
+	// Local part first — intended to overlap the transfers, but with
+	// standard MPI progress semantics nothing moves until waitHalo.
+	s := w.Plan.Split
+	w.Team.RunSubteam(len(w.chunks), func(t int) {
+		spmv.RangeKernel(w.Y, s.Local, w.X, w.chunks[t])
+	})
+	w.waitHalo()
+	w.Team.RunSubteam(len(w.chunks), func(t int) {
+		spmv.RangeKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
+	})
+}
+
+func (w *Worker) stepTaskMode() {
+	w.postRecvs()
+	w.gatherAndSend()
+	// Functional decomposition: this goroutine is the communication thread
+	// (it sits inside Waitall, driving progress) while the team computes
+	// the local part concurrently.
+	s := w.Plan.Split
+	computeDone := make(chan struct{})
+	go func() {
+		w.Team.RunSubteam(len(w.chunks), func(t int) {
+			spmv.RangeKernel(w.Y, s.Local, w.X, w.chunks[t])
+		})
+		close(computeDone)
+	}()
+	w.waitHalo()
+	<-computeDone // the omp_barrier of Fig. 4c
+	w.Team.RunSubteam(len(w.chunks), func(t int) {
+		spmv.RangeKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
+	})
+}
+
+// RunSPMD executes body once per rank with a fully initialized Worker —
+// persistent compute teams, communicator and halo buffers — so entire
+// iterative algorithms (CG, Lanczos, …) run distributed without
+// re-spawning ranks per multiplication. body runs concurrently on all
+// ranks; cross-rank coordination goes through w.Comm.
+func RunSPMD(plan *Plan, threads int, body func(w *Worker)) {
+	world := chanmpi.NewWorld(plan.Part.NumRanks())
+	world.Run(func(c *chanmpi.Comm) {
+		w := NewWorker(plan.Ranks[c.Rank()], c, threads)
+		defer w.Close()
+		body(w)
+	})
+}
+
+// MulDistributed runs `iters` distributed multiplications y = A^iters·x
+// spread over the plan's ranks with the given threads per rank, and returns
+// the gathered global result. It is the high-level entry point used by the
+// examples and tests; solvers drive Worker directly.
+func MulDistributed(plan *Plan, x []float64, mode Mode, threads, iters int) []float64 {
+	ranks := plan.Part.NumRanks()
+	world := chanmpi.NewWorld(ranks)
+	rows := plan.Part.Rows()
+	if len(x) != rows {
+		panic(fmt.Sprintf("core: len(x)=%d, matrix has %d rows", len(x), rows))
+	}
+	y := make([]float64, rows)
+	world.Run(func(c *chanmpi.Comm) {
+		rp := plan.Ranks[c.Rank()]
+		w := NewWorker(rp, c, threads)
+		defer w.Close()
+		copy(w.X[:rp.NLocal], x[rp.Rows.Lo:rp.Rows.Hi])
+		for it := 0; it < iters; it++ {
+			w.Step(mode)
+			if it < iters-1 {
+				// Next iteration multiplies the previous result.
+				copy(w.X[:rp.NLocal], w.Y)
+			}
+		}
+		copy(y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
+	})
+	return y
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/spmv"
+)
+
+// Exchange describes one halo segment exchanged with a peer rank.
+type Exchange struct {
+	Peer int
+	// Count is the number of vector elements in the segment.
+	Count int
+	// Offset locates the segment: for receives, the offset into the halo
+	// region of the local RHS vector; for sends, the offset into the
+	// per-peer gather index list (always 0..Count of Indices).
+	Offset int
+	// Indices are, for sends, the local indices (relative to the owned row
+	// block) of the elements to gather into the send buffer. Nil for
+	// receives: halo segments are received contiguously in place.
+	Indices []int32
+}
+
+// RankPlan is everything one rank needs to run the distributed SpMV:
+// its owned rows, the renumbered local matrix (and its local/remote column
+// split), and the send/receive schedule.
+//
+// Column renumbering: owned columns map to [0, NLocal); halo columns map to
+// NLocal + position in the sorted halo list. Because row ownership is
+// contiguous and the halo list is sorted by global index, each peer's halo
+// entries form one contiguous segment — receives land directly in the RHS
+// vector without a scatter pass.
+type RankPlan struct {
+	Rank   int
+	Rows   spmv.Range
+	NLocal int
+
+	// HaloCols lists the global column indices of the halo, ascending.
+	HaloCols []int32
+
+	// RecvFrom and SendTo are ordered by peer rank.
+	RecvFrom []Exchange
+	SendTo   []Exchange
+
+	// A is the full renumbered local matrix (vector mode without overlap
+	// runs one kernel over it). Split is the same matrix divided at column
+	// NLocal into local and remote parts (used by both overlap modes).
+	// Both are nil when the plan was built pattern-only.
+	A     *matrix.CSR
+	Split *spmv.Split
+
+	// NnzLocal and NnzRemote count the entries touching owned and halo
+	// columns, available even for pattern-only plans.
+	NnzLocal, NnzRemote int64
+}
+
+// HaloSize returns the number of halo elements this rank receives.
+func (rp *RankPlan) HaloSize() int { return len(rp.HaloCols) }
+
+// VectorLen returns the length of the local RHS vector (owned + halo).
+func (rp *RankPlan) VectorLen() int { return rp.NLocal + len(rp.HaloCols) }
+
+// Plan is the full communication plan for a partition.
+type Plan struct {
+	Part  *Partition
+	Ranks []*RankPlan
+}
+
+// BuildPlan constructs the communication plan for every rank. When src also
+// implements matrix.ValueSource and withValues is true, the renumbered local
+// matrices are materialized so the plan can execute real multiplications;
+// otherwise the plan carries structure only (enough for the simulator).
+func BuildPlan(src matrix.PatternSource, part *Partition, withValues bool) (*Plan, error) {
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := src.Dims()
+	if part.Rows() != rows {
+		return nil, fmt.Errorf("core: partition covers %d rows, matrix has %d", part.Rows(), rows)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("core: distributed SpMV requires a square matrix, got %dx%d", rows, cols)
+	}
+	var vsrc matrix.ValueSource
+	if withValues {
+		var ok bool
+		vsrc, ok = src.(matrix.ValueSource)
+		if !ok {
+			return nil, fmt.Errorf("core: withValues requires a matrix.ValueSource")
+		}
+	}
+
+	plan := &Plan{Part: part, Ranks: make([]*RankPlan, part.NumRanks())}
+	errs := make([]error, part.NumRanks())
+	forEachRank(part.NumRanks(), func(r int) {
+		rp, err := buildRankPlan(src, vsrc, part, r)
+		plan.Ranks[r] = rp
+		errs[r] = err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Invert the receive lists into send lists: rank p must send to q the
+	// elements of q's halo that p owns.
+	for q, qp := range plan.Ranks {
+		for _, rx := range qp.RecvFrom {
+			p := rx.Peer
+			seg := qp.HaloCols[rx.Offset : rx.Offset+rx.Count]
+			idx := make([]int32, len(seg))
+			base := int32(part.Ranks[p].Lo)
+			for i, g := range seg {
+				idx[i] = g - base
+			}
+			plan.Ranks[p].SendTo = append(plan.Ranks[p].SendTo, Exchange{
+				Peer: q, Count: len(idx), Indices: idx,
+			})
+		}
+	}
+	for _, rp := range plan.Ranks {
+		sort.Slice(rp.SendTo, func(i, j int) bool { return rp.SendTo[i].Peer < rp.SendTo[j].Peer })
+	}
+	return plan, nil
+}
+
+// buildRankPlan streams this rank's rows, computes the halo, renumbers
+// columns, and optionally materializes the local matrix.
+func buildRankPlan(src matrix.PatternSource, vsrc matrix.ValueSource, part *Partition, rank int) (*RankPlan, error) {
+	rg := part.Ranks[rank]
+	rp := &RankPlan{Rank: rank, Rows: rg, NLocal: rg.Len()}
+
+	// Pass 1: collect the distinct nonlocal columns.
+	lo32, hi32 := int32(rg.Lo), int32(rg.Hi)
+	haloSet := make(map[int32]struct{})
+	var buf []int32
+	for i := rg.Lo; i < rg.Hi; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		for _, c := range buf {
+			if c < lo32 || c >= hi32 {
+				haloSet[c] = struct{}{}
+			} else {
+				rp.NnzLocal++
+			}
+		}
+		rp.NnzRemote += int64(len(buf))
+	}
+	rp.NnzRemote -= rp.NnzLocal
+
+	rp.HaloCols = make([]int32, 0, len(haloSet))
+	for c := range haloSet {
+		rp.HaloCols = append(rp.HaloCols, c)
+	}
+	sort.Slice(rp.HaloCols, func(i, j int) bool { return rp.HaloCols[i] < rp.HaloCols[j] })
+
+	// Group the sorted halo by owner rank; ownership is contiguous, so each
+	// peer occupies one contiguous segment.
+	for s := 0; s < len(rp.HaloCols); {
+		owner := part.Owner(int(rp.HaloCols[s]))
+		e := s
+		ownerHi := int32(part.Ranks[owner].Hi)
+		for e < len(rp.HaloCols) && rp.HaloCols[e] < ownerHi {
+			e++
+		}
+		rp.RecvFrom = append(rp.RecvFrom, Exchange{Peer: owner, Count: e - s, Offset: s})
+		s = e
+	}
+
+	if vsrc == nil {
+		return rp, nil
+	}
+
+	// Pass 2: materialize the renumbered local matrix.
+	a := &matrix.CSR{
+		NumRows: rp.NLocal,
+		NumCols: rp.VectorLen(),
+		RowPtr:  make([]int64, rp.NLocal+1),
+	}
+	var cbuf []int32
+	var vbuf []float64
+	for i := rg.Lo; i < rg.Hi; i++ {
+		cbuf, vbuf = vsrc.AppendRowValues(i, cbuf[:0], vbuf[:0])
+		for k, c := range cbuf {
+			var local int32
+			if c >= lo32 && c < hi32 {
+				local = c - lo32
+			} else {
+				h := sort.Search(len(rp.HaloCols), func(j int) bool { return rp.HaloCols[j] >= c })
+				local = int32(rp.NLocal + h)
+			}
+			a.ColIdx = append(a.ColIdx, local)
+			a.Val = append(a.Val, vbuf[k])
+		}
+		a.RowPtr[i-rg.Lo+1] = int64(len(a.ColIdx))
+	}
+	a.SortRows()
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: rank %d local matrix: %w", rank, err)
+	}
+	rp.A = a
+	rp.Split = spmv.NewSplit(a, rp.NLocal)
+	return rp, nil
+}

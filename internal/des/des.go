@@ -1,0 +1,214 @@
+// Package des is a process-oriented discrete-event simulation kernel.
+// Simulated threads (Procs) are goroutines that execute strictly one at a
+// time, exchanging a control token with the scheduler, so simulation state
+// needs no locking and runs are fully deterministic: events at equal times
+// fire in scheduling order.
+//
+// The cluster simulator builds on this kernel: MPI processes are Procs,
+// compute and communication are fluid flows whose completions are events.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    int64
+
+	yield chan struct{} // proc → scheduler handoff
+	live  int           // procs started and not yet finished
+
+	running bool
+}
+
+// New creates an empty simulator at time 0.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; canceling a fired event is a no-op.
+type Event struct {
+	t         float64
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel marks the event so it will not fire.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// At schedules fn to run at absolute time t (≥ now).
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, s.now))
+	}
+	s.seq++
+	e := &Event{t: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Proc is a simulated thread of control.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// Spawn creates a proc that will start executing fn at the current virtual
+// time (or at simulation start). fn runs in its own goroutine but under the
+// one-at-a-time token discipline.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	s.At(s.now, func() {
+		go func() {
+			<-p.resume // wait for the start token
+			fn(p)
+			p.dead = true
+			s.yield <- struct{}{} // return the token for good
+		}()
+		s.handoff(p)
+	})
+	return p
+}
+
+// handoff gives the control token to p and waits for it back.
+// Runs in the scheduler context.
+func (s *Sim) handoff(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yield
+	if p.dead {
+		s.live--
+	}
+}
+
+// block suspends the calling proc until the scheduler wakes it.
+func (p *Proc) block() {
+	p.sim.yield <- struct{}{} // give the token back
+	<-p.resume                // wait to be woken
+}
+
+// wake schedules p to resume at time t.
+func (s *Sim) wakeAt(t float64, p *Proc) *Event {
+	return s.At(t, func() { s.handoff(p) })
+}
+
+// Sleep suspends the proc for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative sleep %g", d))
+	}
+	p.sim.wakeAt(p.sim.now+d, p)
+	p.block()
+}
+
+// Signal is a one-shot broadcast condition: procs wait on it, someone fires
+// it, all current and future waiters proceed.
+type Signal struct {
+	sim     *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func (s *Sim) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Fired reports whether the signal has fired.
+func (g *Signal) Fired() bool { return g.fired }
+
+// Fire releases all waiters at the current virtual time. Firing twice is a
+// no-op. Fire may be called from event callbacks or procs.
+func (g *Signal) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, p := range g.waiters {
+		g.sim.wakeAt(g.sim.now, p)
+	}
+	g.waiters = nil
+}
+
+// Wait suspends the proc until the signal fires (returns immediately if it
+// already has).
+func (p *Proc) Wait(g *Signal) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.block()
+}
+
+// WaitAll suspends the proc until every signal has fired.
+func (p *Proc) WaitAll(signals ...*Signal) {
+	for _, g := range signals {
+		p.Wait(g)
+	}
+}
+
+// Run processes events until none remain. It returns an error if procs are
+// still blocked when the event queue drains (a simulation deadlock).
+func (s *Sim) Run() error {
+	if s.running {
+		panic("des: Run reentered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.t
+		e.fn()
+	}
+	if s.live > 0 {
+		return fmt.Errorf("des: deadlock: %d proc(s) still blocked at t=%g", s.live, s.now)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *Event  { return h[0] }
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,223 @@
+// Package fluid models bandwidth-like shared resources under a fluid-flow
+// approximation on top of the des kernel. A Flow transfers a fixed number of
+// bytes across one or more Resources; each resource divides its (occupancy-
+// dependent) capacity equally among the flows crossing it, and a flow runs
+// at the minimum of its per-resource shares.
+//
+// The occupancy-dependent capacity C(n) is how the paper's central
+// node-level fact — a NUMA locality domain's memory bus saturates at about
+// four cores (Fig. 3) — enters the simulator: each compute thread is one
+// flow on its LD's memory resource, so adding threads beyond saturation
+// adds no bandwidth.
+//
+// The equal-share-per-resource rule is a local approximation of max-min
+// fairness: it never overcommits a resource and requires only neighbour
+// updates when a flow starts or ends, keeping large strong-scaling
+// simulations cheap. Bottlenecked-elsewhere flows may leave some capacity
+// unused, which is conservative (never optimistic) for contended links.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// Capacity returns a resource's total capacity (bytes/s) when n ≥ 1 flows
+// are active. Implementations must be positive and non-increasing per flow
+// (C(n)/n non-increasing keeps the model stable).
+type Capacity func(n int) float64
+
+// ConstCapacity is a capacity independent of occupancy (network links).
+func ConstCapacity(c float64) Capacity {
+	return func(int) float64 { return c }
+}
+
+// TableCapacity interpolates total capacity from a per-occupancy table:
+// table[i] is the capacity with i+1 active flows; occupancies beyond the
+// table use the last entry. This encodes measured saturation curves like
+// the STREAM and spMVM bandwidths of Fig. 3.
+func TableCapacity(table []float64) Capacity {
+	if len(table) == 0 {
+		panic("fluid: empty capacity table")
+	}
+	t := append([]float64(nil), table...)
+	return func(n int) float64 {
+		if n <= 0 {
+			n = 1
+		}
+		if n > len(t) {
+			n = len(t)
+		}
+		return t[n-1]
+	}
+}
+
+// Resource is one shared capacity (an LD memory bus, a NIC, a torus link).
+type Resource struct {
+	name  string
+	capFn Capacity
+	flows map[*Flow]struct{}
+}
+
+// Flow is an in-progress transfer.
+type Flow struct {
+	sys        *System
+	id         int64
+	resources  []*Resource
+	remaining  float64
+	rate       float64
+	lastUpdate float64
+	completion *des.Event
+	// Done fires when the transfer finishes.
+	Done *des.Signal
+}
+
+// System owns the resources and flows of one simulation.
+type System struct {
+	sim    *des.Sim
+	nextID int64
+}
+
+// NewSystem creates a flow system bound to a simulator.
+func NewSystem(sim *des.Sim) *System { return &System{sim: sim} }
+
+// NewResource creates a resource with the given capacity model.
+func (s *System) NewResource(name string, c Capacity) *Resource {
+	return &Resource{name: name, capFn: c, flows: make(map[*Flow]struct{})}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Active returns the number of flows currently crossing the resource.
+func (r *Resource) Active() int { return len(r.flows) }
+
+// Start begins transferring `bytes` across the given resources and returns
+// the flow. A zero-byte flow completes immediately. Must be called from
+// simulation context (a proc or event callback).
+func (s *System) Start(bytes float64, resources ...*Resource) *Flow {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("fluid: invalid flow size %g", bytes))
+	}
+	s.nextID++
+	f := &Flow{
+		sys:        s,
+		id:         s.nextID,
+		resources:  resources,
+		remaining:  bytes,
+		lastUpdate: s.sim.Now(),
+		Done:       s.sim.NewSignal(),
+	}
+	if bytes == 0 || len(resources) == 0 {
+		// Infinitely fast: no shared medium, or nothing to move.
+		f.Done.Fire()
+		return f
+	}
+	touched := s.attach(f)
+	s.rebalance(touched)
+	return f
+}
+
+// attach registers the flow on its resources and returns every flow whose
+// rate may have changed (the neighbours on shared resources).
+func (s *System) attach(f *Flow) map[*Flow]struct{} {
+	touched := map[*Flow]struct{}{f: {}}
+	for _, r := range f.resources {
+		for g := range r.flows {
+			touched[g] = struct{}{}
+		}
+		r.flows[f] = struct{}{}
+	}
+	return touched
+}
+
+// detach removes a finished flow and returns the affected neighbours.
+func (s *System) detach(f *Flow) map[*Flow]struct{} {
+	touched := map[*Flow]struct{}{}
+	for _, r := range f.resources {
+		delete(r.flows, f)
+		for g := range r.flows {
+			touched[g] = struct{}{}
+		}
+	}
+	return touched
+}
+
+// advance charges a flow's progress up to the current time.
+func (f *Flow) advance(now float64) {
+	if f.rate > 0 {
+		f.remaining -= f.rate * (now - f.lastUpdate)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpdate = now
+}
+
+// currentRate computes the flow's fair share: min over resources of
+// C_r(n_r)/n_r.
+func (f *Flow) currentRate() float64 {
+	rate := math.Inf(1)
+	for _, r := range f.resources {
+		n := len(r.flows)
+		share := r.capFn(n) / float64(n)
+		if share < rate {
+			rate = share
+		}
+	}
+	if math.IsInf(rate, 1) {
+		return 0
+	}
+	return rate
+}
+
+// rebalance recomputes rates and completion events for the touched flows,
+// in flow-id order so event scheduling (and hence same-time tie-breaking)
+// is deterministic.
+func (s *System) rebalance(touched map[*Flow]struct{}) {
+	now := s.sim.Now()
+	ordered := make([]*Flow, 0, len(touched))
+	for f := range touched {
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	for _, f := range ordered {
+		if f.Done.Fired() {
+			continue
+		}
+		f.advance(now)
+		f.rate = f.currentRate()
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		if f.remaining <= 0 {
+			s.complete(f)
+			continue
+		}
+		if f.rate > 0 {
+			f := f
+			f.completion = s.sim.After(f.remaining/f.rate, func() {
+				f.advance(s.sim.Now())
+				s.complete(f)
+			})
+		}
+	}
+}
+
+// complete finishes a flow: detaches it, fires Done, rebalances neighbours.
+func (s *System) complete(f *Flow) {
+	if f.Done.Fired() {
+		return
+	}
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	neighbours := s.detach(f)
+	f.Done.Fire()
+	s.rebalance(neighbours)
+}

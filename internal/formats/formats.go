@@ -1,0 +1,168 @@
+// Package formats implements the alternative sparse storage schemes the
+// paper weighs CRS against (§1.2 and related work [1,2,6,7]): ELLPACK
+// (padded row-major, the GPU/vector favourite) and Jagged Diagonal Storage
+// (JDS, the classic vector-computer format from the lineage of [6,7]).
+// Benchmarks in the harness substantiate the paper's choice of CRS as "the
+// most efficient format for general sparse matrices on cache-based
+// microprocessors".
+package formats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// ELLPACK stores every row padded to the maximum row length, column-major
+// across rows (val[slot·rows + row]), giving perfectly regular access at
+// the cost of padding.
+type ELLPACK struct {
+	Rows, Cols int
+	Width      int // entries per padded row
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NewELLPACK converts a CSR matrix. It returns an error when padding would
+// blow storage up by more than maxBlowup (e.g. 10): ELLPACK is unusable for
+// strongly irregular rows, which is part of the point.
+func NewELLPACK(a *matrix.CSR, maxBlowup float64) (*ELLPACK, error) {
+	width := 0
+	for i := 0; i < a.NumRows; i++ {
+		if l := int(a.RowPtr[i+1] - a.RowPtr[i]); l > width {
+			width = l
+		}
+	}
+	padded := float64(width) * float64(a.NumRows)
+	if a.Nnz() > 0 && padded/float64(a.Nnz()) > maxBlowup {
+		return nil, fmt.Errorf("formats: ELLPACK padding blowup %.1fx exceeds %.1fx",
+			padded/float64(a.Nnz()), maxBlowup)
+	}
+	e := &ELLPACK{
+		Rows: a.NumRows, Cols: a.NumCols, Width: width,
+		ColIdx: make([]int32, width*a.NumRows),
+		Val:    make([]float64, width*a.NumRows),
+	}
+	for i := 0; i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		for s := 0; s < width; s++ {
+			idx := s*a.NumRows + i
+			if s < len(cols) {
+				e.ColIdx[idx] = cols[s]
+				e.Val[idx] = vals[s]
+			} else {
+				// Pad with a harmless in-range column and zero value.
+				e.ColIdx[idx] = 0
+			}
+		}
+	}
+	return e, nil
+}
+
+// PaddingRatio returns stored slots / actual nonzeros.
+func (e *ELLPACK) PaddingRatio(nnz int64) float64 {
+	if nnz == 0 {
+		return 1
+	}
+	return float64(e.Width) * float64(e.Rows) / float64(nnz)
+}
+
+// MulVec computes y = A·x.
+func (e *ELLPACK) MulVec(y, x []float64) {
+	if len(x) != e.Cols || len(y) != e.Rows {
+		panic("formats: ELLPACK MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for s := 0; s < e.Width; s++ {
+		base := s * e.Rows
+		for i := 0; i < e.Rows; i++ {
+			y[i] += e.Val[base+i] * x[e.ColIdx[base+i]]
+		}
+	}
+}
+
+// JDS is Jagged Diagonal Storage: rows are sorted by descending length and
+// stored as dense "jagged diagonals". The format vectorizes beautifully on
+// long-vector machines — the architecture class of the paper's reference
+// [6,7] era — but permutes the result and scatters cache accesses on
+// microprocessors.
+type JDS struct {
+	Rows, Cols int
+	// Perm[k] is the original row index of sorted position k.
+	Perm []int32
+	// JdPtr[d] is the offset of jagged diagonal d; there are MaxLen diagonals.
+	JdPtr  []int64
+	ColIdx []int32
+	Val    []float64
+}
+
+// NewJDS converts a CSR matrix.
+func NewJDS(a *matrix.CSR) *JDS {
+	n := a.NumRows
+	j := &JDS{Rows: n, Cols: a.NumCols, Perm: make([]int32, n)}
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		j.Perm[i] = int32(i)
+		lens[i] = int(a.RowPtr[i+1] - a.RowPtr[i])
+	}
+	sort.SliceStable(j.Perm, func(x, y int) bool {
+		return lens[j.Perm[x]] > lens[j.Perm[y]]
+	})
+	maxLen := 0
+	if n > 0 {
+		maxLen = lens[j.Perm[0]]
+	}
+	j.JdPtr = make([]int64, maxLen+1)
+	for d := 0; d < maxLen; d++ {
+		// Rows with length > d contribute to diagonal d; they are a prefix
+		// of the sorted order.
+		count := sort.Search(n, func(k int) bool { return lens[j.Perm[k]] <= d })
+		j.JdPtr[d+1] = j.JdPtr[d] + int64(count)
+	}
+	j.ColIdx = make([]int32, j.JdPtr[maxLen])
+	j.Val = make([]float64, j.JdPtr[maxLen])
+	for d := 0; d < maxLen; d++ {
+		base := j.JdPtr[d]
+		for k := int64(0); base+k < j.JdPtr[d+1]; k++ {
+			row := j.Perm[k]
+			cols, vals := a.Row(int(row))
+			j.ColIdx[base+k] = cols[d]
+			j.Val[base+k] = vals[d]
+		}
+	}
+	return j
+}
+
+// MulVec computes y = A·x (y in original row order).
+func (j *JDS) MulVec(y, x []float64) {
+	if len(x) != j.Cols || len(y) != j.Rows {
+		panic("formats: JDS MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for d := 0; d < len(j.JdPtr)-1; d++ {
+		base := j.JdPtr[d]
+		cnt := j.JdPtr[d+1] - base
+		for k := int64(0); k < cnt; k++ {
+			y[j.Perm[k]] += j.Val[base+k] * x[j.ColIdx[base+k]]
+		}
+	}
+}
+
+// MemoryBytes reports the storage footprint of each format for comparison
+// tables: CSR = 12·nnz + 8·(rows+1); ELLPACK = 12·width·rows;
+// JDS = 12·nnz + 8·diagonals + 4·rows.
+func MemoryBytes(a *matrix.CSR, e *ELLPACK, j *JDS) (csr, ell, jds int64) {
+	csr = 12*a.Nnz() + 8*int64(a.NumRows+1)
+	if e != nil {
+		ell = 12 * int64(e.Width) * int64(e.Rows)
+	}
+	if j != nil {
+		jds = 12*j.JdPtr[len(j.JdPtr)-1] + 8*int64(len(j.JdPtr)) + 4*int64(j.Rows)
+	}
+	return
+}

@@ -1,0 +1,81 @@
+package genmat
+
+import (
+	"sync"
+	"testing"
+)
+
+// The plan builder streams disjoint row ranges from multiple goroutines
+// (core.forEachRank), so generators must be safe for concurrent reads.
+// These tests verify that property under -race and check the results
+// against a serial pass.
+
+func concurrentRowsMatchSerial(t *testing.T, src interface {
+	Dims() (int, int)
+	AppendRow(int, []int32) []int32
+}) {
+	t.Helper()
+	rows, _ := src.Dims()
+	serial := make([][]int32, rows)
+	var buf []int32
+	for i := 0; i < rows; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		serial[i] = append([]int32(nil), buf...)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []int32
+			for i := w; i < rows; i += workers {
+				local = src.AppendRow(i, local[:0])
+				if len(local) != len(serial[i]) {
+					errs[w] = "row length mismatch"
+					return
+				}
+				for k := range local {
+					if local[k] != serial[i][k] {
+						errs[w] = "row content mismatch"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+func TestHolsteinConcurrentRowAccess(t *testing.T) {
+	h, err := NewHolstein(HolsteinConfig{
+		Sites: 5, NumUp: 2, NumDown: 2, MaxPhonons: 3,
+		T: 1, U: 4, Omega: 1, G: 1, Ordering: HMeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrentRowsMatchSerial(t, h)
+}
+
+func TestPoissonConcurrentRowAccess(t *testing.T) {
+	p, err := NewPoisson(PoissonConfig{Nx: 14, Ny: 12, Nz: 10, GradingZ: 1.05, PermWindow: 16, PermSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrentRowsMatchSerial(t, p)
+}
+
+func TestRandomBandConcurrentRowAccess(t *testing.T) {
+	g, err := NewRandomBand(RandomBandConfig{N: 3000, Bandwidth: 100, PerRow: 6, Seed: 5, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrentRowsMatchSerial(t, g)
+}

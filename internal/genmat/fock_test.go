@@ -1,0 +1,137 @@
+package genmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFockDimPaperScale(t *testing.T) {
+	// The paper's phonon subspace: 5 modes, ≤ 15 quanta → C(20,5) = 15504.
+	f, err := NewFockSpace(5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim() != 15504 {
+		t.Errorf("Dim = %d, want 15504 (the paper's 1.55e4 phonon subspace)", f.Dim())
+	}
+}
+
+func TestFockDimSmallCases(t *testing.T) {
+	cases := []struct {
+		modes, max int
+		want       int64
+	}{
+		{0, 0, 1}, {0, 5, 1}, {1, 0, 1}, {1, 3, 4}, {2, 2, 6}, {3, 2, 10},
+	}
+	for _, c := range cases {
+		f, err := NewFockSpace(c.modes, c.max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Dim() != c.want {
+			t.Errorf("Dim(modes=%d, max=%d) = %d, want %d", c.modes, c.max, f.Dim(), c.want)
+		}
+	}
+}
+
+func TestFockRankUnrankRoundTrip(t *testing.T) {
+	f, err := NewFockSpace(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make([]int, 4)
+	seen := make(map[[4]int]bool)
+	for r := int64(0); r < f.Dim(); r++ {
+		f.Unrank(r, m)
+		if Total(m) > 6 {
+			t.Fatalf("Unrank(%d) = %v exceeds cutoff", r, m)
+		}
+		if got := f.Rank(m); got != r {
+			t.Fatalf("Rank(Unrank(%d)) = %d", r, got)
+		}
+		var key [4]int
+		copy(key[:], m)
+		if seen[key] {
+			t.Fatalf("duplicate state %v at rank %d", m, r)
+		}
+		seen[key] = true
+	}
+	if int64(len(seen)) != f.Dim() {
+		t.Errorf("enumerated %d states, want %d", len(seen), f.Dim())
+	}
+}
+
+func TestFockUnrankLexicographic(t *testing.T) {
+	f, err := NewFockSpace(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {2, 0}}
+	m := make([]int, 2)
+	for r, w := range want {
+		f.Unrank(int64(r), m)
+		if m[0] != w[0] || m[1] != w[1] {
+			t.Errorf("Unrank(%d) = %v, want %v", r, m, w)
+		}
+	}
+}
+
+func TestFockPanics(t *testing.T) {
+	f, _ := NewFockSpace(2, 3)
+	mustPanic(t, "short vector", func() { f.Rank([]int{1}) })
+	mustPanic(t, "over budget", func() { f.Rank([]int{2, 2}) })
+	mustPanic(t, "negative rank", func() { f.Unrank(-1, make([]int, 2)) })
+	mustPanic(t, "rank too large", func() { f.Unrank(f.Dim(), make([]int, 2)) })
+}
+
+func TestFockInvalidConfig(t *testing.T) {
+	if _, err := NewFockSpace(-1, 3); err == nil {
+		t.Error("negative modes accepted")
+	}
+	if _, err := NewFockSpace(2, -1); err == nil {
+		t.Error("negative cutoff accepted")
+	}
+}
+
+func TestFockRankMonotoneProperty(t *testing.T) {
+	f, err := NewFockSpace(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(r1, r2 uint16) bool {
+		a := int64(r1) % f.Dim()
+		b := int64(r2) % f.Dim()
+		if a > b {
+			a, b = b, a
+		}
+		ma := make([]int, 3)
+		mb := make([]int, 3)
+		f.Unrank(a, ma)
+		f.Unrank(b, mb)
+		// Lexicographic order of vectors must match rank order.
+		return a == b || lexLess(ma, mb)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,139 @@
+package genmat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// RandomBandConfig describes a random band matrix: each row holds the
+// diagonal plus entries at random offsets within ±Bandwidth. Used by tests
+// and as a configurable synthetic workload for the benchmark harness.
+type RandomBandConfig struct {
+	N         int
+	Bandwidth int // maximum |i-j| of off-diagonal entries
+	PerRow    int // target off-diagonal entries per row
+	Seed      uint64
+	Symmetric bool // mirror entries to keep the matrix symmetric
+	SPD       bool // make the diagonal dominant (implies usable with CG)
+}
+
+// RandomBand is a streaming random band matrix implementing
+// matrix.ValueSource. Rows are generated deterministically from the seed,
+// so the same configuration always yields the same matrix; generation is
+// safe for concurrent use.
+type RandomBand struct {
+	cfg RandomBandConfig
+}
+
+// NewRandomBand validates the configuration.
+func NewRandomBand(cfg RandomBandConfig) (*RandomBand, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("genmat: invalid random band size %d", cfg.N)
+	}
+	if cfg.Bandwidth < 0 || cfg.PerRow < 0 {
+		return nil, fmt.Errorf("genmat: negative bandwidth or per-row count")
+	}
+	return &RandomBand{cfg: cfg}, nil
+}
+
+// Dims implements matrix.PatternSource.
+func (g *RandomBand) Dims() (rows, cols int) { return g.cfg.N, g.cfg.N }
+
+// AppendRow implements matrix.PatternSource.
+func (g *RandomBand) AppendRow(i int, dst []int32) []int32 {
+	cols, _ := g.row(i, dst, nil, false)
+	return cols
+}
+
+// AppendRowValues implements matrix.ValueSource.
+func (g *RandomBand) AppendRowValues(i int, cols []int32, vals []float64) ([]int32, []float64) {
+	return g.row(i, cols, vals, true)
+}
+
+// pairValue returns the deterministic value of entry (i,j); symmetric
+// configurations use the unordered pair so A[i][j] == A[j][i].
+func (g *RandomBand) pairValue(i, j int) float64 {
+	a, b := i, j
+	if g.cfg.Symmetric && a > b {
+		a, b = b, a
+	}
+	h := splitmix(uint64(a)*0x1000003 + uint64(b)*31 + g.cfg.Seed*0x9e3779b97f4a7c15)
+	// Map to (-1, 1), avoiding 0.
+	v := float64(int64(h>>11))/float64(1<<52) - 1
+	if v == 0 {
+		v = 0.5
+	}
+	return v
+}
+
+// pairPresent reports whether the off-diagonal entry (i,j) exists.
+func (g *RandomBand) pairPresent(i, j int) bool {
+	a, b := i, j
+	if g.cfg.Symmetric && a > b {
+		a, b = b, a
+	}
+	if a == b {
+		return true
+	}
+	d := b - a
+	if d < 0 {
+		d = -d
+	}
+	if d > g.cfg.Bandwidth {
+		return false
+	}
+	// Bernoulli draw with probability PerRow / (2·Bandwidth), hashed from
+	// the unordered pair so symmetry is automatic.
+	if g.cfg.Bandwidth == 0 {
+		return false
+	}
+	p := float64(g.cfg.PerRow) / float64(2*g.cfg.Bandwidth)
+	if p > 1 {
+		p = 1
+	}
+	h := splitmix(uint64(a)*0x9E3779B1 + uint64(b) + g.cfg.Seed)
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+func (g *RandomBand) row(i int, cols []int32, vals []float64, withVals bool) ([]int32, []float64) {
+	lo := i - g.cfg.Bandwidth
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + g.cfg.Bandwidth
+	if hi > g.cfg.N-1 {
+		hi = g.cfg.N - 1
+	}
+	var offSum float64
+	for j := lo; j <= hi; j++ {
+		if j == i || !g.pairPresent(i, j) {
+			continue
+		}
+		cols = append(cols, int32(j))
+		if withVals {
+			v := g.pairValue(i, j)
+			vals = append(vals, v)
+			offSum += math.Abs(v)
+		}
+	}
+	cols = append(cols, int32(i))
+	if withVals {
+		d := g.pairValue(i, i)
+		if g.cfg.SPD {
+			d = offSum + 1 // strict diagonal dominance → SPD when symmetric
+		}
+		vals = append(vals, d)
+	}
+	return cols, vals
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+var _ matrix.ValueSource = (*RandomBand)(nil)

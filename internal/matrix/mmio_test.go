@@ -1,0 +1,94 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := RandomCSR(rng, 25, 31, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("Matrix Market round trip changed the matrix")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewCSRFromDense([][]float64{
+		{2, -1, 0},
+		{-1, 2, -1},
+		{0, -1, 0},
+	})
+	if !a.Equal(want) {
+		t.Errorf("symmetric expansion wrong:\n got %v\nwant %v", a.Dense(), want.Dense())
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nnz() != 2 || a.Val[0] != 1 || a.Val[1] != 1 {
+		t.Errorf("pattern read wrong: %+v", a)
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Dense()
+	if d[1][0] != 3 || d[0][1] != -3 {
+		t.Errorf("skew expansion wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\nx y z\n",
+		"not a header\n1 1 0\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package matrix
+
+import "math"
+
+// PatternSource streams the sparsity pattern of a matrix row by row without
+// requiring the matrix to be materialized. The paper's full-scale matrices
+// (N up to 2.3×10⁷, Nnz up to 1.6×10⁸) are consumed in this form when only
+// structural information (partitioning, communication volumes, cache
+// behaviour) is needed.
+//
+// Implementations must be safe for concurrent use by multiple goroutines
+// reading disjoint row ranges.
+type PatternSource interface {
+	// Dims returns the matrix dimensions.
+	Dims() (rows, cols int)
+	// AppendRow appends the column indices of row i to dst and returns the
+	// extended slice. Indices need not be sorted unless the implementation
+	// documents otherwise.
+	AppendRow(i int, dst []int32) []int32
+}
+
+// ValueSource extends PatternSource with values, allowing full rows to be
+// streamed for on-the-fly kernels and materialization.
+type ValueSource interface {
+	PatternSource
+	// AppendRowValues appends the column indices and values of row i.
+	// The two appended lengths are equal.
+	AppendRowValues(i int, cols []int32, vals []float64) ([]int32, []float64)
+}
+
+// Materialize builds an in-memory CSR matrix from a ValueSource.
+// Rows are sorted by column index afterwards to establish canonical form.
+func Materialize(src ValueSource) *CSR {
+	rows, cols := src.Dims()
+	a := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < rows; i++ {
+		a.ColIdx, a.Val = src.AppendRowValues(i, a.ColIdx, a.Val)
+		a.RowPtr[i+1] = int64(len(a.ColIdx))
+	}
+	a.SortRows()
+	return a
+}
+
+// RowNnzCounts streams the pattern once and returns the number of stored
+// entries in each row.
+func RowNnzCounts(src PatternSource) []int64 {
+	rows, _ := src.Dims()
+	counts := make([]int64, rows)
+	var buf []int32
+	for i := 0; i < rows; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		counts[i] = int64(len(buf))
+	}
+	return counts
+}
+
+// CountNnz streams the pattern once and returns the total number of stored
+// entries.
+func CountNnz(src PatternSource) int64 {
+	rows, _ := src.Dims()
+	var total int64
+	var buf []int32
+	for i := 0; i < rows; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		total += int64(len(buf))
+	}
+	return total
+}
+
+// Stats summarises structural properties of a sparse matrix
+// (used for Fig. 1 captions and DESIGN/EXPERIMENTS reporting).
+type Stats struct {
+	Rows, Cols   int
+	Nnz          int64
+	NnzRowAvg    float64 // the paper's Nnzr
+	NnzRowMin    int64
+	NnzRowMax    int64
+	Bandwidth    int64 // max |i - j| over stored entries
+	AvgBandwidth float64
+	Diagonal     int64 // number of stored diagonal entries
+}
+
+// ComputeStats streams the pattern once and gathers structural statistics.
+func ComputeStats(src PatternSource) Stats {
+	rows, cols := src.Dims()
+	s := Stats{Rows: rows, Cols: cols, NnzRowMin: int64(1) << 62}
+	var buf []int32
+	var bwSum float64
+	for i := 0; i < rows; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		n := int64(len(buf))
+		s.Nnz += n
+		if n < s.NnzRowMin {
+			s.NnzRowMin = n
+		}
+		if n > s.NnzRowMax {
+			s.NnzRowMax = n
+		}
+		for _, c := range buf {
+			d := int64(i) - int64(c)
+			if d < 0 {
+				d = -d
+			}
+			if d > s.Bandwidth {
+				s.Bandwidth = d
+			}
+			bwSum += float64(d)
+			if int(c) == i {
+				s.Diagonal++
+			}
+		}
+	}
+	if rows > 0 {
+		s.NnzRowAvg = float64(s.Nnz) / float64(rows)
+	}
+	if s.Nnz > 0 {
+		s.AvgBandwidth = bwSum / float64(s.Nnz)
+	} else {
+		s.NnzRowMin = 0
+	}
+	return s
+}
+
+// BlockOccupancy aggregates the sparsity pattern into a blocks×blocks grid
+// and returns the fraction of nonzero positions in each block, reproducing
+// the occupancy visualisation of Fig. 1. The result is indexed
+// [blockRow][blockCol].
+func BlockOccupancy(src PatternSource, blocks int) [][]float64 {
+	rows, cols := src.Dims()
+	if blocks <= 0 {
+		panic("matrix: BlockOccupancy needs blocks > 0")
+	}
+	occ := make([][]float64, blocks)
+	for i := range occ {
+		occ[i] = make([]float64, blocks)
+	}
+	if rows == 0 || cols == 0 {
+		return occ
+	}
+	// blockOf inverts the range mapping [b*n/blocks, (b+1)*n/blocks) used for
+	// normalization below, so every index lands in the block whose range
+	// contains it even when blocks does not divide n.
+	blockOf := func(i, n int) int { return ((i+1)*blocks - 1) / n }
+	var buf []int32
+	for i := 0; i < rows; i++ {
+		bi := blockOf(i, rows)
+		buf = src.AppendRow(i, buf[:0])
+		for _, c := range buf {
+			occ[bi][blockOf(int(c), cols)]++
+		}
+	}
+	// Normalize by block area (positions per block).
+	for bi := 0; bi < blocks; bi++ {
+		rLo, rHi := bi*rows/blocks, (bi+1)*rows/blocks
+		for bj := 0; bj < blocks; bj++ {
+			cLo, cHi := bj*cols/blocks, (bj+1)*cols/blocks
+			area := float64(rHi-rLo) * float64(cHi-cLo)
+			if area > 0 {
+				occ[bi][bj] /= area
+			}
+		}
+	}
+	return occ
+}
+
+// RenderOccupancy renders a block-occupancy grid as ASCII art with a
+// logarithmic gray scale, one character per block.
+func RenderOccupancy(occ [][]float64) string {
+	const ramp = " .:-=+*#%@" // log-scale shade ramp, space = empty
+	out := make([]byte, 0, len(occ)*(len(occ)+1))
+	for _, row := range occ {
+		for _, v := range row {
+			out = append(out, shade(v, ramp))
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func shade(v float64, ramp string) byte {
+	if v <= 0 {
+		return ramp[0]
+	}
+	// Map occupancies 1e-6..0.5+ (the Fig. 1 color bar) onto the ramp.
+	const lo, hi = 1e-6, 0.5
+	t := (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	idx := 1 + int(t*float64(len(ramp)-2)+0.5)
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}

@@ -1,0 +1,434 @@
+// Package simexec executes the distributed SpMV kernel modes of
+// internal/core on the simulated cluster: it places MPI processes on nodes
+// and NUMA locality domains according to the paper's three hybrid layouts
+// (one process per physical core / per NUMA LD / per node, Figs. 5 and 6),
+// models each compute phase as fluid flows on the LD memory buses with the
+// byte counts of the code-balance model (Eqs. 1 and 2), drives halo
+// exchanges through simmpi's progress semantics, and reports the
+// steady-state performance in GFlop/s.
+package simexec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/simmpi"
+)
+
+// Layout selects how MPI processes map onto a node (the three panels of
+// Figs. 5 and 6).
+type Layout int
+
+const (
+	// ProcPerCore is pure MPI: one single-threaded process per physical core.
+	ProcPerCore Layout = iota
+	// ProcPerLD is one process per NUMA locality domain, with one thread
+	// per core of the domain.
+	ProcPerLD
+	// ProcPerNode is one process per node, threads spanning all domains
+	// (NUMA-aware first-touch data placement assumed).
+	ProcPerNode
+)
+
+func (l Layout) String() string {
+	switch l {
+	case ProcPerCore:
+		return "proc-per-core"
+	case ProcPerLD:
+		return "proc-per-LD"
+	case ProcPerNode:
+		return "proc-per-node"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Layouts lists all process layouts in presentation order.
+var Layouts = []Layout{ProcPerCore, ProcPerLD, ProcPerNode}
+
+// CommPlacement selects where task mode's communication thread runs (§3.2).
+type CommPlacement int
+
+const (
+	// CommOnSMT binds the communication thread to a virtual (SMT) core:
+	// all physical cores keep computing.
+	CommOnSMT CommPlacement = iota
+	// CommDedicatedCore devotes one physical core to communication,
+	// removing it from the compute team.
+	CommDedicatedCore
+)
+
+func (c CommPlacement) String() string {
+	if c == CommOnSMT {
+		return "comm-on-SMT"
+	}
+	return "comm-on-core"
+}
+
+// Seg is one halo segment exchanged with a peer.
+type Seg struct {
+	Peer  int
+	Elems int
+}
+
+// Workload carries the structural quantities of a partitioned matrix —
+// everything the simulator needs, with no values attached.
+type Workload struct {
+	Name      string
+	Ranks     int
+	Rows      []int
+	NnzLocal  []int64
+	NnzRemote []int64
+	Sends     [][]Seg
+	Recvs     [][]Seg
+	TotalNnz  int64
+	Nnzr      float64
+	// Kappa is the matrix's κ (extra B(:) traffic in bytes per nonzero
+	// entry, Eq. 1), measured by the cache simulator or taken from §2.
+	Kappa float64
+}
+
+// WorkloadFromPlan extracts the simulator workload from a communication
+// plan (values not required).
+func WorkloadFromPlan(plan *core.Plan, name string, kappa float64) *Workload {
+	r := plan.Part.NumRanks()
+	wl := &Workload{
+		Name: name, Ranks: r, Kappa: kappa,
+		Rows:      make([]int, r),
+		NnzLocal:  make([]int64, r),
+		NnzRemote: make([]int64, r),
+		Sends:     make([][]Seg, r),
+		Recvs:     make([][]Seg, r),
+	}
+	for i, rp := range plan.Ranks {
+		wl.Rows[i] = rp.NLocal
+		wl.NnzLocal[i] = rp.NnzLocal
+		wl.NnzRemote[i] = rp.NnzRemote
+		wl.TotalNnz += rp.NnzLocal + rp.NnzRemote
+		for _, tx := range rp.SendTo {
+			wl.Sends[i] = append(wl.Sends[i], Seg{Peer: tx.Peer, Elems: tx.Count})
+		}
+		for _, rx := range rp.RecvFrom {
+			wl.Recvs[i] = append(wl.Recvs[i], Seg{Peer: rx.Peer, Elems: rx.Count})
+		}
+	}
+	if plan.Part.Rows() > 0 {
+		wl.Nnzr = float64(wl.TotalNnz) / float64(plan.Part.Rows())
+	}
+	return wl
+}
+
+// Config parameterizes one simulated run.
+type Config struct {
+	Cluster machine.ClusterSpec
+	Nodes   int
+	Layout  Layout
+	Mode    core.Mode
+
+	// CommPlacement applies to task mode only. Defaults to CommOnSMT when
+	// the node has SMT, CommDedicatedCore otherwise.
+	CommPlacement *CommPlacement
+
+	// AsyncProgress models an MPI library with a working progress thread
+	// (ablation; §5 outlook).
+	AsyncProgress bool
+
+	// Warmup and Iters control the measurement loop (defaults 2 and 10).
+	Warmup, Iters int
+
+	// OmpBarrier is the synchronization cost per parallel region
+	// (default 1.5 µs).
+	OmpBarrier float64
+
+	// Placement optionally scatters nodes over the torus to emulate
+	// fragmented allocations (ignored on fat trees).
+	Placement []int
+
+	// TorusOccupancy (torus only) is the fraction of the machine the job
+	// owns; values in (0, 1) allocate the job's nodes scattered over a
+	// proportionally larger torus, modeling the fragmented allocations and
+	// machine load the paper observed on the shared XE6. 0 or 1 means a
+	// dedicated, exactly-fitting torus. Ignored when Placement is set.
+	TorusOccupancy float64
+	// PlacementSeed seeds the scattered placement.
+	PlacementSeed uint64
+
+	// Trace, when non-nil, records per-rank phase intervals (the measured
+	// counterpart of the paper's Fig. 4 timelines).
+	Trace *Trace
+}
+
+// RanksFor returns the number of MPI ranks this configuration runs.
+func (c *Config) RanksFor() int {
+	switch c.Layout {
+	case ProcPerCore:
+		return c.Nodes * c.Cluster.Node.CoresPerNode()
+	case ProcPerLD:
+		return c.Nodes * c.Cluster.Node.LDsPerNode()
+	default:
+		return c.Nodes
+	}
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	TimePerIter float64
+	GFlops      float64
+	Ranks       int
+	ThreadsEach int
+}
+
+// process is the per-rank simulation state.
+type process struct {
+	mpi *simmpi.Process
+	// lds are the LD memory resources this process's threads live on, and
+	// workers[i] the compute-thread count on lds[i].
+	lds     []*fluid.Resource
+	workers []int
+	totalW  int
+}
+
+// computeFlows starts one flow per worker thread, splitting bytes evenly,
+// and returns the completion signals.
+func (p *process) computeFlows(sys *fluid.System, bytes float64) []*des.Signal {
+	if p.totalW == 0 || bytes <= 0 {
+		return nil
+	}
+	share := bytes / float64(p.totalW)
+	var sigs []*des.Signal
+	for i, ld := range p.lds {
+		for w := 0; w < p.workers[i]; w++ {
+			f := sys.Start(share, ld)
+			sigs = append(sigs, f.Done)
+		}
+	}
+	return sigs
+}
+
+// Run simulates the configured strong-scaling point and returns its
+// steady-state performance.
+func Run(cfg Config, wl *Workload) (Result, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Nodes < 1 {
+		return Result{}, fmt.Errorf("simexec: nodes %d < 1", cfg.Nodes)
+	}
+	ranks := cfg.RanksFor()
+	if ranks != wl.Ranks {
+		return Result{}, fmt.Errorf("simexec: config needs %d ranks but workload has %d", ranks, wl.Ranks)
+	}
+	node := &cfg.Cluster.Node
+	commPlace := CommOnSMT
+	if node.SMTWays < 2 {
+		commPlace = CommDedicatedCore
+	}
+	if cfg.CommPlacement != nil {
+		commPlace = *cfg.CommPlacement
+	}
+	if cfg.Mode == core.TaskMode && commPlace == CommOnSMT && node.SMTWays < 2 {
+		return Result{}, fmt.Errorf("simexec: %s has no SMT for the communication thread", node.Name)
+	}
+	warmup, iters := cfg.Warmup, cfg.Iters
+	if warmup <= 0 {
+		warmup = 2
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+	ompBarrier := cfg.OmpBarrier
+	if ompBarrier == 0 {
+		ompBarrier = 1.5e-6
+	}
+
+	sim := des.New()
+	sys := fluid.NewSystem(sim)
+	slots := cfg.Nodes
+	if cfg.Cluster.Net.Kind == machine.Torus2D && cfg.TorusOccupancy > 0 && cfg.TorusOccupancy < 1 {
+		slots = int(float64(cfg.Nodes)/cfg.TorusOccupancy + 0.999)
+	}
+	net := netmodel.NewSized(sys, cfg.Cluster.Net, cfg.Nodes, slots)
+	switch {
+	case cfg.Placement != nil:
+		net.SetPlacement(cfg.Placement)
+	case slots > cfg.Nodes:
+		w, h := net.Dims()
+		net.SetPlacement(netmodel.ScatteredPlacement(cfg.Nodes, w*h, cfg.PlacementSeed+1))
+	}
+
+	// Memory resources: one per LD per node, with the spMVM-achievable
+	// bandwidth curve (Fig. 3).
+	ldRes := make([][]*fluid.Resource, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		ldRes[n] = make([]*fluid.Resource, node.LDsPerNode())
+		for l := range ldRes[n] {
+			ldRes[n][l] = sys.NewResource(
+				fmt.Sprintf("mem[n%d,ld%d]", n, l),
+				fluid.TableCapacity(node.SpmvBW),
+			)
+		}
+	}
+
+	// Place ranks.
+	procsPerNode := ranks / cfg.Nodes
+	nodeOf := make([]int, ranks)
+	for r := range nodeOf {
+		nodeOf[r] = r / procsPerNode
+	}
+	mpiWorld := simmpi.NewWorld(sim, sys, net, nodeOf, simmpi.Config{
+		EagerThreshold:    float64(cfg.Cluster.Net.EagerThreshold),
+		BarrierLatency:    cfg.Cluster.Net.Latency,
+		RendezvousLatency: cfg.Cluster.Net.Latency,
+	})
+
+	procs := make([]*process, ranks)
+	for r := 0; r < ranks; r++ {
+		p := &process{mpi: mpiWorld.Proc(r)}
+		p.mpi.AsyncProgress = cfg.AsyncProgress
+		n := nodeOf[r]
+		idx := r % procsPerNode
+		switch cfg.Layout {
+		case ProcPerCore:
+			p.lds = []*fluid.Resource{ldRes[n][idx/node.CoresPerLD]}
+			p.workers = []int{1}
+		case ProcPerLD:
+			p.lds = []*fluid.Resource{ldRes[n][idx]}
+			p.workers = []int{node.CoresPerLD}
+		default: // ProcPerNode
+			p.lds = append([]*fluid.Resource(nil), ldRes[n]...)
+			p.workers = make([]int, len(p.lds))
+			for i := range p.workers {
+				p.workers[i] = node.CoresPerLD
+			}
+		}
+		// Task mode with a dedicated communication core gives up one
+		// compute thread (paper: makes no difference beyond saturation).
+		if cfg.Mode == core.TaskMode && commPlace == CommDedicatedCore {
+			if p.workers[0] > 1 {
+				p.workers[0]--
+			} else if len(p.workers) == 1 {
+				return Result{}, fmt.Errorf("simexec: task mode with a dedicated comm core leaves no compute thread in layout %v", cfg.Layout)
+			}
+		}
+		for _, w := range p.workers {
+			p.totalW += w
+		}
+		procs[r] = p
+	}
+
+	// Byte counts per phase (code balance, §1.2 and §3.1):
+	// full kernel: nnz·(12+κ) + rows·24 (Eq. 1 ×2·nnz)
+	// split local: nnzLocal·(12+κ) + rows·24
+	// split remote: nnzRemote·(12+κ) + rows·16 (result written twice, Eq. 2)
+	// gather: 24 bytes per gathered element (load + write-allocate + evict)
+	kappa := wl.Kappa
+
+	times := make([]float64, 2)
+	for r := 0; r < ranks; r++ {
+		r := r
+		p := procs[r]
+		rows := float64(wl.Rows[r])
+		nl := float64(wl.NnzLocal[r])
+		nr := float64(wl.NnzRemote[r])
+		var sendElems int
+		for _, s := range wl.Sends[r] {
+			sendElems += s.Elems
+		}
+		gatherBytes := 24 * float64(sendElems)
+		fullBytes := (nl+nr)*(12+kappa) + rows*24
+		localBytes := nl*(12+kappa) + rows*24
+		remoteBytes := nr*(12+kappa) + rows*16
+
+		sim.Spawn(fmt.Sprintf("rank%d", r), func(proc *des.Proc) {
+			mpi := p.mpi
+			// computePhase runs one barrier-synchronized parallel region and
+			// traces it.
+			computePhase := func(phase string, bytes float64) {
+				t0 := proc.Now()
+				if sigs := p.computeFlows(sys, bytes); sigs != nil {
+					proc.WaitAll(sigs...)
+					proc.Sleep(ompBarrier)
+				}
+				cfg.Trace.add(r, phase, t0, proc.Now())
+			}
+			step := func() {
+				// Post receives, gather, post sends (all modes).
+				reqs := make([]*simmpi.Request, 0, len(wl.Recvs[r])+len(wl.Sends[r]))
+				for _, rx := range wl.Recvs[r] {
+					reqs = append(reqs, mpi.Irecv(rx.Peer, 0))
+				}
+				computePhase("gather", gatherBytes)
+				for _, tx := range wl.Sends[r] {
+					reqs = append(reqs, mpi.Isend(tx.Peer, 0, 8*float64(tx.Elems)))
+				}
+
+				switch cfg.Mode {
+				case core.VectorNoOverlap:
+					t0 := proc.Now()
+					mpi.Waitall(proc, reqs...)
+					cfg.Trace.add(r, "exchange", t0, proc.Now())
+					computePhase("full", fullBytes)
+				case core.VectorNaiveOverlap:
+					// Local part first; with standard progress semantics the
+					// transfers do not move until Waitall.
+					computePhase("local", localBytes)
+					t0 := proc.Now()
+					mpi.Waitall(proc, reqs...)
+					cfg.Trace.add(r, "exchange", t0, proc.Now())
+					computePhase("remote", remoteBytes)
+				default: // core.TaskMode
+					// This proc is the communication thread: it sits inside
+					// Waitall, driving progress, while the team computes.
+					t0 := proc.Now()
+					sigs := p.computeFlows(sys, localBytes)
+					if cfg.Trace != nil {
+						// A watcher proc records when the team actually
+						// finishes, independent of the comm thread.
+						sim.Spawn("trace-local", func(tp *des.Proc) {
+							tp.WaitAll(sigs...)
+							cfg.Trace.add(r, "local", t0, tp.Now())
+						})
+					}
+					mpi.Waitall(proc, reqs...)
+					cfg.Trace.add(r, "exchange", t0, proc.Now())
+					proc.WaitAll(sigs...) // the omp_barrier of Fig. 4c
+					proc.Sleep(ompBarrier)
+					computePhase("remote", remoteBytes)
+				}
+			}
+
+			for it := 0; it < warmup; it++ {
+				step()
+			}
+			mpi.Barrier(proc)
+			if r == 0 {
+				times[0] = proc.Now()
+			}
+			for it := 0; it < iters; it++ {
+				step()
+			}
+			mpi.Barrier(proc)
+			if r == 0 {
+				times[1] = proc.Now()
+			}
+		})
+	}
+
+	if err := sim.Run(); err != nil {
+		return Result{}, fmt.Errorf("simexec: %w", err)
+	}
+	perIter := (times[1] - times[0]) / float64(iters)
+	res := Result{
+		TimePerIter: perIter,
+		Ranks:       ranks,
+		ThreadsEach: procs[0].totalW,
+	}
+	if perIter > 0 {
+		res.GFlops = 2 * float64(wl.TotalNnz) / perIter / 1e9
+	}
+	return res, nil
+}

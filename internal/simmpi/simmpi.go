@@ -1,0 +1,314 @@
+// Package simmpi models MPI point-to-point timing semantics on the
+// discrete-event simulator. Its central feature is the paper's central
+// observation (§3): standard MPI implementations make progress — actual
+// data transfer — only while the user process executes MPI library code.
+//
+// Concretely: a message at or above the eager threshold (rendezvous
+// protocol) begins transferring only once it is matched AND both endpoint
+// processes are "driving progress", i.e. blocked inside an MPI call (or
+// served by an asynchronous progress thread, the ablation the paper
+// proposes for MPI libraries). Sub-threshold (eager) messages leave the
+// sender immediately.
+//
+// Transfers are fluid flows over the network model, so messages sharing
+// NICs or torus links contend for bandwidth.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/netmodel"
+)
+
+// World owns the simulated MPI state: processes, matching queues, barriers.
+type World struct {
+	sim *des.Sim
+	sys *fluid.System
+	net *netmodel.Network
+
+	eager      float64
+	latencyFor func(src, dst int) ([]*fluid.Resource, float64)
+
+	procs []*Process
+
+	sendQ map[chanKey][]*message
+	recvQ map[chanKey][]*message
+
+	barrierCount int
+	barrierSig   *des.Signal
+	barrierCost  float64
+}
+
+type chanKey struct{ src, dst, tag int }
+
+// Config parameterizes the world.
+type Config struct {
+	// EagerThreshold in bytes; messages strictly below it use the eager
+	// protocol.
+	EagerThreshold float64
+	// BarrierLatency is the cost of one barrier round; the full barrier
+	// costs BarrierLatency × ⌈log₂(P)⌉.
+	BarrierLatency float64
+	// RendezvousLatency is the extra handshake delay before a rendezvous
+	// transfer starts.
+	RendezvousLatency float64
+}
+
+// NewWorld creates the MPI world for `ranks` processes over the network.
+// nodeOf maps each rank to its node.
+func NewWorld(sim *des.Sim, sys *fluid.System, net *netmodel.Network, nodeOf []int, cfg Config) *World {
+	w := &World{
+		sim:   sim,
+		sys:   sys,
+		net:   net,
+		eager: cfg.EagerThreshold,
+		sendQ: make(map[chanKey][]*message),
+		recvQ: make(map[chanKey][]*message),
+	}
+	p := len(nodeOf)
+	w.barrierCost = cfg.BarrierLatency * math.Ceil(math.Log2(float64(max(p, 2))))
+	w.procs = make([]*Process, p)
+	for r, node := range nodeOf {
+		w.procs[r] = &Process{w: w, rank: r, node: node, rdvLatency: cfg.RendezvousLatency}
+	}
+	return w
+}
+
+// Proc returns the process handle of a rank.
+func (w *World) Proc(rank int) *Process { return w.procs[rank] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Process is one simulated MPI process.
+type Process struct {
+	w          *World
+	rank, node int
+	rdvLatency float64
+
+	// inMPI counts nested MPI calls; the process drives progress while > 0.
+	inMPI int
+	// AsyncProgress marks an MPI library with a working progress thread:
+	// rendezvous transfers start without the process being inside MPI.
+	// The paper's outlook proposes exactly this; it is exposed for the
+	// ablation benchmark.
+	AsyncProgress bool
+
+	// stalled lists matched rendezvous messages waiting for this endpoint
+	// to drive progress.
+	stalled []*message
+}
+
+// Rank returns the process rank.
+func (p *Process) Rank() int { return p.rank }
+
+// Node returns the node hosting the process.
+func (p *Process) Node() int { return p.node }
+
+func (p *Process) driving() bool { return p.inMPI > 0 || p.AsyncProgress }
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src, dst int
+	tag      int
+	bytes    float64
+	eager    bool
+
+	matched bool
+	started bool
+
+	// done fires when the payload has fully arrived.
+	done *des.Signal
+	// sendDone fires when the sender's request completes: immediately for
+	// eager (buffered) sends, at transfer completion for rendezvous.
+	sendDone *des.Signal
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	msg    *message
+	isSend bool
+}
+
+func (r *Request) signal() *des.Signal {
+	if r.isSend {
+		return r.msg.sendDone
+	}
+	return r.msg.done
+}
+
+// Isend posts a nonblocking send of `bytes` to rank dst.
+func (p *Process) Isend(dst, tag int, bytes float64) *Request {
+	if dst < 0 || dst >= len(p.w.procs) {
+		panic(fmt.Sprintf("simmpi: Isend to rank %d of %d", dst, len(p.w.procs)))
+	}
+	m := &message{
+		src: p.rank, dst: dst, tag: tag, bytes: bytes,
+		eager:    bytes < p.w.eager,
+		done:     p.w.sim.NewSignal(),
+		sendDone: p.w.sim.NewSignal(),
+	}
+	if m.eager {
+		// Buffered: the send request completes immediately, and the wire
+		// transfer starts now regardless of matching or progress.
+		m.sendDone.Fire()
+		m.started = true
+		p.w.launch(m)
+	}
+	k := chanKey{m.src, m.dst, tag}
+	if q := p.w.recvQ[k]; len(q) > 0 {
+		rcv := q[0]
+		p.w.recvQ[k] = q[1:]
+		p.w.match(m, rcv)
+	} else {
+		p.w.sendQ[k] = append(p.w.sendQ[k], m)
+	}
+	return &Request{msg: m, isSend: true}
+}
+
+// Irecv posts a nonblocking receive from rank src.
+func (p *Process) Irecv(src, tag int) *Request {
+	if src < 0 || src >= len(p.w.procs) {
+		panic(fmt.Sprintf("simmpi: Irecv from rank %d of %d", src, len(p.w.procs)))
+	}
+	k := chanKey{src, p.rank, tag}
+	if q := p.w.sendQ[k]; len(q) > 0 {
+		m := q[0]
+		p.w.sendQ[k] = q[1:]
+		p.w.match(m, nil)
+		return &Request{msg: m}
+	}
+	m := &message{
+		src: src, dst: p.rank, tag: tag,
+		done:     p.w.sim.NewSignal(),
+		sendDone: p.w.sim.NewSignal(),
+	}
+	p.w.recvQ[k] = append(p.w.recvQ[k], m)
+	return &Request{msg: m}
+}
+
+// match joins a posted send with a posted receive. rcv is nil when the
+// receive is being posted right now (the send message carries the state);
+// otherwise the receive placeholder's waiters are transferred.
+func (w *World) match(snd *message, rcv *message) {
+	snd.matched = true
+	if rcv != nil {
+		// The receive was posted first as a placeholder with its own done
+		// signal; chain it: when the send completes, fire the placeholder.
+		rcvSig := rcv.done
+		if snd.done.Fired() {
+			rcvSig.Fire()
+		} else {
+			w.chain(snd.done, rcvSig)
+		}
+		rcv.matched = true
+		// Waiters of the placeholder follow rcvSig; replace the message
+		// state so tryStart sees one canonical message.
+		*rcv = *snd
+		rcv.done = rcvSig
+	}
+	w.tryStart(snd)
+}
+
+// chain fires `to` when `from` fires.
+func (w *World) chain(from, to *des.Signal) {
+	w.sim.Spawn("sig-chain", func(p *des.Proc) {
+		p.Wait(from)
+		to.Fire()
+	})
+}
+
+// tryStart launches a matched rendezvous transfer if both endpoints drive
+// progress; otherwise it parks the message on both endpoints' stall lists.
+func (w *World) tryStart(m *message) {
+	if m.started || !m.matched {
+		return
+	}
+	src, dst := w.procs[m.src], w.procs[m.dst]
+	if !src.driving() || !dst.driving() {
+		src.stalled = append(src.stalled, m)
+		dst.stalled = append(dst.stalled, m)
+		return
+	}
+	m.started = true
+	w.sim.After(src.rdvLatency, func() { w.launch(m) })
+}
+
+// launch places the message payload on the network as a fluid flow.
+func (w *World) launch(m *message) {
+	path, lat := w.net.Path(w.procs[m.src].node, w.procs[m.dst].node)
+	w.sim.After(lat, func() {
+		flow := w.sys.Start(m.bytes, path...)
+		w.chainFlow(flow, m)
+	})
+}
+
+func (w *World) chainFlow(flow *fluid.Flow, m *message) {
+	w.sim.Spawn("xfer-done", func(p *des.Proc) {
+		p.Wait(flow.Done)
+		m.done.Fire()
+		if !m.eager {
+			m.sendDone.Fire()
+		}
+	})
+}
+
+// enterMPI marks the process as driving progress and kicks stalled
+// transfers.
+func (p *Process) enterMPI() {
+	p.inMPI++
+	if p.inMPI == 1 {
+		p.kickStalled()
+	}
+}
+
+func (p *Process) kickStalled() {
+	stalled := p.stalled
+	p.stalled = nil
+	for _, m := range stalled {
+		p.w.tryStart(m)
+	}
+}
+
+func (p *Process) exitMPI() { p.inMPI-- }
+
+// Waitall blocks the calling proc inside MPI until every request completes.
+// While blocked, the process drives progress — this is what makes the
+// paper's task mode work: the communication thread sits in Waitall for the
+// whole compute phase.
+func (p *Process) Waitall(proc *des.Proc, reqs ...*Request) {
+	p.enterMPI()
+	for _, r := range reqs {
+		proc.Wait(r.signal())
+	}
+	p.exitMPI()
+}
+
+// Barrier synchronizes all ranks; the last arrival releases everyone after
+// a log₂(P)-scaled latency. Processes drive progress while waiting.
+func (p *Process) Barrier(proc *des.Proc) {
+	w := p.w
+	p.enterMPI()
+	if w.barrierSig == nil {
+		w.barrierSig = w.sim.NewSignal()
+	}
+	w.barrierCount++
+	sig := w.barrierSig
+	if w.barrierCount == len(w.procs) {
+		w.barrierCount = 0
+		w.barrierSig = nil
+		w.sim.After(w.barrierCost, sig.Fire)
+	}
+	proc.Wait(sig)
+	p.exitMPI()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

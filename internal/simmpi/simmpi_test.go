@@ -1,0 +1,361 @@
+package simmpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+)
+
+const eps = 1e-9
+
+// testWorld builds a 2-node fat-tree world with one rank per node.
+// Link bandwidth 100 B/s, latency 1 ms, eager threshold 10 bytes.
+func testWorld(ranks int) (*des.Sim, *World) {
+	sim := des.New()
+	sys := fluid.NewSystem(sim)
+	spec := machine.NetSpec{
+		Kind: machine.FatTree, LinkBW: 100, Latency: 1e-3,
+		IntraBW: 1000, IntraLatency: 1e-4, EagerThreshold: 10,
+	}
+	net := netmodel.New(sys, spec, ranks)
+	nodeOf := make([]int, ranks)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	w := NewWorld(sim, sys, net, nodeOf, Config{
+		EagerThreshold: 10, BarrierLatency: 1e-3, RendezvousLatency: 0,
+	})
+	return sim, w
+}
+
+// TestNoProgressOutsideMPI is the paper's central mechanism: a rendezvous
+// transfer posted with Isend/Irecv makes no progress while the sender
+// computes outside MPI; the transfer happens entirely inside Waitall.
+func TestNoProgressOutsideMPI(t *testing.T) {
+	sim, w := testWorld(2)
+	var senderDone, recvDone float64
+	sim.Spawn("sender", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 1000) // 1000 B ≥ eager → rendezvous
+		p.Sleep(5)                    // "computation": no MPI progress
+		proc.Waitall(p, req)
+		senderDone = p.Now()
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		req := proc.Irecv(0, 0)
+		proc.Waitall(p, req) // receiver waits from the start
+		recvDone = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer = latency (1ms) + 1000/100 = 10.001 s, starting only at t=5.
+	want := 5 + 1e-3 + 10.0
+	if math.Abs(senderDone-want) > 1e-6 {
+		t.Errorf("sender done at %g, want %g (no overlap)", senderDone, want)
+	}
+	if math.Abs(recvDone-want) > 1e-6 {
+		t.Errorf("receiver done at %g, want %g", recvDone, want)
+	}
+}
+
+// TestAsyncProgressOverlaps models an MPI library with a working progress
+// thread (the paper's outlook): the same exchange overlaps the compute.
+func TestAsyncProgressOverlaps(t *testing.T) {
+	sim, w := testWorld(2)
+	w.Proc(0).AsyncProgress = true
+	w.Proc(1).AsyncProgress = true
+	var senderDone float64
+	sim.Spawn("sender", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 1000)
+		p.Sleep(5)
+		proc.Waitall(p, req)
+		senderDone = p.Now()
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		req := proc.Irecv(0, 0)
+		proc.Waitall(p, req)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer (≈10 s) overlaps the 5 s sleep → done ≈ 10.001 s.
+	want := 1e-3 + 10.0
+	if math.Abs(senderDone-want) > 1e-6 {
+		t.Errorf("sender done at %g, want %g (full overlap)", senderDone, want)
+	}
+}
+
+// TestTaskModeCommThreadOverlaps: when the endpoint sits inside Waitall
+// (the dedicated communication thread), the transfer runs concurrently
+// with other simulated work.
+func TestTaskModeCommThreadOverlaps(t *testing.T) {
+	sim, w := testWorld(2)
+	var done float64
+	sim.Spawn("sender-comm", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 1000)
+		proc.Waitall(p, req) // comm thread sits in MPI immediately
+		done = p.Now()
+	})
+	sim.Spawn("receiver-comm", func(p *des.Proc) {
+		proc := w.Proc(1)
+		req := proc.Irecv(0, 0)
+		proc.Waitall(p, req)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 10.0
+	if math.Abs(done-want) > 1e-6 {
+		t.Errorf("comm thread done at %g, want %g", done, want)
+	}
+}
+
+// TestEagerBypassesProgress: small messages leave immediately even though
+// neither process is inside MPI.
+func TestEagerBypassesProgress(t *testing.T) {
+	sim, w := testWorld(2)
+	var recvDone float64
+	sim.Spawn("sender", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 8) // below the 10-byte threshold
+		if !req.signal().Fired() {
+			t.Error("eager send request should complete immediately")
+		}
+		p.Sleep(100) // never re-enters MPI
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		p.Sleep(0.5)
+		req := proc.Irecv(0, 0)
+		proc.Waitall(p, req)
+		recvDone = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer: starts at 0, latency 1ms + 8/100 s = 0.081 → arrival 0.081;
+	// receiver posts at 0.5 → completes at 0.5.
+	if math.Abs(recvDone-0.5) > 1e-6 {
+		t.Errorf("eager receive done at %g, want 0.5", recvDone)
+	}
+}
+
+func TestRecvPostedFirstThenRendezvous(t *testing.T) {
+	sim, w := testWorld(2)
+	var recvDone float64
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		req := proc.Irecv(0, 0)
+		proc.Waitall(p, req)
+		recvDone = p.Now()
+	})
+	sim.Spawn("sender", func(p *des.Proc) {
+		p.Sleep(2)
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 500)
+		proc.Waitall(p, req)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + 1e-3 + 5.0
+	if math.Abs(recvDone-want) > 1e-6 {
+		t.Errorf("receive done at %g, want %g", recvDone, want)
+	}
+}
+
+func TestContentionOnSharedNIC(t *testing.T) {
+	// Two senders to the same destination share its ejection link.
+	sim, w := testWorld(3)
+	var done [2]float64
+	for s := 0; s < 2; s++ {
+		s := s
+		sim.Spawn("sender", func(p *des.Proc) {
+			proc := w.Proc(s)
+			req := proc.Isend(2, 0, 500)
+			proc.Waitall(p, req)
+			done[s] = p.Now()
+		})
+	}
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(2)
+		r0 := proc.Irecv(0, 0)
+		r1 := proc.Irecv(1, 0)
+		proc.Waitall(p, r0, r1)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 total bytes through one 100 B/s down link → ≈ 10 s for both.
+	for s, d := range done {
+		if math.Abs(d-(1e-3+10.0)) > 1e-6 {
+			t.Errorf("sender %d done at %g, want ≈10.001 (shared link)", s, d)
+		}
+	}
+}
+
+func TestMessageOrderingFIFO(t *testing.T) {
+	// Two same-tag messages: receives match in posting order.
+	sim, w := testWorld(2)
+	var first, second float64
+	sim.Spawn("sender", func(p *des.Proc) {
+		proc := w.Proc(0)
+		r1 := proc.Isend(1, 5, 100) // 1 s on the wire
+		r2 := proc.Isend(1, 5, 900) // 9 s
+		proc.Waitall(p, r1, r2)
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		r1 := proc.Irecv(0, 5)
+		r2 := proc.Irecv(0, 5)
+		proc.Waitall(p, r1)
+		first = p.Now()
+		proc.Waitall(p, r2)
+		second = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first >= second {
+		t.Errorf("FIFO violated: first %g, second %g", first, second)
+	}
+}
+
+func TestBarrierCost(t *testing.T) {
+	sim, w := testWorld(4)
+	var release [4]float64
+	for r := 0; r < 4; r++ {
+		r := r
+		sim.Spawn("p", func(p *des.Proc) {
+			p.Sleep(float64(r)) // staggered arrivals: last at t=3
+			w.Proc(r).Barrier(p)
+			release[r] = p.Now()
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 3 + 2e-3 // last arrival + log2(4)×1ms
+	for r, d := range release {
+		if math.Abs(d-want) > eps {
+			t.Errorf("rank %d released at %g, want %g", r, d, want)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	sim, w := testWorld(3)
+	counts := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		sim.Spawn("p", func(p *des.Proc) {
+			for round := 0; round < 5; round++ {
+				w.Proc(r).Barrier(p)
+				counts[r]++
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range counts {
+		if c != 5 {
+			t.Errorf("rank %d completed %d rounds", r, c)
+		}
+	}
+}
+
+// TestRendezvousNeedsBothSides: sender in Waitall but receiver computing →
+// no transfer until the receiver enters MPI.
+func TestRendezvousNeedsBothSides(t *testing.T) {
+	sim, w := testWorld(2)
+	var recvDone float64
+	sim.Spawn("sender", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 1000)
+		proc.Waitall(p, req)
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		proc := w.Proc(1)
+		req := proc.Irecv(0, 0)
+		p.Sleep(7) // computing, not driving progress
+		proc.Waitall(p, req)
+		recvDone = p.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 7 + 1e-3 + 10.0
+	if math.Abs(recvDone-want) > 1e-6 {
+		t.Errorf("receive done at %g, want %g (transfer gated on receiver)", recvDone, want)
+	}
+}
+
+func TestRendezvousLatencyApplied(t *testing.T) {
+	sim := des.New()
+	sys := fluid.NewSystem(sim)
+	spec := machine.NetSpec{Kind: machine.FatTree, LinkBW: 100, Latency: 1e-3, IntraBW: 1000, IntraLatency: 1e-4}
+	net := netmodel.New(sys, spec, 2)
+	w := NewWorld(sim, sys, net, []int{0, 1}, Config{
+		EagerThreshold: 10, BarrierLatency: 1e-3, RendezvousLatency: 0.25,
+	})
+	var done float64
+	sim.Spawn("s", func(p *des.Proc) {
+		proc := w.Proc(0)
+		req := proc.Isend(1, 0, 100)
+		proc.Waitall(p, req)
+		done = p.Now()
+	})
+	sim.Spawn("r", func(p *des.Proc) {
+		proc := w.Proc(1)
+		proc.Waitall(p, proc.Irecv(0, 0))
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25 + 1e-3 + 1.0
+	if math.Abs(done-want) > 1e-6 {
+		t.Errorf("done at %g, want %g (handshake latency)", done, want)
+	}
+}
+
+func TestDeterministicExchange(t *testing.T) {
+	run := func() float64 {
+		sim, w := testWorld(4)
+		var last float64
+		for r := 0; r < 4; r++ {
+			r := r
+			sim.Spawn("p", func(p *des.Proc) {
+				proc := w.Proc(r)
+				next := (r + 1) % 4
+				prev := (r + 3) % 4
+				for it := 0; it < 3; it++ {
+					rx := proc.Irecv(prev, it)
+					tx := proc.Isend(next, it, 200+float64(50*r))
+					p.Sleep(0.1)
+					proc.Waitall(p, rx, tx)
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+func poissonPlan(t *testing.T, ranks int) (*matrix.CSR, *core.Plan) {
+	t.Helper()
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{Nx: 12, Ny: 10, Nz: 9, GradingZ: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(p)
+	part := core.PartitionByNnz(p, ranks)
+	plan, err := core.BuildPlan(p, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, plan
+}
+
+func TestDistCGMatchesSerialCG(t *testing.T) {
+	a, plan := poissonPlan(t, 5)
+	n := a.NumRows
+	rng := rand.New(rand.NewSource(3))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+
+	for _, mode := range core.Modes {
+		x := make([]float64, n)
+		res, err := DistCG(plan, b, x, mode, 2, 1e-10, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("mode %v: DistCG not converged (res %g)", mode, res.Residual)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("mode %v: x[%d] = %.9f, want %.9f", mode, i, x[i], xTrue[i])
+			}
+		}
+		// Iteration count matches the serial algorithm (same reductions).
+		xs := make([]float64, n)
+		serial, err := CG(CSROperator{a}, b, xs, 1e-10, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absInt(res.Iterations-serial.Iterations) > 2 {
+			t.Errorf("mode %v: %d iterations vs serial %d", mode, res.Iterations, serial.Iterations)
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDistCGRankCountInvariance(t *testing.T) {
+	a, _ := poissonPlan(t, 2)
+	n := a.NumRows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.01)
+	}
+	var ref []float64
+	for _, ranks := range []int{1, 3, 7} {
+		_, plan := poissonPlan(t, ranks)
+		x := make([]float64, n)
+		res, err := DistCG(plan, b, x, core.TaskMode, 2, 1e-11, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("ranks=%d: not converged", ranks)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), x...)
+			continue
+		}
+		for i := range x {
+			if math.Abs(x[i]-ref[i]) > 1e-7 {
+				t.Fatalf("ranks=%d: solution differs at %d: %g vs %g", ranks, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDistCGZeroRHS(t *testing.T) {
+	_, plan := poissonPlan(t, 3)
+	n := plan.Part.Rows()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	res, err := DistCG(plan, make([]float64, n), x, core.VectorNoOverlap, 1, 1e-10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatal("zero RHS must give zero solution")
+		}
+	}
+}
+
+func TestDistCGInvalid(t *testing.T) {
+	_, plan := poissonPlan(t, 2)
+	n := plan.Part.Rows()
+	if _, err := DistCG(plan, make([]float64, n-1), make([]float64, n), core.TaskMode, 1, 1e-8, 10); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := DistCG(plan, make([]float64, n), make([]float64, n), core.TaskMode, 1, 0, 10); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestDistLanczosMatchesSerial(t *testing.T) {
+	h, err := genmat.NewHolstein(genmat.HolsteinConfig{
+		Sites: 4, NumUp: 2, NumDown: 2, MaxPhonons: 3,
+		T: 1, U: 4, Omega: 1, G: 1, Ordering: genmat.HMeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(h)
+	part := core.PartitionByNnz(h, 4)
+	plan, err := core.BuildPlan(h, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := GroundState(CSROperator{a}, 70, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		dist, err := DistLanczos(plan, mode, 2, 70, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dist.Eigenvalues) == 0 {
+			t.Fatal("no Ritz values")
+		}
+		if math.Abs(dist.Eigenvalues[0]-serial) > 1e-8 {
+			t.Errorf("mode %v: distributed E₀ %.10f vs serial %.10f", mode, dist.Eigenvalues[0], serial)
+		}
+		if dist.MVMs != dist.Steps {
+			t.Errorf("MVMs %d != steps %d", dist.MVMs, dist.Steps)
+		}
+	}
+}
+
+func TestDistLanczosRankInvariance(t *testing.T) {
+	h, err := genmat.NewHolstein(genmat.HolsteinConfig{
+		Sites: 4, NumUp: 1, NumDown: 1, MaxPhonons: 4,
+		T: 1, U: 3, Omega: 1, G: 0.8, Ordering: genmat.HMeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref float64
+	for _, ranks := range []int{1, 2, 5} {
+		part := core.PartitionByNnz(h, ranks)
+		plan, err := core.BuildPlan(h, part, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DistLanczos(plan, core.VectorNaiveOverlap, 1, 50, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e0 := res.Eigenvalues[0]
+		if ranks == 1 {
+			ref = e0
+			continue
+		}
+		if math.Abs(e0-ref) > 1e-9 {
+			t.Errorf("ranks=%d: E₀ %.12f differs from 1-rank %.12f", ranks, e0, ref)
+		}
+	}
+}

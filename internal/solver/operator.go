@@ -1,0 +1,95 @@
+// Package solver implements the iterative algorithms that motivate the
+// paper's spMVM kernel (§1, §1.3.1): Lanczos for extremal eigenvalues of
+// the Hamiltonian matrices, conjugate gradients for the Poisson systems,
+// and the kernel polynomial method (Chebyshev expansion) for spectral
+// densities. All algorithms run against an abstract operator, so the same
+// code executes on the serial kernel, the node-parallel kernel, or the
+// distributed hybrid kernels.
+package solver
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/spmv"
+)
+
+// Operator is a linear operator y = A·x on vectors of fixed dimension.
+type Operator interface {
+	Dim() int
+	Apply(y, x []float64)
+}
+
+// CSROperator applies a CSR matrix with the serial kernel.
+type CSROperator struct{ A *matrix.CSR }
+
+// Dim returns the operator dimension.
+func (o CSROperator) Dim() int { return o.A.NumRows }
+
+// Apply computes y = A·x.
+func (o CSROperator) Apply(y, x []float64) { o.A.MulVec(y, x) }
+
+// TeamOperator applies a CSR matrix with the node-parallel kernel on a
+// worker team (the paper's OpenMP-parallel baseline).
+type TeamOperator struct {
+	P    *spmv.Parallel
+	Team *spmv.Team
+}
+
+// NewTeamOperator chunks the matrix for the team.
+func NewTeamOperator(a *matrix.CSR, team *spmv.Team) *TeamOperator {
+	return &TeamOperator{P: spmv.NewParallel(a, team.Size()), Team: team}
+}
+
+// Dim returns the operator dimension.
+func (o *TeamOperator) Dim() int { return o.P.A.NumRows }
+
+// Apply computes y = A·x on the team.
+func (o *TeamOperator) Apply(y, x []float64) { o.P.MulVec(o.Team, y, x) }
+
+// DistOperator applies the distributed hybrid kernel: each Apply performs a
+// full halo exchange and multiplication across the plan's ranks in the
+// configured mode.
+type DistOperator struct {
+	Plan    *core.Plan
+	Mode    core.Mode
+	Threads int
+}
+
+// Dim returns the operator dimension.
+func (o *DistOperator) Dim() int { return o.Plan.Part.Rows() }
+
+// Apply computes y = A·x with the distributed kernel.
+func (o *DistOperator) Apply(y, x []float64) {
+	res := core.MulDistributed(o.Plan, x, o.Mode, o.Threads, 1)
+	copy(y, res)
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns ‖x‖₂.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Axpy computes y += a·x.
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}

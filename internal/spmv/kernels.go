@@ -1,0 +1,119 @@
+package spmv
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Serial computes y = A·x with the scalar CRS kernel of §1.2.
+func Serial(y []float64, a *matrix.CSR, x []float64) {
+	a.MulVec(y, x)
+}
+
+// RangeKernel computes y[r.Lo:r.Hi] = (A·x)[r.Lo:r.Hi], overwriting the
+// output rows. It is the building block all parallel variants share.
+func RangeKernel(y []float64, a *matrix.CSR, x []float64, r Range) {
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
+	for i := r.Lo; i < r.Hi; i++ {
+		var s float64
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			s += val[k] * x[colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// RangeKernelAdd computes y[r.Lo:r.Hi] += (A·x)[r.Lo:r.Hi]. The split
+// kernels of the overlap variants use it for the second (nonlocal) pass,
+// which is what writes the result vector twice and motivates the modified
+// code balance of Eq. (2).
+func RangeKernelAdd(y []float64, a *matrix.CSR, x []float64, r Range) {
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
+	for i := r.Lo; i < r.Hi; i++ {
+		s := y[i]
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			s += val[k] * x[colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Parallel is a CSR matrix bundled with a precomputed nonzero-balanced
+// chunking for a team of a given size — the analogue of the paper's
+// OpenMP-parallel spMVM with NUMA-aware static scheduling.
+type Parallel struct {
+	A      *matrix.CSR
+	Chunks []Range
+}
+
+// NewParallel chunks the matrix for the given worker count.
+func NewParallel(a *matrix.CSR, workers int) *Parallel {
+	return &Parallel{A: a, Chunks: BalanceNnz(a.RowPtr, workers)}
+}
+
+// MulVec computes y = A·x on the team. The team size must be at least the
+// chunk count; extra workers idle.
+func (p *Parallel) MulVec(t *Team, y, x []float64) {
+	if len(p.Chunks) > t.Size() {
+		panic(fmt.Sprintf("spmv: %d chunks but team of %d", len(p.Chunks), t.Size()))
+	}
+	t.RunSubteam(len(p.Chunks), func(w int) {
+		RangeKernel(y, p.A, x, p.Chunks[w])
+	})
+}
+
+// ChunkNnz returns the nonzero count of chunk w (for balance diagnostics).
+func (p *Parallel) ChunkNnz(w int) int64 {
+	r := p.Chunks[w]
+	return p.A.RowPtr[r.Hi] - p.A.RowPtr[r.Lo]
+}
+
+// Split is a matrix divided into a "local" part and a "remote" part with
+// disjoint column footprints, as required by the overlap variants
+// (Fig. 4b/4c): the local part touches only columns < LocalCols; the remote
+// part touches only columns ≥ LocalCols (the received halo entries).
+type Split struct {
+	Local, Remote *matrix.CSR
+	LocalCols     int
+}
+
+// NewSplit partitions the columns of a at the boundary localCols. Both
+// halves keep the full row count, so the two passes write the same result
+// vector (the second pass with += semantics).
+func NewSplit(a *matrix.CSR, localCols int) *Split {
+	if localCols < 0 || localCols > a.NumCols {
+		panic(fmt.Sprintf("spmv: split boundary %d outside [0,%d]", localCols, a.NumCols))
+	}
+	loc := &matrix.CSR{NumRows: a.NumRows, NumCols: a.NumCols, RowPtr: make([]int64, a.NumRows+1)}
+	rem := &matrix.CSR{NumRows: a.NumRows, NumCols: a.NumCols, RowPtr: make([]int64, a.NumRows+1)}
+	for i := 0; i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if int(c) < localCols {
+				loc.ColIdx = append(loc.ColIdx, c)
+				loc.Val = append(loc.Val, vals[k])
+			} else {
+				rem.ColIdx = append(rem.ColIdx, c)
+				rem.Val = append(rem.Val, vals[k])
+			}
+		}
+		loc.RowPtr[i+1] = int64(len(loc.ColIdx))
+		rem.RowPtr[i+1] = int64(len(rem.ColIdx))
+	}
+	return &Split{Local: loc, Remote: rem, LocalCols: localCols}
+}
+
+// MulVecLocal computes y = A_local·x over the given chunks on the team.
+func (s *Split) MulVecLocal(t *Team, chunks []Range, y, x []float64) {
+	t.RunSubteam(len(chunks), func(w int) {
+		RangeKernel(y, s.Local, x, chunks[w])
+	})
+}
+
+// MulVecRemoteAdd computes y += A_remote·x over the given chunks.
+func (s *Split) MulVecRemoteAdd(t *Team, chunks []Range, y, x []float64) {
+	t.RunSubteam(len(chunks), func(w int) {
+		RangeKernelAdd(y, s.Remote, x, chunks[w])
+	})
+}

@@ -1,0 +1,285 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+func randomMatrix(seed int64, rows, cols int) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: rows, Bandwidth: cols / 2, PerRow: 5, Seed: uint64(seed) + 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	a := matrix.Materialize(g)
+	_ = rng
+	return a
+}
+
+func randVec(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func vecsEqual(a, b []float64, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTeamRunsAllWorkers(t *testing.T) {
+	team := NewTeam(7)
+	defer team.Close()
+	var mask int64
+	team.Run(func(w int) {
+		atomic.AddInt64(&mask, 1<<w)
+	})
+	if mask != 127 {
+		t.Errorf("worker mask = %b, want 1111111", mask)
+	}
+}
+
+func TestTeamSubteam(t *testing.T) {
+	team := NewTeam(6)
+	defer team.Close()
+	var count int64
+	team.RunSubteam(4, func(w int) {
+		if w >= 4 {
+			t.Errorf("worker %d ran outside subteam", w)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 4 {
+		t.Errorf("subteam ran %d workers, want 4", count)
+	}
+	team.RunSubteam(0, func(w int) { t.Error("empty subteam ran") })
+}
+
+func TestTeamReusable(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	var total int64
+	for iter := 0; iter < 100; iter++ {
+		team.Run(func(w int) { atomic.AddInt64(&total, 1) })
+	}
+	if total != 300 {
+		t.Errorf("total = %d, want 300", total)
+	}
+}
+
+func TestTeamCloseIdempotent(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close()
+}
+
+func TestBalanceNnzEqualWeights(t *testing.T) {
+	// 12 rows of one nnz each into 4 parts → 3 rows each.
+	prefix := make([]int64, 13)
+	for i := range prefix {
+		prefix[i] = int64(i)
+	}
+	ranges := BalanceNnz(prefix, 4)
+	for p, r := range ranges {
+		if r.Len() != 3 {
+			t.Errorf("part %d = %+v, want length 3", p, r)
+		}
+	}
+}
+
+func TestBalanceNnzSkewedWeights(t *testing.T) {
+	// One heavy row at the front: it must get its own part.
+	prefix := []int64{0, 100, 101, 102, 103, 104}
+	ranges := BalanceNnz(prefix, 2)
+	if ranges[0] != (Range{0, 1}) {
+		t.Errorf("heavy part = %+v, want {0,1}", ranges[0])
+	}
+	if ranges[1] != (Range{1, 5}) {
+		t.Errorf("light part = %+v, want {1,5}", ranges[1])
+	}
+}
+
+func TestBalanceNnzCoverageProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		parts := 1 + rng.Intn(16)
+		prefix := make([]int64, n+1)
+		for i := 1; i <= n; i++ {
+			prefix[i] = prefix[i-1] + int64(rng.Intn(50))
+		}
+		ranges := BalanceNnz(prefix, parts)
+		if len(ranges) != parts {
+			return false
+		}
+		// Ranges must tile [0, n) in order.
+		lo := 0
+		for _, r := range ranges {
+			if r.Lo != lo || r.Hi < r.Lo {
+				return false
+			}
+			lo = r.Hi
+		}
+		if lo != n {
+			return false
+		}
+		// Non-empty while enough rows exist.
+		if n >= parts {
+			for _, r := range ranges {
+				if r.Len() == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceNnzBalanceQuality(t *testing.T) {
+	// Uniform weights: max part within 2x of min part.
+	prefix := make([]int64, 10001)
+	for i := 1; i <= 10000; i++ {
+		prefix[i] = prefix[i-1] + 7
+	}
+	ranges := BalanceNnz(prefix, 8)
+	minW, maxW := int64(1)<<62, int64(0)
+	for _, r := range ranges {
+		w := prefix[r.Hi] - prefix[r.Lo]
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 2*minW {
+		t.Errorf("imbalance: min %d, max %d", minW, maxW)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	a := randomMatrix(3, 500, 500)
+	x := randVec(4, 500)
+	want := make([]float64, 500)
+	Serial(want, a, x)
+	for _, workers := range []int{1, 2, 3, 8} {
+		team := NewTeam(workers)
+		p := NewParallel(a, workers)
+		got := make([]float64, 500)
+		p.MulVec(team, got, x)
+		team.Close()
+		if !vecsEqual(want, got, 1e-14) {
+			t.Errorf("workers=%d: parallel result differs from serial", workers)
+		}
+	}
+}
+
+func TestParallelChunkBalance(t *testing.T) {
+	a := randomMatrix(9, 2000, 2000)
+	p := NewParallel(a, 8)
+	var minW, maxW int64 = 1 << 62, 0
+	for w := range p.Chunks {
+		nnz := p.ChunkNnz(w)
+		if nnz < minW {
+			minW = nnz
+		}
+		if nnz > maxW {
+			maxW = nnz
+		}
+	}
+	if maxW > 2*minW {
+		t.Errorf("chunk imbalance: %d..%d", minW, maxW)
+	}
+}
+
+func TestSplitKernelsMatchSerial(t *testing.T) {
+	a := randomMatrix(11, 400, 400)
+	boundary := 250
+	s := NewSplit(a, boundary)
+	if err := s.Local.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remote.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Column footprints are disjoint at the boundary.
+	for _, c := range s.Local.ColIdx {
+		if int(c) >= boundary {
+			t.Fatalf("local part holds column %d ≥ %d", c, boundary)
+		}
+	}
+	for _, c := range s.Remote.ColIdx {
+		if int(c) < boundary {
+			t.Fatalf("remote part holds column %d < %d", c, boundary)
+		}
+	}
+	if s.Local.Nnz()+s.Remote.Nnz() != a.Nnz() {
+		t.Fatalf("split lost entries: %d + %d != %d", s.Local.Nnz(), s.Remote.Nnz(), a.Nnz())
+	}
+
+	x := randVec(12, 400)
+	want := make([]float64, 400)
+	Serial(want, a, x)
+
+	team := NewTeam(4)
+	defer team.Close()
+	chunks := BalanceNnz(a.RowPtr, 4)
+	got := make([]float64, 400)
+	s.MulVecLocal(team, chunks, got, x)
+	s.MulVecRemoteAdd(team, chunks, got, x)
+	if !vecsEqual(want, got, 1e-14) {
+		t.Error("split two-pass result differs from serial")
+	}
+}
+
+func TestSplitBoundaryEdges(t *testing.T) {
+	a := randomMatrix(5, 50, 50)
+	all := NewSplit(a, 50)
+	if all.Remote.Nnz() != 0 {
+		t.Error("boundary at NumCols should leave remote empty")
+	}
+	none := NewSplit(a, 0)
+	if none.Local.Nnz() != 0 {
+		t.Error("boundary at 0 should leave local empty")
+	}
+}
+
+func TestParallelPropertyAgainstSerial(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		workers := 1 + rng.Intn(6)
+		a := randomMatrix(seed, n, n)
+		x := randVec(seed+1, n)
+		want := make([]float64, n)
+		Serial(want, a, x)
+		team := NewTeam(workers)
+		defer team.Close()
+		got := make([]float64, n)
+		NewParallel(a, workers).MulVec(team, got, x)
+		return vecsEqual(want, got, 1e-13)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+func symmetricMatrix(seed int64, n int) *matrix.CSR {
+	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: n, Bandwidth: n / 3, PerRow: 6, Seed: uint64(seed), Symmetric: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return matrix.Materialize(g)
+}
+
+func TestSymmetricStorageHalvesEntries(t *testing.T) {
+	a := symmetricMatrix(1, 500)
+	s, err := NewSymmetricFromFull(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FullNnz() != a.Nnz() {
+		t.Errorf("FullNnz %d != matrix nnz %d", s.FullNnz(), a.Nnz())
+	}
+	// Stored entries ≈ (nnz + N)/2.
+	want := (a.Nnz() + int64(a.NumRows)) / 2
+	if d := s.Nnz() - want; d < -1 || d > 1 {
+		t.Errorf("stored %d entries, want ≈ %d", s.Nnz(), want)
+	}
+}
+
+func TestSymmetricSerialMatchesFull(t *testing.T) {
+	a := symmetricMatrix(2, 400)
+	s, err := NewSymmetricFromFull(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(3, 400)
+	want := make([]float64, 400)
+	Serial(want, a, x)
+	got := make([]float64, 400)
+	s.MulVecSerial(got, x)
+	if !vecsEqual(want, got, 1e-13) {
+		t.Error("symmetric serial kernel differs from full kernel")
+	}
+}
+
+func TestSymmetricParallelMatchesFull(t *testing.T) {
+	a := symmetricMatrix(4, 600)
+	s, err := NewSymmetricFromFull(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(5, 600)
+	want := make([]float64, 600)
+	Serial(want, a, x)
+	for _, workers := range []int{1, 2, 3, 8} {
+		team := NewTeam(workers)
+		sp := NewSymmetricParallel(s, workers)
+		got := make([]float64, 600)
+		sp.MulVec(team, got, x)
+		team.Close()
+		if !vecsEqual(want, got, 1e-13) {
+			t.Errorf("workers=%d: symmetric parallel kernel wrong", workers)
+		}
+	}
+}
+
+func TestSymmetricRejectsAsymmetric(t *testing.T) {
+	a := matrix.NewCSRFromDense([][]float64{{1, 2}, {3, 4}})
+	if _, err := NewSymmetricFromFull(a, 0); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	rect := matrix.NewCSRFromDense([][]float64{{1, 0, 0}, {0, 1, 0}})
+	if _, err := NewSymmetricFromFull(rect, 0); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestSymmetricOnHolstein(t *testing.T) {
+	h, err := genmat.NewHolstein(genmat.HolsteinConfig{
+		Sites: 4, NumUp: 2, NumDown: 2, MaxPhonons: 3,
+		T: 1, U: 4, Omega: 1, G: 1, Ordering: genmat.HMeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(h)
+	s, err := NewSymmetricFromFull(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(6, a.NumRows)
+	want := make([]float64, a.NumRows)
+	Serial(want, a, x)
+	team := NewTeam(4)
+	defer team.Close()
+	got := make([]float64, a.NumRows)
+	NewSymmetricParallel(s, 4).MulVec(team, got, x)
+	if !vecsEqual(want, got, 1e-12) {
+		t.Error("symmetric kernel wrong on the Hamiltonian")
+	}
+	// Traffic claim of §1.3.1: the stored volume is nearly halved.
+	ratio := float64(s.Nnz()) / float64(a.Nnz())
+	if ratio > 0.6 {
+		t.Errorf("stored fraction %.2f, expected ≈ 0.5", ratio)
+	}
+}
+
+func TestSymmetricParallelProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		a := symmetricMatrix(seed, n)
+		s, err := NewSymmetricFromFull(a, 0)
+		if err != nil {
+			return false
+		}
+		x := randVec(seed+1, n)
+		want := make([]float64, n)
+		Serial(want, a, x)
+		workers := 1 + rng.Intn(6)
+		team := NewTeam(workers)
+		defer team.Close()
+		got := make([]float64, n)
+		NewSymmetricParallel(s, workers).MulVec(team, got, x)
+		return vecsEqual(want, got, 1e-12)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetricReusableAcrossCalls(t *testing.T) {
+	a := symmetricMatrix(9, 300)
+	s, _ := NewSymmetricFromFull(a, 0)
+	team := NewTeam(3)
+	defer team.Close()
+	sp := NewSymmetricParallel(s, 3)
+	x := randVec(10, 300)
+	want := make([]float64, 300)
+	Serial(want, a, x)
+	got := make([]float64, 300)
+	for rep := 0; rep < 5; rep++ {
+		sp.MulVec(team, got, x)
+		if !vecsEqual(want, got, 1e-13) {
+			t.Fatalf("rep %d: stale private buffers?", rep)
+		}
+	}
+}

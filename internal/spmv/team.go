@@ -1,0 +1,135 @@
+// Package spmv provides node-level sparse matrix-vector kernels: the serial
+// CRS kernel of §1.2, and thread-parallel variants executed by a reusable
+// worker team. The team plays the role OpenMP plays in the paper: a fixed
+// pool of compute threads with static, nonzero-balanced loop chunking.
+// As in the paper's task mode, work distribution is explicit ("one
+// contiguous chunk of nonzeros per compute thread") because subteam
+// worksharing is managed by the caller.
+package spmv
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Team is a fixed pool of worker goroutines that repeatedly execute SPMD
+// regions. It substitutes for an OpenMP thread team: workers are long-lived,
+// numbered 0..Size-1, and every Run is a barrier-synchronized parallel
+// region.
+type Team struct {
+	size    int
+	work    []chan func(worker int)
+	wg      sync.WaitGroup
+	closed  bool
+	closeMu sync.Mutex
+}
+
+// NewTeam starts a team with the given number of workers (≥ 1).
+func NewTeam(size int) *Team {
+	if size < 1 {
+		panic(fmt.Sprintf("spmv: team size %d < 1", size))
+	}
+	t := &Team{size: size, work: make([]chan func(int), size)}
+	for w := 0; w < size; w++ {
+		t.work[w] = make(chan func(int))
+		go func(w int) {
+			for f := range t.work[w] {
+				f(w)
+				t.wg.Done()
+			}
+		}(w)
+	}
+	return t
+}
+
+// Size returns the number of workers.
+func (t *Team) Size() int { return t.size }
+
+// Run executes f(worker) on every worker concurrently and returns when all
+// workers have finished — an OpenMP "parallel" region with an implied
+// barrier. Run must not be called concurrently with itself or Close.
+func (t *Team) Run(f func(worker int)) {
+	t.wg.Add(t.size)
+	for w := 0; w < t.size; w++ {
+		t.work[w] <- f
+	}
+	t.wg.Wait()
+}
+
+// RunSubteam executes f on workers [0, n) only; the rest stay idle. This is
+// the explicit subteam worksharing of the paper's task mode (§3.2), where
+// one thread is reserved for communication and the remaining threads
+// compute.
+func (t *Team) RunSubteam(n int, f func(worker int)) {
+	if n < 0 || n > t.size {
+		panic(fmt.Sprintf("spmv: subteam size %d outside [0,%d]", n, t.size))
+	}
+	t.wg.Add(n)
+	for w := 0; w < n; w++ {
+		t.work[w] <- f
+	}
+	t.wg.Wait()
+}
+
+// Close terminates the workers. The team must be idle. Close is idempotent.
+func (t *Team) Close() {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, c := range t.work {
+		close(c)
+	}
+}
+
+// Range is a half-open row interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// BalanceNnz splits rows [0, n) into parts contiguous ranges with
+// approximately equal nonzero counts, given the CSR row-pointer array
+// (or any prefix-sum of per-row weights). This is the "balanced
+// distribution of nonzeros" the paper uses for both MPI-rank and thread
+// work distribution (§3.1 footnote 2, §3.2).
+//
+// Every returned range is non-empty when n ≥ parts; when n < parts the
+// trailing ranges are empty.
+func BalanceNnz(prefix []int64, parts int) []Range {
+	if parts < 1 {
+		panic(fmt.Sprintf("spmv: parts %d < 1", parts))
+	}
+	n := len(prefix) - 1
+	if n < 0 {
+		panic("spmv: empty prefix array")
+	}
+	total := prefix[n]
+	out := make([]Range, parts)
+	lo := 0
+	for p := 0; p < parts; p++ {
+		if p == parts-1 {
+			out[p] = Range{lo, n}
+			break
+		}
+		// End this part at the first boundary reaching the cumulative target,
+		// but leave at least one row for each remaining part.
+		target := total * int64(p+1) / int64(parts)
+		maxHi := n - (parts - p - 1)
+		if maxHi < lo {
+			maxHi = lo
+		}
+		hi := lo
+		for hi < maxHi && prefix[hi] < target {
+			hi++
+		}
+		if hi == lo && lo < maxHi {
+			hi = lo + 1 // never emit an empty range while rows remain
+		}
+		out[p] = Range{lo, hi}
+		lo = hi
+	}
+	return out
+}
