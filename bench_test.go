@@ -176,6 +176,75 @@ func BenchmarkFormats(b *testing.B) {
 		}
 		reportSpmv(b, a.Nnz())
 	})
+	b.Run("SELL-32-256", func(b *testing.B) {
+		s, err := formats.NewSELLCSigma(a, 32, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.PaddingRatio(), "padding-ratio")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.MulVec(y, x)
+		}
+		reportSpmv(b, a.Nnz())
+	})
+}
+
+// BenchmarkSellCSigma measures the SELL-C-σ kernel on the Holstein HMeP
+// fixture for several chunk heights, serial and on the team, verifying the
+// result stays bit-identical to the serial CRS kernel.
+func BenchmarkSellCSigma(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	want := make([]float64, a.NumRows)
+	spmv.Serial(want, a, x)
+	for _, cfg := range []struct{ c, sigma int }{{8, 64}, {32, 256}, {64, 512}} {
+		s, err := formats.NewSELLCSigma(a, cfg.c, cfg.sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := make([]float64, a.NumRows)
+		s.MulVec(y, x)
+		for i := range want {
+			if y[i] != want[i] {
+				b.Fatalf("C=%d σ=%d: not bit-identical to serial CRS at row %d", cfg.c, cfg.sigma, i)
+			}
+		}
+		b.Run(fmt.Sprintf("C=%d/sigma=%d/serial", cfg.c, cfg.sigma), func(b *testing.B) {
+			b.ReportMetric(s.PaddingRatio(), "padding-ratio")
+			for i := 0; i < b.N; i++ {
+				s.MulVec(y, x)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+		b.Run(fmt.Sprintf("C=%d/sigma=%d/workers=4", cfg.c, cfg.sigma), func(b *testing.B) {
+			team := spmv.NewTeam(4)
+			defer team.Close()
+			p := spmv.NewParallelFormat(s, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MulVec(team, y, x)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+	}
+}
+
+// BenchmarkTeamBarrier isolates the per-parallel-region dispatch overhead of
+// the worker team — the cost the sense-reversing barrier attacks. The body
+// is empty, so ns/op is pure fork/join latency.
+func BenchmarkTeamBarrier(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			team := spmv.NewTeam(workers)
+			defer team.Close()
+			noop := func(int) {}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				team.Run(noop)
+			}
+		})
+	}
 }
 
 // BenchmarkSymmetricKernel measures the §1.3.1 symmetric-storage variant:

@@ -6,15 +6,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/spmv"
 )
 
 func main() {
@@ -27,8 +31,15 @@ func main() {
 		kappa    = flag.Float64("kappa", 2.5, "κ (extra B(:) bytes per nonzero) for the model")
 		workers  = flag.Int("workers", runtime.NumCPU(), "max workers for -host")
 		reps     = flag.Int("reps", 5, "repetitions for -host measurements")
+		snapshot = flag.String("snapshot", "", "write a kernel GFlop/s snapshot (JSON) to this path and exit")
 	)
 	flag.Parse()
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, *workers, *reps); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !*topology && !*fig3a && !*fig3b && !*host {
 		*topology, *fig3a, *fig3b = true, true, true
 	}
@@ -81,4 +92,101 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spmv-bench:", err)
 	os.Exit(1)
+}
+
+// kernelPoint is one (fixture, kernel) GFlop/s measurement in the snapshot.
+type kernelPoint struct {
+	Matrix  string  `json:"matrix"`
+	Kernel  string  `json:"kernel"`
+	Workers int     `json:"workers"`
+	GFlops  float64 `json:"gflops"`
+}
+
+// benchSnapshot is the perf-trajectory record emitted by -snapshot; one file
+// per PR (BENCH_<n>.json) lets successive sessions compare kernels.
+type benchSnapshot struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Scale     string        `json:"scale"`
+	Kernels   []kernelPoint `json:"kernels"`
+}
+
+// measureGFlops times fn (which performs one y = A·x) and converts to
+// GFlop/s at 2 flops per nonzero, keeping the best of reps repetitions.
+func measureGFlops(nnz int64, reps int, fn func()) float64 {
+	fn() // warm up
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		iters := 10
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		secs := time.Since(start).Seconds() / float64(iters)
+		if g := 2 * float64(nnz) / secs / 1e9; g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// writeSnapshot measures the serial CRS, parallel CRS and SELL-C-σ kernels
+// on the Holstein HMeP and Poisson sAMG fixtures and writes the results as
+// JSON — the seed of the repo's performance trajectory.
+func writeSnapshot(path string, workers, reps int) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1, got %d", workers)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be ≥ 1, got %d", reps)
+	}
+	snap := benchSnapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     "small",
+	}
+	fixtures := []struct {
+		name string
+		src  func() (matrix.ValueSource, error)
+	}{
+		{"HMeP", func() (matrix.ValueSource, error) { return expt.HolsteinSource(genmat.HMeP, expt.Small) }},
+		{"sAMG", func() (matrix.ValueSource, error) { return expt.PoissonSource(expt.Small) }},
+	}
+	for _, fx := range fixtures {
+		src, err := fx.src()
+		if err != nil {
+			return err
+		}
+		a := matrix.Materialize(src)
+		x := make([]float64, a.NumCols)
+		for i := range x {
+			x[i] = 1 / float64(i+1)
+		}
+		y := make([]float64, a.NumRows)
+		sell, err := formats.NewSELLCSigma(a, 32, 256)
+		if err != nil {
+			return err
+		}
+		team := spmv.NewTeam(workers)
+		par := spmv.NewParallel(a, workers)
+		parSell := spmv.NewParallelFormat(sell, workers)
+		snap.Kernels = append(snap.Kernels,
+			kernelPoint{fx.name, "crs-serial", 1,
+				measureGFlops(a.Nnz(), reps, func() { spmv.Serial(y, a, x) })},
+			kernelPoint{fx.name, "crs-parallel", workers,
+				measureGFlops(a.Nnz(), reps, func() { par.MulVec(team, y, x) })},
+			kernelPoint{fx.name, "sell-32-256-serial", 1,
+				measureGFlops(a.Nnz(), reps, func() { sell.MulVec(y, x) })},
+			kernelPoint{fx.name, "sell-32-256-parallel", workers,
+				measureGFlops(a.Nnz(), reps, func() { parSell.MulVec(team, y, x) })},
+		)
+		team.Close()
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

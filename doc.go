@@ -9,4 +9,21 @@
 // cluster simulator (internal/des, fluid, machine, netmodel, simmpi,
 // simexec) that regenerates every figure of the evaluation. See README.md
 // and DESIGN.md.
+//
+// The node-level kernel engine is format-generic: every storage scheme —
+// CRS (internal/matrix), ELLPACK, JDS and SELL-C-σ (internal/formats) —
+// satisfies the matrix.Format interface, so the parallel engine
+// (spmv.Parallel), the solver operators (CG, Lanczos, KPM) and the
+// distributed modes run on any of them; see internal/formats/README.md for
+// when SELL-C-σ beats CRS and how its σ-sorting composes with the RCM
+// reordering of internal/rcm. All row kernels accumulate in the same
+// floating-point order (4-way unrolled over a single accumulator), so
+// serial CRS, parallel, split two-pass and SELL-C-σ results are
+// bit-identical. The overlap variants' second pass runs on a compacted
+// remote matrix holding only halo-coupled rows, and parallel regions are
+// dispatched through a sense-reversing barrier (one broadcast + one
+// completion signal per region) instead of per-worker channels.
+//
+// cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot (see
+// BENCH_1.json) that seeds the repo's performance trajectory.
 package repro

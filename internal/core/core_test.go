@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
 	"repro/internal/spmv"
@@ -347,5 +348,47 @@ func TestMoreRanksThanRows(t *testing.T) {
 		if d := maxAbsDiff(want, got); d > 1e-13 {
 			t.Errorf("mode=%v with empty ranks: diff %g", mode, d)
 		}
+	}
+}
+
+func TestDistributedFormatMatchesCSR(t *testing.T) {
+	a := randomSquare(51, 400, 120, 6)
+	x := randVec(52, 400)
+	part := PartitionByNnz(a, 3)
+	plan, err := BuildPlan(a, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MulDistributed(plan, x, VectorNoOverlap, 2, 1)
+	if err := plan.ConvertFormat(func(local *matrix.CSR) (matrix.Format, error) {
+		return formats.NewSELLCSigma(local, 16, 64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := MulDistributed(plan, x, VectorNoOverlap, 2, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SELL-C-σ distributed result differs from CSR at row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Serial reference for good measure.
+	serial := make([]float64, 400)
+	a.MulVec(serial, x)
+	if d := maxAbsDiff(serial, got); d > 1e-12 {
+		t.Fatalf("distributed differs from serial by %g", d)
+	}
+}
+
+func TestConvertFormatRequiresValues(t *testing.T) {
+	a := randomSquare(53, 100, 30, 4)
+	plan, err := BuildPlan(a, PartitionByNnz(a, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = plan.ConvertFormat(func(local *matrix.CSR) (matrix.Format, error) {
+		return local, nil
+	})
+	if err == nil {
+		t.Fatal("ConvertFormat accepted a pattern-only plan")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/chanmpi"
+	"repro/internal/matrix"
 	"repro/internal/spmv"
 )
 
@@ -58,9 +59,11 @@ type Worker struct {
 	X []float64
 	Y []float64
 
-	chunks   []spmv.Range // thread chunks of the owned rows
-	sendBufs [][]float64
-	reqs     []*chanmpi.Request
+	local      matrix.Format // full local matrix (Plan.Format or Plan.A)
+	chunks     []spmv.Range  // thread chunks of the owned rows (split passes)
+	fullChunks []spmv.Range  // thread chunks of the full matrix's blocks
+	sendBufs   [][]float64
+	reqs       []*chanmpi.Request
 }
 
 // NewWorker prepares the execution state of one rank. threads is the size
@@ -81,7 +84,12 @@ func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
 		X:    make([]float64, rp.VectorLen()),
 		Y:    make([]float64, rp.NLocal),
 	}
+	w.local = rp.A
+	if rp.Format != nil {
+		w.local = rp.Format
+	}
 	w.chunks = spmv.BalanceNnz(rp.A.RowPtr, threads)
+	w.fullChunks = spmv.BalanceNnz(w.local.BlockNnzPrefix(), threads)
 	w.sendBufs = make([][]float64, len(rp.SendTo))
 	for i, tx := range rp.SendTo {
 		w.sendBufs[i] = make([]float64, tx.Count)
@@ -139,10 +147,12 @@ func (w *Worker) stepNoOverlap() {
 	w.postRecvs()
 	w.gatherAndSend()
 	w.waitHalo()
-	// Full kernel: one pass, result written once (code balance Eq. 1).
-	a := w.Plan.A
-	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.RangeKernel(w.Y, a, w.X, w.chunks[t])
+	// Full kernel: one pass, result written once (code balance Eq. 1). Runs
+	// on whatever storage format the plan carries (CSR by default).
+	f := w.local
+	w.Team.RunSubteam(len(w.fullChunks), func(t int) {
+		r := w.fullChunks[t]
+		f.MulVecBlocks(w.Y, w.X, r.Lo, r.Hi)
 	})
 }
 
@@ -156,8 +166,10 @@ func (w *Worker) stepNaiveOverlap() {
 		spmv.RangeKernel(w.Y, s.Local, w.X, w.chunks[t])
 	})
 	w.waitHalo()
+	// Second pass on the compacted remote matrix: only halo-coupled rows
+	// are touched, so the Eq. (2) write-twice penalty scales with the halo.
 	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.RangeKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
+		spmv.CompactKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
 	})
 }
 
@@ -178,7 +190,7 @@ func (w *Worker) stepTaskMode() {
 	w.waitHalo()
 	<-computeDone // the omp_barrier of Fig. 4c
 	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.RangeKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
+		spmv.CompactKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
 	})
 }
 

@@ -46,10 +46,16 @@ type RankPlan struct {
 
 	// A is the full renumbered local matrix (vector mode without overlap
 	// runs one kernel over it). Split is the same matrix divided at column
-	// NLocal into local and remote parts (used by both overlap modes).
-	// Both are nil when the plan was built pattern-only.
+	// NLocal into local and remote parts (used by both overlap modes); its
+	// remote half is compacted to the halo-coupled rows. Both are nil when
+	// the plan was built pattern-only.
 	A     *matrix.CSR
 	Split *spmv.Split
+
+	// Format, when non-nil, is an alternative storage scheme for the full
+	// local matrix; the no-overlap mode then runs its kernel instead of the
+	// CSR one. Set it via Plan.ConvertFormat.
+	Format matrix.Format
 
 	// NnzLocal and NnzRemote count the entries touching owned and halo
 	// columns, available even for pattern-only plans.
@@ -125,6 +131,30 @@ func BuildPlan(src matrix.PatternSource, part *Partition, withValues bool) (*Pla
 		sort.Slice(rp.SendTo, func(i, j int) bool { return rp.SendTo[i].Peer < rp.SendTo[j].Peer })
 	}
 	return plan, nil
+}
+
+// ConvertFormat converts every rank's full local matrix to an alternative
+// storage scheme (e.g. SELL-C-σ) via conv. Workers built from the plan
+// afterwards run the no-overlap kernel on the converted format. The plan
+// must have been built with values.
+func (p *Plan) ConvertFormat(conv func(a *matrix.CSR) (matrix.Format, error)) error {
+	// Convert everything first, assign only on full success: a mid-loop
+	// failure must not leave the plan half-converted.
+	converted := make([]matrix.Format, len(p.Ranks))
+	for i, rp := range p.Ranks {
+		if rp.A == nil {
+			return fmt.Errorf("core: rank %d has no local matrix (pattern-only plan)", rp.Rank)
+		}
+		f, err := conv(rp.A)
+		if err != nil {
+			return fmt.Errorf("core: rank %d format conversion: %w", rp.Rank, err)
+		}
+		converted[i] = f
+	}
+	for i, rp := range p.Ranks {
+		rp.Format = converted[i]
+	}
+	return nil
 }
 
 // buildRankPlan streams this rank's rows, computes the halo, renumbers

@@ -113,13 +113,7 @@ func (a *CSR) MulVec(y, x []float64) {
 		panic(fmt.Sprintf("matrix: MulVec dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d",
 			a.NumRows, a.NumCols, len(x), len(y)))
 	}
-	for i := 0; i < a.NumRows; i++ {
-		var s float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
-		}
-		y[i] = s
-	}
+	a.MulVecBlocks(y, x, 0, a.NumRows)
 }
 
 // Transpose returns Aᵀ as a new CSR matrix.

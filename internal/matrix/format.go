@@ -1,0 +1,71 @@
+package matrix
+
+// Format is the node-level storage contract every sparse scheme satisfies so
+// the parallel engine (spmv.Parallel), the solver operators and the
+// distributed modes can run on any of them. Work is expressed in *blocks* —
+// the smallest row groups a format can compute independently: single rows
+// for CSR, row chunks of height C for SELL-C-σ. Blocks own disjoint result
+// rows, so block ranges can be computed concurrently without synchronizing
+// on the output vector.
+type Format interface {
+	// Dims returns the matrix dimensions.
+	Dims() (rows, cols int)
+	// Nnz returns the number of stored nonzeros (excluding any padding).
+	Nnz() int64
+	// NumBlocks returns the number of indivisible parallel work units.
+	NumBlocks() int
+	// BlockNnzPrefix returns a prefix sum of per-block work (length
+	// NumBlocks+1), suitable for spmv.BalanceNnz-style chunking. Padded
+	// formats count padded slots: that is the work a block actually costs.
+	BlockNnzPrefix() []int64
+	// MulVecBlocks computes the rows owned by blocks [lo, hi) of y = A·x,
+	// overwriting those rows of y.
+	MulVecBlocks(y, x []float64, lo, hi int)
+	// MulVecBlocksAdd is MulVecBlocks with += semantics on y.
+	MulVecBlocksAdd(y, x []float64, lo, hi int)
+}
+
+var _ Format = (*CSR)(nil)
+
+// NumBlocks returns the row count: CSR parallelizes at row granularity.
+func (a *CSR) NumBlocks() int { return a.NumRows }
+
+// BlockNnzPrefix returns RowPtr: per-row nonzero counts in prefix form.
+func (a *CSR) BlockNnzPrefix() []int64 { return a.RowPtr }
+
+// MulVecBlocks computes y[lo:hi] = (A·x)[lo:hi] with the unrolled row kernel.
+func (a *CSR) MulVecBlocks(y, x []float64, lo, hi int) {
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
+	for i := lo; i < hi; i++ {
+		y[i] = RowDot(0, val, colIdx, x, rowPtr[i], rowPtr[i+1])
+	}
+}
+
+// MulVecBlocksAdd computes y[lo:hi] += (A·x)[lo:hi].
+func (a *CSR) MulVecBlocksAdd(y, x []float64, lo, hi int) {
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
+	for i := lo; i < hi; i++ {
+		y[i] = RowDot(y[i], val, colIdx, x, rowPtr[i], rowPtr[i+1])
+	}
+}
+
+// RowDot accumulates s + Σ val[k]·x[colIdx[k]] over k in [lo, hi), 4-way
+// unrolled. The unroll keeps a single running accumulator — strictly
+// sequential floating-point order — so every kernel built on it (serial,
+// parallel, split two-pass, compacted halo) produces bit-identical
+// results; it still amortizes loop control and bounds checks over four
+// entries. This is the single row kernel of the engine: every other
+// kernel either calls it or (SELL-C-σ) preserves its summation order.
+func RowDot(s float64, val []float64, colIdx []int32, x []float64, lo, hi int64) float64 {
+	k := lo
+	for ; k+4 <= hi; k += 4 {
+		s += val[k] * x[colIdx[k]]
+		s += val[k+1] * x[colIdx[k+1]]
+		s += val[k+2] * x[colIdx[k+2]]
+		s += val[k+3] * x[colIdx[k+3]]
+	}
+	for ; k < hi; k++ {
+		s += val[k] * x[colIdx[k]]
+	}
+	return s
+}

@@ -30,20 +30,27 @@ func (o CSROperator) Dim() int { return o.A.NumRows }
 // Apply computes y = A·x.
 func (o CSROperator) Apply(y, x []float64) { o.A.MulVec(y, x) }
 
-// TeamOperator applies a CSR matrix with the node-parallel kernel on a
-// worker team (the paper's OpenMP-parallel baseline).
+// TeamOperator applies a sparse matrix — in any storage format — with the
+// node-parallel kernel on a worker team (the paper's OpenMP-parallel
+// baseline).
 type TeamOperator struct {
 	P    *spmv.Parallel
 	Team *spmv.Team
 }
 
-// NewTeamOperator chunks the matrix for the team.
+// NewTeamOperator chunks a CSR matrix for the team.
 func NewTeamOperator(a *matrix.CSR, team *spmv.Team) *TeamOperator {
 	return &TeamOperator{P: spmv.NewParallel(a, team.Size()), Team: team}
 }
 
+// NewFormatOperator chunks a matrix in any storage format (e.g. SELL-C-σ)
+// for the team, so CG, Lanczos and KPM run unchanged on top of it.
+func NewFormatOperator(f matrix.Format, team *spmv.Team) *TeamOperator {
+	return &TeamOperator{P: spmv.NewParallelFormat(f, team.Size()), Team: team}
+}
+
 // Dim returns the operator dimension.
-func (o *TeamOperator) Dim() int { return o.P.A.NumRows }
+func (o *TeamOperator) Dim() int { return o.P.Rows() }
 
 // Apply computes y = A·x on the team.
 func (o *TeamOperator) Apply(y, x []float64) { o.P.MulVec(o.Team, y, x) }

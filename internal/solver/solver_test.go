@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
 	"repro/internal/spmv"
@@ -404,5 +405,58 @@ func TestLanczosInvalidInputs(t *testing.T) {
 	}
 	if _, err := CG(CSROperator{a}, make([]float64, 4), make([]float64, 5), 1e-8, 10); err == nil {
 		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestCGWithFormatOperator(t *testing.T) {
+	p, _ := genmat.NewPoisson(genmat.PoissonConfig{Nx: 8, Ny: 8, Nz: 8})
+	a := matrix.Materialize(p)
+	n := a.NumRows
+	sell, err := formats.NewSELLCSigma(a, 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	team := spmv.NewTeam(4)
+	defer team.Close()
+	x := make([]float64, n)
+	res, err := CG(NewFormatOperator(sell, team), b, x, 1e-8, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SELL-C-σ CG did not converge (res %g)", res.Residual)
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if Norm2(r)/Norm2(b) > 1e-7 {
+		t.Errorf("true residual %g too large", Norm2(r)/Norm2(b))
+	}
+}
+
+func TestLanczosWithFormatOperatorMatchesCSR(t *testing.T) {
+	a := laplacian1D(300)
+	sell, err := formats.NewSELLCSigma(a, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GroundState(CSROperator{A: a}, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := spmv.NewTeam(2)
+	defer team.Close()
+	got, err := GroundState(NewFormatOperator(sell, team), 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SELL-C-σ ground state %g differs from CSR %g", got, want)
 	}
 }

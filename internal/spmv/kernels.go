@@ -2,6 +2,7 @@ package spmv
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/matrix"
 )
@@ -13,15 +14,14 @@ func Serial(y []float64, a *matrix.CSR, x []float64) {
 
 // RangeKernel computes y[r.Lo:r.Hi] = (A·x)[r.Lo:r.Hi], overwriting the
 // output rows. It is the building block all parallel variants share.
+//
+// The inner loop (matrix.RowDot) is 4-way unrolled over a single running
+// accumulator: loop control and bounds checks are amortized over four
+// entries while the floating-point order stays strictly sequential, so
+// serial, parallel, split two-pass and SELL-C-σ kernels all produce
+// bit-identical results.
 func RangeKernel(y []float64, a *matrix.CSR, x []float64, r Range) {
-	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
-	for i := r.Lo; i < r.Hi; i++ {
-		var s float64
-		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
-			s += val[k] * x[colIdx[k]]
-		}
-		y[i] = s
-	}
+	a.MulVecBlocks(y, x, r.Lo, r.Hi)
 }
 
 // RangeKernelAdd computes y[r.Lo:r.Hi] += (A·x)[r.Lo:r.Hi]. The split
@@ -29,27 +29,39 @@ func RangeKernel(y []float64, a *matrix.CSR, x []float64, r Range) {
 // which is what writes the result vector twice and motivates the modified
 // code balance of Eq. (2).
 func RangeKernelAdd(y []float64, a *matrix.CSR, x []float64, r Range) {
-	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
-	for i := r.Lo; i < r.Hi; i++ {
-		s := y[i]
-		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
-			s += val[k] * x[colIdx[k]]
-		}
-		y[i] = s
-	}
+	a.MulVecBlocksAdd(y, x, r.Lo, r.Hi)
 }
 
-// Parallel is a CSR matrix bundled with a precomputed nonzero-balanced
-// chunking for a team of a given size — the analogue of the paper's
-// OpenMP-parallel spMVM with NUMA-aware static scheduling.
+// Parallel is a sparse matrix in any storage format bundled with a
+// precomputed work-balanced chunking for a team of a given size — the
+// analogue of the paper's OpenMP-parallel spMVM with NUMA-aware static
+// scheduling. Chunk boundaries are block ranges in the sense of
+// matrix.Format: row ranges for CSR, chunk ranges for SELL-C-σ.
 type Parallel struct {
-	A      *matrix.CSR
+	F      matrix.Format
+	A      *matrix.CSR // non-nil when F is a CSR matrix (diagnostics, tests)
 	Chunks []Range
 }
 
-// NewParallel chunks the matrix for the given worker count.
+// NewParallel chunks a CSR matrix for the given worker count.
 func NewParallel(a *matrix.CSR, workers int) *Parallel {
-	return &Parallel{A: a, Chunks: BalanceNnz(a.RowPtr, workers)}
+	return &Parallel{A: a, F: a, Chunks: BalanceNnz(a.RowPtr, workers)}
+}
+
+// NewParallelFormat chunks a matrix in any storage format for the given
+// worker count, balancing by per-block stored entries.
+func NewParallelFormat(f matrix.Format, workers int) *Parallel {
+	p := &Parallel{F: f, Chunks: BalanceNnz(f.BlockNnzPrefix(), workers)}
+	if a, ok := f.(*matrix.CSR); ok {
+		p.A = a
+	}
+	return p
+}
+
+// Rows returns the row count of the underlying matrix.
+func (p *Parallel) Rows() int {
+	rows, _ := p.F.Dims()
+	return rows
 }
 
 // MulVec computes y = A·x on the team. The team size must be at least the
@@ -59,34 +71,159 @@ func (p *Parallel) MulVec(t *Team, y, x []float64) {
 		panic(fmt.Sprintf("spmv: %d chunks but team of %d", len(p.Chunks), t.Size()))
 	}
 	t.RunSubteam(len(p.Chunks), func(w int) {
-		RangeKernel(y, p.A, x, p.Chunks[w])
+		r := p.Chunks[w]
+		p.F.MulVecBlocks(y, x, r.Lo, r.Hi)
 	})
 }
 
-// ChunkNnz returns the nonzero count of chunk w (for balance diagnostics).
+// ChunkNnz returns the stored-entry count of chunk w (for balance
+// diagnostics).
 func (p *Parallel) ChunkNnz(w int) int64 {
 	r := p.Chunks[w]
-	return p.A.RowPtr[r.Hi] - p.A.RowPtr[r.Lo]
+	prefix := p.F.BlockNnzPrefix()
+	return prefix[r.Hi] - prefix[r.Lo]
+}
+
+// CompactCSR stores only the rows of a matrix that hold at least one
+// nonzero, as a packed CSR plus the list of original row indices. The
+// remote half of a Split uses it so the second pass of the overlap variants
+// walks halo-coupled rows only — work proportional to the halo, not to the
+// local row count — which is exactly the traffic the modified code balance
+// of Eq. (2) charges for.
+type CompactCSR struct {
+	// NumRows and NumCols are the logical (parent-matrix) dimensions.
+	NumRows, NumCols int
+	// Rows lists the original indices of the stored rows, ascending.
+	Rows []int32
+	// RowPtr has length len(Rows)+1; stored row p occupies
+	// ColIdx[RowPtr[p]:RowPtr[p+1]].
+	RowPtr []int64
+	ColIdx []int32
+	Val    []float64
+}
+
+// Nnz returns the number of stored entries.
+func (c *CompactCSR) Nnz() int64 {
+	if len(c.RowPtr) == 0 {
+		return 0
+	}
+	return c.RowPtr[len(c.RowPtr)-1]
+}
+
+// NumStoredRows returns the number of rows with at least one entry.
+func (c *CompactCSR) NumStoredRows() int { return len(c.Rows) }
+
+// Expand returns the equivalent full-row CSR matrix (tests, diagnostics).
+func (c *CompactCSR) Expand() *matrix.CSR {
+	a := &matrix.CSR{
+		NumRows: c.NumRows, NumCols: c.NumCols,
+		RowPtr: make([]int64, c.NumRows+1),
+		ColIdx: append([]int32(nil), c.ColIdx...),
+		Val:    append([]float64(nil), c.Val...),
+	}
+	for p, i := range c.Rows {
+		a.RowPtr[i+1] = c.RowPtr[p+1] - c.RowPtr[p]
+	}
+	for i := 0; i < c.NumRows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// Validate checks structural invariants.
+func (c *CompactCSR) Validate() error {
+	if len(c.RowPtr) != len(c.Rows)+1 {
+		return fmt.Errorf("spmv: compact RowPtr length %d, want %d", len(c.RowPtr), len(c.Rows)+1)
+	}
+	prev := int32(-1)
+	for p, i := range c.Rows {
+		if i <= prev || int(i) >= c.NumRows {
+			return fmt.Errorf("spmv: compact row list not ascending in range at %d", p)
+		}
+		if c.RowPtr[p] >= c.RowPtr[p+1] {
+			return fmt.Errorf("spmv: compact row %d empty or RowPtr not monotone", i)
+		}
+		prev = i
+	}
+	nnz := c.Nnz()
+	if int64(len(c.ColIdx)) != nnz || int64(len(c.Val)) != nnz {
+		return fmt.Errorf("spmv: compact nnz %d but len(ColIdx)=%d len(Val)=%d", nnz, len(c.ColIdx), len(c.Val))
+	}
+	for _, col := range c.ColIdx {
+		if col < 0 || int(col) >= c.NumCols {
+			return fmt.Errorf("spmv: compact column %d out of range [0,%d)", col, c.NumCols)
+		}
+	}
+	return nil
+}
+
+// CompactKernelAdd computes y[i] += (A·x)[i] for every stored row i of c
+// that lies in the original-row range r. Chunk boundaries are original row
+// indices, so the same chunking drives the full local pass and the
+// compacted remote pass without write conflicts.
+func CompactKernelAdd(y []float64, c *CompactCSR, x []float64, r Range) {
+	lo := sort.Search(len(c.Rows), func(p int) bool { return int(c.Rows[p]) >= r.Lo })
+	hi := sort.Search(len(c.Rows), func(p int) bool { return int(c.Rows[p]) >= r.Hi })
+	rowPtr, colIdx, val := c.RowPtr, c.ColIdx, c.Val
+	for p := lo; p < hi; p++ {
+		i := c.Rows[p]
+		y[i] = matrix.RowDot(y[i], val, colIdx, x, rowPtr[p], rowPtr[p+1])
+	}
 }
 
 // Split is a matrix divided into a "local" part and a "remote" part with
 // disjoint column footprints, as required by the overlap variants
 // (Fig. 4b/4c): the local part touches only columns < LocalCols; the remote
-// part touches only columns ≥ LocalCols (the received halo entries).
+// part touches only columns ≥ LocalCols (the received halo entries). The
+// remote part is compacted: only rows with at least one remote nonzero are
+// stored, so the second pass scales with the halo size, not the matrix size.
 type Split struct {
-	Local, Remote *matrix.CSR
-	LocalCols     int
+	Local     *matrix.CSR
+	Remote    *CompactCSR
+	LocalCols int
 }
 
-// NewSplit partitions the columns of a at the boundary localCols. Both
-// halves keep the full row count, so the two passes write the same result
-// vector (the second pass with += semantics).
+// NewSplit partitions the columns of a at the boundary localCols. The local
+// half keeps the full row count; the remote half stores halo-coupled rows
+// only. Row-wise the two passes still write the same result vector (the
+// second with += semantics). Storage for both halves is pre-sized from a
+// counting pass, so construction does one allocation per array.
 func NewSplit(a *matrix.CSR, localCols int) *Split {
 	if localCols < 0 || localCols > a.NumCols {
 		panic(fmt.Sprintf("spmv: split boundary %d outside [0,%d]", localCols, a.NumCols))
 	}
-	loc := &matrix.CSR{NumRows: a.NumRows, NumCols: a.NumCols, RowPtr: make([]int64, a.NumRows+1)}
-	rem := &matrix.CSR{NumRows: a.NumRows, NumCols: a.NumCols, RowPtr: make([]int64, a.NumRows+1)}
+	// Counting pass: local entries per row, remote entries and rows overall.
+	var nnzLoc, nnzRem int64
+	remRows := 0
+	for i := 0; i < a.NumRows; i++ {
+		cols, _ := a.Row(i)
+		// Columns are ascending in canonical CSR, but count linearly to stay
+		// correct for unsorted rows too.
+		rem := 0
+		for _, c := range cols {
+			if int(c) >= localCols {
+				rem++
+			}
+		}
+		nnzLoc += int64(len(cols) - rem)
+		nnzRem += int64(rem)
+		if rem > 0 {
+			remRows++
+		}
+	}
+	loc := &matrix.CSR{
+		NumRows: a.NumRows, NumCols: a.NumCols,
+		RowPtr: make([]int64, a.NumRows+1),
+		ColIdx: make([]int32, 0, nnzLoc),
+		Val:    make([]float64, 0, nnzLoc),
+	}
+	rem := &CompactCSR{
+		NumRows: a.NumRows, NumCols: a.NumCols,
+		Rows:   make([]int32, 0, remRows),
+		RowPtr: make([]int64, 1, remRows+1),
+		ColIdx: make([]int32, 0, nnzRem),
+		Val:    make([]float64, 0, nnzRem),
+	}
 	for i := 0; i < a.NumRows; i++ {
 		cols, vals := a.Row(i)
 		for k, c := range cols {
@@ -99,7 +236,10 @@ func NewSplit(a *matrix.CSR, localCols int) *Split {
 			}
 		}
 		loc.RowPtr[i+1] = int64(len(loc.ColIdx))
-		rem.RowPtr[i+1] = int64(len(rem.ColIdx))
+		if int64(len(rem.ColIdx)) > rem.RowPtr[len(rem.RowPtr)-1] {
+			rem.Rows = append(rem.Rows, int32(i))
+			rem.RowPtr = append(rem.RowPtr, int64(len(rem.ColIdx)))
+		}
 	}
 	return &Split{Local: loc, Remote: rem, LocalCols: localCols}
 }
@@ -111,9 +251,10 @@ func (s *Split) MulVecLocal(t *Team, chunks []Range, y, x []float64) {
 	})
 }
 
-// MulVecRemoteAdd computes y += A_remote·x over the given chunks.
+// MulVecRemoteAdd computes y += A_remote·x over the given chunks, visiting
+// only the rows with remote nonzeros.
 func (s *Split) MulVecRemoteAdd(t *Team, chunks []Range, y, x []float64) {
 	t.RunSubteam(len(chunks), func(w int) {
-		RangeKernelAdd(y, s.Remote, x, chunks[w])
+		CompactKernelAdd(y, s.Remote, x, chunks[w])
 	})
 }

@@ -263,6 +263,114 @@ func TestSplitBoundaryEdges(t *testing.T) {
 	}
 }
 
+func TestBalanceNnzEmptyMatrix(t *testing.T) {
+	ranges := BalanceNnz([]int64{0}, 4)
+	if len(ranges) != 4 {
+		t.Fatalf("got %d ranges, want 4", len(ranges))
+	}
+	for p, r := range ranges {
+		if r != (Range{0, 0}) {
+			t.Errorf("part %d = %+v, want empty {0,0}", p, r)
+		}
+	}
+}
+
+func TestBalanceNnzMorePartsThanRows(t *testing.T) {
+	// 3 rows into 5 parts: the first 3 parts get one row each and the
+	// empty ranges trail, as documented.
+	prefix := []int64{0, 2, 4, 6}
+	ranges := BalanceNnz(prefix, 5)
+	want := []Range{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {3, 3}}
+	for p, r := range ranges {
+		if r != want[p] {
+			t.Errorf("part %d = %+v, want %+v", p, r, want[p])
+		}
+	}
+}
+
+func TestBalanceNnzSingleDenseRow(t *testing.T) {
+	// One row holding all the weight: it must land in the FIRST part so the
+	// empty ranges trail.
+	ranges := BalanceNnz([]int64{0, 1_000_000}, 3)
+	want := []Range{{0, 1}, {1, 1}, {1, 1}}
+	for p, r := range ranges {
+		if r != want[p] {
+			t.Errorf("part %d = %+v, want %+v", p, r, want[p])
+		}
+	}
+}
+
+func TestCompactRemoteEquivalentToFullRows(t *testing.T) {
+	a := randomMatrix(21, 300, 300)
+	s := NewSplit(a, 180)
+	rem := s.Remote
+	if err := rem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every stored row is nonempty and the row list is ascending (checked by
+	// Validate); the compact pass must match the full-row RangeKernelAdd on
+	// the expanded matrix bit for bit.
+	full := rem.Expand()
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if full.Nnz() != rem.Nnz() {
+		t.Fatalf("expand lost entries: %d != %d", full.Nnz(), rem.Nnz())
+	}
+	x := randVec(22, 300)
+	y0 := randVec(23, 300) // nonzero start exercises the += semantics
+	for _, chunks := range [][]Range{
+		{{0, 300}},
+		BalanceNnz(a.RowPtr, 4),
+		{{0, 0}, {0, 37}, {37, 300}},
+	} {
+		yFull := append([]float64(nil), y0...)
+		yCompact := append([]float64(nil), y0...)
+		for _, r := range chunks {
+			RangeKernelAdd(yFull, full, x, r)
+			CompactKernelAdd(yCompact, rem, x, r)
+		}
+		for i := range yFull {
+			if yFull[i] != yCompact[i] {
+				t.Fatalf("chunking %v: compact pass differs from full-row pass at row %d", chunks, i)
+			}
+		}
+	}
+	// The compact representation must be genuinely smaller than full-row
+	// storage when most rows have no remote entries.
+	if rem.NumStoredRows() > a.NumRows {
+		t.Errorf("compact remote stores %d rows > %d matrix rows", rem.NumStoredRows(), a.NumRows)
+	}
+}
+
+func TestSplitBitIdenticalToSerial(t *testing.T) {
+	a := randomMatrix(31, 400, 400)
+	x := randVec(32, 400)
+	want := make([]float64, 400)
+	Serial(want, a, x)
+	team := NewTeam(4)
+	defer team.Close()
+	chunks := BalanceNnz(a.RowPtr, 4)
+	got := make([]float64, 400)
+	s := NewSplit(a, 240)
+	s.MulVecLocal(team, chunks, got, x)
+	s.MulVecRemoteAdd(team, chunks, got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split two-pass not bit-identical to serial at row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// The parallel monolithic kernel must be bit-identical too.
+	p := NewParallel(a, 4)
+	par := make([]float64, 400)
+	p.MulVec(team, par, x)
+	for i := range want {
+		if par[i] != want[i] {
+			t.Fatalf("parallel kernel not bit-identical to serial at row %d", i)
+		}
+	}
+}
+
 func TestParallelPropertyAgainstSerial(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 25}
 	f := func(seed int64) bool {
@@ -282,4 +390,15 @@ func TestParallelPropertyAgainstSerial(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestTeamRunAfterClosePanics(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run on closed team did not panic")
+		}
+	}()
+	team.Run(func(int) {})
 }

@@ -9,19 +9,50 @@ package spmv
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// spinRounds is how many times a worker yields while polling for the next
+// parallel region before parking on the condition variable. Back-to-back
+// regions (iterative solvers, benchmarks) stay on the cheap spin path; idle
+// teams park and cost nothing.
+const spinRounds = 128
+
+// region is one published parallel region. It is immutable after
+// publication (except the pending countdown), so a worker that lags behind
+// — an idler excluded from several subteam regions in a row — always acts
+// on a consistent (epoch, n, fn) snapshot rather than on half-updated
+// shared fields.
+type region struct {
+	epoch   uint32
+	n       int
+	fn      func(worker int)
+	closed  bool
+	pending atomic.Int32
+}
 
 // Team is a fixed pool of worker goroutines that repeatedly execute SPMD
 // regions. It substitutes for an OpenMP thread team: workers are long-lived,
 // numbered 0..Size-1, and every Run is a barrier-synchronized parallel
 // region.
+//
+// Dispatch uses a sense-reversing barrier instead of per-worker channels:
+// Run publishes a region descriptor under a fresh epoch, wakes the pool with
+// one broadcast, and waits for a single completion signal sent by whichever
+// participant decrements the outstanding-worker count to zero. Per-region
+// overhead is therefore O(1) channel operations instead of O(workers),
+// which is what dominates small-chunk regions like the split remote pass.
 type Team struct {
-	size    int
-	work    []chan func(worker int)
-	wg      sync.WaitGroup
-	closed  bool
-	closeMu sync.Mutex
+	size  int
+	epoch uint32 // last published epoch; touched only by the caller
+	cur   atomic.Pointer[region]
+	done  chan struct{} // completion token from the last participant
+
+	mu     sync.Mutex // parking lot; region publication happens under it
+	cond   *sync.Cond
+	closed bool // caller-side Close latch, guarded by mu
 }
 
 // NewTeam starts a team with the given number of workers (≥ 1).
@@ -29,17 +60,53 @@ func NewTeam(size int) *Team {
 	if size < 1 {
 		panic(fmt.Sprintf("spmv: team size %d < 1", size))
 	}
-	t := &Team{size: size, work: make([]chan func(int), size)}
+	t := &Team{size: size, done: make(chan struct{}, 1)}
+	t.cond = sync.NewCond(&t.mu)
 	for w := 0; w < size; w++ {
-		t.work[w] = make(chan func(int))
-		go func(w int) {
-			for f := range t.work[w] {
-				f(w)
-				t.wg.Done()
-			}
-		}(w)
+		go t.worker(w)
 	}
 	return t
+}
+
+// worker is the barrier loop: wait for a new region, run it if this worker
+// participates, and signal completion if it is the last one out.
+func (t *Team) worker(w int) {
+	seen := uint32(0)
+	for {
+		d := t.cur.Load()
+		if d == nil || d.epoch == seen {
+			for spun := 0; spun < spinRounds; spun++ {
+				runtime.Gosched()
+				if d = t.cur.Load(); d != nil && d.epoch != seen {
+					break
+				}
+			}
+			if d == nil || d.epoch == seen {
+				t.mu.Lock()
+				for {
+					if d = t.cur.Load(); d != nil && d.epoch != seen {
+						break
+					}
+					t.cond.Wait()
+				}
+				t.mu.Unlock()
+			}
+		}
+		// Jump to the latest region: a worker idle across several subteam
+		// regions must not replay them. The caller cannot advance past a
+		// region this worker participates in, so participants always
+		// observe their region's exact descriptor.
+		seen = d.epoch
+		if d.closed {
+			return
+		}
+		if w < d.n {
+			d.fn(w)
+			if d.pending.Add(-1) == 0 {
+				t.done <- struct{}{}
+			}
+		}
+	}
 }
 
 // Size returns the number of workers.
@@ -48,13 +115,7 @@ func (t *Team) Size() int { return t.size }
 // Run executes f(worker) on every worker concurrently and returns when all
 // workers have finished — an OpenMP "parallel" region with an implied
 // barrier. Run must not be called concurrently with itself or Close.
-func (t *Team) Run(f func(worker int)) {
-	t.wg.Add(t.size)
-	for w := 0; w < t.size; w++ {
-		t.work[w] <- f
-	}
-	t.wg.Wait()
-}
+func (t *Team) Run(f func(worker int)) { t.run(t.size, f) }
 
 // RunSubteam executes f on workers [0, n) only; the rest stay idle. This is
 // the explicit subteam worksharing of the paper's task mode (§3.2), where
@@ -64,24 +125,45 @@ func (t *Team) RunSubteam(n int, f func(worker int)) {
 	if n < 0 || n > t.size {
 		panic(fmt.Sprintf("spmv: subteam size %d outside [0,%d]", n, t.size))
 	}
-	t.wg.Add(n)
-	for w := 0; w < n; w++ {
-		t.work[w] <- f
+	t.run(n, f)
+}
+
+func (t *Team) run(n int, f func(worker int)) {
+	if n == 0 {
+		return
 	}
-	t.wg.Wait()
+	t.epoch++
+	d := &region{epoch: t.epoch, n: n, fn: f}
+	d.pending.Store(int32(n))
+	t.publish(d)
+	<-t.done
+}
+
+// publish makes d the current region and wakes any parked workers. The
+// store happens under the parking mutex so a worker checking for a new
+// region before cond.Wait cannot miss the broadcast.
+func (t *Team) publish(d *region) {
+	t.mu.Lock()
+	if t.closed && !d.closed {
+		t.mu.Unlock()
+		panic("spmv: Run on closed team")
+	}
+	t.cur.Store(d)
+	t.mu.Unlock()
+	t.cond.Broadcast()
 }
 
 // Close terminates the workers. The team must be idle. Close is idempotent.
 func (t *Team) Close() {
-	t.closeMu.Lock()
-	defer t.closeMu.Unlock()
-	if t.closed {
+	t.mu.Lock()
+	alreadyClosed := t.closed
+	t.closed = true
+	t.mu.Unlock()
+	if alreadyClosed {
 		return
 	}
-	t.closed = true
-	for _, c := range t.work {
-		close(c)
-	}
+	t.epoch++
+	t.publish(&region{epoch: t.epoch, closed: true})
 }
 
 // Range is a half-open row interval [Lo, Hi).
@@ -115,9 +197,15 @@ func BalanceNnz(prefix []int64, parts int) []Range {
 			break
 		}
 		// End this part at the first boundary reaching the cumulative target,
-		// but leave at least one row for each remaining part.
+		// but leave at least one row for each remaining part. When fewer rows
+		// remain than parts, the reservation is infeasible; still let this
+		// part take a row so the empty ranges trail (as documented) rather
+		// than lead.
 		target := total * int64(p+1) / int64(parts)
 		maxHi := n - (parts - p - 1)
+		if maxHi <= lo && lo < n {
+			maxHi = lo + 1
+		}
 		if maxHi < lo {
 			maxHi = lo
 		}
