@@ -123,10 +123,11 @@ func BenchmarkSplitPenalty(b *testing.B) {
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
-	split := spmv.NewSplit(a, a.NumCols/2)
+	split := spmv.NewSplit(a, a.NumCols/2).AsFormatSplit()
 	team := spmv.NewTeam(4)
 	defer team.Close()
-	chunks := spmv.BalanceNnz(a.RowPtr, 4)
+	localChunks := split.LocalChunks(4)
+	remoteChunks := split.RemoteChunks(4)
 	b.Run("monolithic", func(b *testing.B) {
 		p := spmv.NewParallel(a, 4)
 		for i := 0; i < b.N; i++ {
@@ -136,8 +137,8 @@ func BenchmarkSplitPenalty(b *testing.B) {
 	})
 	b.Run("split", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			split.MulVecLocal(team, chunks, y, x)
-			split.MulVecRemoteAdd(team, chunks, y, x)
+			split.MulVecLocal(team, localChunks, y, x)
+			split.MulVecRemoteAdd(team, remoteChunks, y, x)
 		}
 		reportSpmv(b, a.Nnz())
 	})
@@ -335,6 +336,32 @@ func BenchmarkDistributedModes(b *testing.B) {
 	part := core.PartitionByNnz(a, 4)
 	plan, err := core.BuildPlan(a, part, true)
 	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MulDistributed(plan, x, mode, 2, 1)
+			}
+			reportSpmv(b, a.Nnz())
+		})
+	}
+}
+
+// BenchmarkDistributedModesSELL is BenchmarkDistributedModes on a
+// SELL-C-σ-converted plan: the full local matrix and the split's local half
+// run in SELL-32-256 in every mode, the compacted remote pass stays CSR.
+// CI's benchmark smoke runs the overlap-mode cases so the format-generic
+// split pipeline is exercised on every push.
+func BenchmarkDistributedModesSELL(b *testing.B) {
+	a := holsteinSmall(b, genmat.HMeP)
+	x := randomX(a.NumCols)
+	part := core.PartitionByNnz(a, 4)
+	plan, err := core.BuildPlan(a, part, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plan.ConvertFormat(formats.SELLBuilder{C: 32, Sigma: 256}); err != nil {
 		b.Fatal(err)
 	}
 	for _, mode := range core.Modes {

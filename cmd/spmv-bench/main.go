@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/formats"
 	"repro/internal/genmat"
@@ -131,9 +132,12 @@ func measureGFlops(nnz int64, reps int, fn func()) float64 {
 	return best
 }
 
-// writeSnapshot measures the serial CRS, parallel CRS and SELL-C-σ kernels
-// on the Holstein HMeP and Poisson sAMG fixtures and writes the results as
-// JSON — the seed of the repo's performance trajectory.
+// writeSnapshot measures the serial CRS, parallel CRS and SELL-C-σ node
+// kernels plus the distributed modes × formats sweep (all three kernel
+// organizations of Fig. 4, each with a CSR and a SELL-C-σ local part) on
+// the Holstein HMeP and Poisson sAMG fixtures and writes the results as
+// JSON — one file per PR (BENCH_<n>.json) tracks the repo's performance
+// trajectory.
 func writeSnapshot(path string, workers, reps int) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be ≥ 1, got %d", workers)
@@ -183,6 +187,35 @@ func writeSnapshot(path string, workers, reps int) error {
 				measureGFlops(a.Nnz(), reps, func() { parSell.MulVec(team, y, x) })},
 		)
 		team.Close()
+
+		// Distributed modes × formats sweep: vector mode, naive overlap and
+		// task mode on 4 ranks × 2 threads, with the plan's local matrices
+		// (full and split-local halves) in CSR and in SELL-C-σ. Timings
+		// include the per-call rank spawn and halo exchange — the whole
+		// distributed multiplication, as an application would pay for it.
+		const distRanks, distThreads = 4, 2
+		part := core.PartitionByNnz(a, distRanks)
+		plan, err := core.BuildPlan(a, part, true)
+		if err != nil {
+			return err
+		}
+		// One plan serves both format rounds: the CSR modes run on the stock
+		// plan, then ConvertFormat adds the SELL-C-σ storage in place.
+		for _, fmtName := range []string{"crs", "sell-32-256"} {
+			if fmtName != "crs" {
+				if err := plan.ConvertFormat(formats.SELLBuilder{C: 32, Sigma: 256}); err != nil {
+					return err
+				}
+			}
+			for _, mode := range core.Modes {
+				snap.Kernels = append(snap.Kernels, kernelPoint{
+					fx.name,
+					fmt.Sprintf("dist-%s-%s", mode, fmtName),
+					distRanks * distThreads,
+					measureGFlops(a.Nnz(), reps, func() { core.MulDistributed(plan, x, mode, distThreads, 1) }),
+				})
+			}
+		}
 	}
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {

@@ -10,20 +10,28 @@
 // simexec) that regenerates every figure of the evaluation. See README.md
 // and DESIGN.md.
 //
-// The node-level kernel engine is format-generic: every storage scheme —
+// The kernel engine is format-generic end to end: every storage scheme —
 // CRS (internal/matrix), ELLPACK, JDS and SELL-C-σ (internal/formats) —
 // satisfies the matrix.Format interface, so the parallel engine
-// (spmv.Parallel), the solver operators (CG, Lanczos, KPM) and the
-// distributed modes run on any of them; see internal/formats/README.md for
-// when SELL-C-σ beats CRS and how its σ-sorting composes with the RCM
-// reordering of internal/rcm. All row kernels accumulate in the same
-// floating-point order (4-way unrolled over a single accumulator), so
-// serial CRS, parallel, split two-pass and SELL-C-σ results are
-// bit-identical. The overlap variants' second pass runs on a compacted
-// remote matrix holding only halo-coupled rows, and parallel regions are
-// dispatched through a sense-reversing barrier (one broadcast + one
-// completion signal per region) instead of per-worker channels.
+// (spmv.Parallel), the solver operators (CG, Lanczos, KPM) and all three
+// distributed modes run on any of them. Plan.ConvertFormat takes a
+// matrix.FormatBuilder (e.g. formats.SELLBuilder) and converts both the
+// full local matrix (vector mode without overlap) and the local half of
+// the column split (naive overlap and task mode, via spmv.FormatSplit);
+// the remote half always stays a compacted CSR of the halo-coupled rows.
+// See internal/formats/README.md for the mode × format support matrix,
+// when SELL-C-σ beats CRS — including in the overlap modes, where the
+// Eq. (2) write-twice penalty scales with the halo — and how σ-sorting
+// composes with the RCM reordering of internal/rcm. All row kernels
+// accumulate in the same floating-point order (4-way unrolled over a
+// single accumulator), so serial CRS, parallel, split two-pass and
+// SELL-C-σ results are bit-identical in every mode. Each of the three
+// passes (full, split-local, compacted remote) is chunked independently,
+// balanced on its own nonzero counts; parallel regions are dispatched
+// through a sense-reversing barrier (one broadcast + one completion signal
+// per region) instead of per-worker channels.
 //
-// cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot (see
-// BENCH_1.json) that seeds the repo's performance trajectory.
+// cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot covering the
+// node kernels and the distributed modes × formats sweep (see BENCH_1.json,
+// BENCH_2.json) that tracks the repo's performance trajectory.
 package repro

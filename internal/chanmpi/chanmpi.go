@@ -172,10 +172,13 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 		if rr.matched || rr.src != c.rank || rr.tag != tag {
 			continue
 		}
-		deliver(rr, data)
+		errMsg := deliver(rr, data)
 		box.compactLocked()
 		box.mu.Unlock()
 		close(req.done)
+		if errMsg != "" {
+			panic(errMsg)
+		}
 		return req
 	}
 	// No receive posted yet: buffer a copy.
@@ -201,9 +204,12 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 			continue
 		}
 		box.sends[i] = nil
-		deliver(req, m.data)
+		errMsg := deliver(req, m.data)
 		box.compactLocked()
 		box.mu.Unlock()
+		if errMsg != "" {
+			panic(errMsg)
+		}
 		return req
 	}
 	box.recvs = append(box.recvs, req)
@@ -214,20 +220,24 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 // deliver copies data into the receive buffer and completes the request.
 // Callers hold the destination mailbox lock. On truncation the request is
 // completed with an error (so a rank blocked in Wait observes the failure)
-// and deliver panics in the calling rank.
-func deliver(r *Request, data []float64) {
+// and the error is returned; the caller must RELEASE the mailbox lock
+// before panicking on it — panicking under the lock would leave the
+// mailbox poisoned and deadlock every other rank touching it instead of
+// propagating the failure through World.Run.
+func deliver(r *Request, data []float64) (errMsg string) {
 	if len(data) > len(r.buf) {
 		msg := fmt.Sprintf("chanmpi: message of %d elements truncated by %d-element buffer (src %d, tag %d)",
 			len(data), len(r.buf), r.src, r.tag)
 		r.err = msg
 		r.matched = true
 		close(r.done)
-		panic(msg)
+		return msg
 	}
 	copy(r.buf, data)
 	r.n = len(data)
 	r.matched = true
 	close(r.done)
+	return ""
 }
 
 // compactLocked removes matched receives and consumed sends.

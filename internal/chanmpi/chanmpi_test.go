@@ -1,7 +1,9 @@
 package chanmpi
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -120,6 +122,75 @@ func TestTruncationPanics(t *testing.T) {
 		} else {
 			c.Recv(0, 0, make([]float64, 1))
 		}
+	})
+}
+
+// TestTruncationFailsWorldCleanly checks that a truncated exchange panics
+// out of Run on the affected ranks while the destination mailbox stays
+// usable. Before the fix, deliver panicked while Isend/Irecv still held the
+// mailbox lock, so any other rank touching that mailbox deadlocked instead
+// of the error propagating.
+func TestTruncationFailsWorldCleanly(t *testing.T) {
+	run := func(t *testing.T, body func(c *Comm, posted, attempted chan struct{})) {
+		t.Helper()
+		posted := make(chan struct{})
+		attempted := make(chan struct{})
+		result := make(chan any, 1)
+		go func() {
+			var p any
+			func() {
+				defer func() { p = recover() }()
+				NewWorld(3).Run(func(c *Comm) { body(c, posted, attempted) })
+			}()
+			result <- p
+		}()
+		select {
+		case p := <-result:
+			if p == nil || !strings.Contains(fmt.Sprint(p), "truncated") {
+				t.Fatalf("world did not fail with a truncation error: %v", p)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("world deadlocked after truncation")
+		}
+	}
+
+	t.Run("recv-posted-first", func(t *testing.T) {
+		// Truncation is detected inside the sender's Isend.
+		run(t, func(c *Comm, posted, attempted chan struct{}) {
+			switch c.Rank() {
+			case 0:
+				<-posted
+				defer close(attempted) // runs during the panic unwind
+				c.Isend(1, 0, make([]float64, 8))
+			case 1:
+				req := c.Irecv(0, 0, make([]float64, 3))
+				close(posted)
+				req.Wait() // observes the same failure
+			case 2:
+				// Bystander: must still get through rank 1's mailbox after
+				// the failed delivery released its lock.
+				<-attempted
+				c.Isend(1, 1, []float64{1})
+			}
+		})
+	})
+
+	t.Run("send-buffered-first", func(t *testing.T) {
+		// Truncation is detected inside the receiver's Irecv.
+		run(t, func(c *Comm, posted, attempted chan struct{}) {
+			switch c.Rank() {
+			case 0:
+				c.Isend(1, 0, make([]float64, 8))
+				close(posted)
+			case 1:
+				<-posted
+				defer close(attempted)
+				c.Irecv(0, 0, make([]float64, 3))
+			case 2:
+				<-attempted
+				c.Isend(1, 1, []float64{1})
+			}
+		})
 	})
 }
 

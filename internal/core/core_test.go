@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/chanmpi"
 	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
@@ -360,9 +361,7 @@ func TestDistributedFormatMatchesCSR(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := MulDistributed(plan, x, VectorNoOverlap, 2, 1)
-	if err := plan.ConvertFormat(func(local *matrix.CSR) (matrix.Format, error) {
-		return formats.NewSELLCSigma(local, 16, 64)
-	}); err != nil {
+	if err := plan.ConvertFormat(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
 		t.Fatal(err)
 	}
 	got := MulDistributed(plan, x, VectorNoOverlap, 2, 1)
@@ -379,15 +378,239 @@ func TestDistributedFormatMatchesCSR(t *testing.T) {
 	}
 }
 
+func TestOverlapModesFormatBitIdentical(t *testing.T) {
+	// The acceptance bar of the format-generic overlap engine: every mode ×
+	// format combination reproduces the CSR result bit for bit, because the
+	// split-local kernels preserve the CSR per-row accumulation order.
+	a := randomSquare(55, 500, 160, 7)
+	x := randVec(56, 500)
+	part := PartitionByNnz(a, 4)
+	plan, err := BuildPlan(a, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[Mode][]float64)
+	for _, mode := range Modes {
+		refs[mode] = MulDistributed(plan, x, mode, 3, 1)
+	}
+	builders := []matrix.FormatBuilder{
+		matrix.CSRBuilder{},
+		formats.SELLBuilder{C: 8, Sigma: 32},
+		formats.SELLBuilder{C: 32, Sigma: 256},
+	}
+	for _, b := range builders {
+		plan2, err := BuildPlan(a, part, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan2.ConvertFormat(b); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range Modes {
+			got := MulDistributed(plan2, x, mode, 3, 1)
+			for i := range got {
+				if got[i] != refs[mode][i] {
+					t.Fatalf("%s mode=%v row %d: %v != CSR %v", b.Name(), mode, i, got[i], refs[mode][i])
+				}
+			}
+		}
+	}
+}
+
+func TestIteratedMultiplicationFormats(t *testing.T) {
+	// iters > 1 drives the X ← Y recycling across halo exchanges; every
+	// mode × format combination must match the serial power iteration and
+	// stay bit-identical to the CSR plan.
+	a := randomSquare(57, 240, 80, 5)
+	for i := range a.Val {
+		a.Val[i] *= 0.1
+	}
+	x := randVec(58, 240)
+	const iters = 3
+	want := append([]float64(nil), x...)
+	tmp := make([]float64, 240)
+	for k := 0; k < iters; k++ {
+		a.MulVec(tmp, want)
+		copy(want, tmp)
+	}
+	part := PartitionByNnz(a, 3)
+	plan, err := BuildPlan(a, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[Mode][]float64)
+	for _, mode := range Modes {
+		refs[mode] = MulDistributed(plan, x, mode, 2, iters)
+		if d := maxAbsDiff(want, refs[mode]); d > 1e-10 {
+			t.Errorf("CSR mode=%v: A³x max diff %g", mode, d)
+		}
+	}
+	plan2, err := BuildPlan(a, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan2.ConvertFormat(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range Modes {
+		got := MulDistributed(plan2, x, mode, 2, iters)
+		for i := range got {
+			if got[i] != refs[mode][i] {
+				t.Fatalf("sell mode=%v row %d: %v != CSR %v", mode, i, got[i], refs[mode][i])
+			}
+		}
+	}
+}
+
+// chunkImbalance returns max chunk weight over mean chunk weight, with
+// chunk boundaries read against the given weight prefix.
+func chunkImbalance(chunks []spmv.Range, prefix []int64) float64 {
+	var max, total int64
+	for _, r := range chunks {
+		w := prefix[r.Hi] - prefix[r.Lo]
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(chunks)) / float64(total)
+}
+
+func TestSplitChunksBalancedOnSplitNnz(t *testing.T) {
+	// Halo-skewed fixture: on rank 0 every row holds one local (diagonal)
+	// entry, and the first 16 rows additionally couple to 40 halo columns
+	// each. Balancing the split passes on the full-matrix RowPtr (the
+	// pre-fix behavior) starves the early chunks of local work.
+	const n, half, threads = 256, 128, 4
+	var entries []matrix.Coord
+	for i := 0; i < n; i++ {
+		entries = append(entries, matrix.Coord{Row: int32(i), Col: int32(i), Val: 1})
+		if i < 16 {
+			for j := 0; j < 40; j++ {
+				entries = append(entries, matrix.Coord{
+					Row: int32(i), Col: int32(half + (i*7+j)%half), Val: 1,
+				})
+			}
+		}
+	}
+	a, err := matrix.NewCSRFromCOO(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(a, PartitionByRows(n, 2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := plan.Ranks[0]
+	world := chanmpi.NewWorld(2)
+	w := NewWorker(rp, world.Comm(0), threads)
+	defer w.Close()
+
+	// Sanity: the fixture is skewed enough that the old chunking is badly
+	// imbalanced when measured in local-pass work.
+	old := spmv.BalanceNnz(rp.A.RowPtr, threads)
+	if got := chunkImbalance(old, rp.Split.Local.RowPtr); got < 2 {
+		t.Fatalf("fixture not skewed enough: full-RowPtr chunking imbalance only %.2f", got)
+	}
+	if got := chunkImbalance(w.localChunks, rp.Split.Local.RowPtr); got > 1.1 {
+		t.Errorf("local pass imbalance %.2f, want ~1 (balanced on Split.Local nnz)", got)
+	}
+	if got := chunkImbalance(w.remoteChunks, rp.Split.Remote.RowPtr); got > 1.35 {
+		t.Errorf("remote pass imbalance %.2f, want ~1 (balanced on compacted remote nnz)", got)
+	}
+	// The skewed fixture still multiplies correctly in every mode.
+	x := randVec(60, n)
+	want := make([]float64, n)
+	a.MulVec(want, x)
+	for _, mode := range Modes {
+		got := MulDistributed(plan, x, mode, threads, 1)
+		if d := maxAbsDiff(want, got); d > 1e-12 {
+			t.Errorf("mode=%v on skewed fixture: max diff %g", mode, d)
+		}
+	}
+}
+
+func TestWorkerRejectsHalfConvertedPlan(t *testing.T) {
+	// A plan with only one of Format/SplitFormat set would run some modes
+	// on the converted format and others on CSR — numerically equal but
+	// silently different in speed. NewWorker must refuse it.
+	newPlan := func() *Plan {
+		a := randomSquare(59, 80, 30, 3)
+		plan, err := BuildPlan(a, PartitionByNnz(a, 2), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	world := chanmpi.NewWorld(2)
+	t.Run("full-only", func(t *testing.T) {
+		rp := newPlan().Ranks[0]
+		rp.Format = rp.A
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWorker accepted Format without SplitFormat")
+			}
+		}()
+		NewWorker(rp, world.Comm(0), 2)
+	})
+	t.Run("split-only", func(t *testing.T) {
+		rp := newPlan().Ranks[0]
+		rp.SplitFormat = &spmv.FormatSplit{Local: rp.Split.Local, Remote: rp.Split.Remote, LocalCols: rp.NLocal}
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWorker accepted SplitFormat without Format")
+			}
+		}()
+		NewWorker(rp, world.Comm(0), 2)
+	})
+}
+
+func TestTaskModeStress(t *testing.T) {
+	// Exercised with -race in CI: task mode's communication goroutine
+	// (Waitall inside Step) runs concurrently with the compute team, and
+	// iterated multiplication repeats the handoff every iteration.
+	a := randomSquare(61, 300, 120, 5)
+	for i := range a.Val {
+		a.Val[i] *= 0.1
+	}
+	x := randVec(62, 300)
+	const iters = 6
+	want := append([]float64(nil), x...)
+	tmp := make([]float64, 300)
+	for k := 0; k < iters; k++ {
+		a.MulVec(tmp, want)
+		copy(want, tmp)
+	}
+	part := PartitionByNnz(a, 4)
+	plan, err := BuildPlan(a, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MulDistributed(plan, x, TaskMode, 3, iters)
+	if d := maxAbsDiff(want, got); d > 1e-9 {
+		t.Fatalf("task mode A⁶x max diff %g", d)
+	}
+	if err := plan.ConvertFormat(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
+		t.Fatal(err)
+	}
+	got2 := MulDistributed(plan, x, TaskMode, 3, iters)
+	for i := range got2 {
+		if got2[i] != got[i] {
+			t.Fatalf("sell task mode differs from CSR at row %d: %v != %v", i, got2[i], got[i])
+		}
+	}
+}
+
 func TestConvertFormatRequiresValues(t *testing.T) {
 	a := randomSquare(53, 100, 30, 4)
 	plan, err := BuildPlan(a, PartitionByNnz(a, 2), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = plan.ConvertFormat(func(local *matrix.CSR) (matrix.Format, error) {
-		return local, nil
-	})
+	err = plan.ConvertFormat(matrix.CSRBuilder{})
 	if err == nil {
 		t.Fatal("ConvertFormat accepted a pattern-only plan")
 	}

@@ -59,11 +59,21 @@ type Worker struct {
 	X []float64
 	Y []float64
 
-	local      matrix.Format // full local matrix (Plan.Format or Plan.A)
-	chunks     []spmv.Range  // thread chunks of the owned rows (split passes)
-	fullChunks []spmv.Range  // thread chunks of the full matrix's blocks
-	sendBufs   [][]float64
-	reqs       []*chanmpi.Request
+	local matrix.Format     // full local matrix (Plan.Format or Plan.A)
+	split *spmv.FormatSplit // column split (Plan.SplitFormat or Plan.Split)
+
+	// The three passes are chunked independently, each balanced on its own
+	// work: fullChunks on the full matrix's blocks (no-overlap), localChunks
+	// on the split-local blocks, remoteChunks on the compacted remote's
+	// stored rows. Balancing the split passes on the full RowPtr would
+	// load-imbalance the local pass whenever remote nnz is skewed across
+	// rows.
+	localChunks  []spmv.Range
+	remoteChunks []spmv.Range
+	fullChunks   []spmv.Range
+
+	sendBufs [][]float64
+	reqs     []*chanmpi.Request
 }
 
 // NewWorker prepares the execution state of one rank. threads is the size
@@ -77,6 +87,12 @@ func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
 	if threads < 1 {
 		panic(fmt.Sprintf("core: threads %d < 1", threads))
 	}
+	if (rp.Format == nil) != (rp.SplitFormat == nil) {
+		// A half-set conversion would run some modes on the converted format
+		// and others on CSR — numerically equal but silently different in
+		// speed. Plan.ConvertFormat always sets both.
+		panic("core: rank plan converted for only some modes (Format and SplitFormat must be set together; use Plan.ConvertFormat)")
+	}
 	w := &Worker{
 		Plan: rp,
 		Comm: comm,
@@ -85,10 +101,13 @@ func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
 		Y:    make([]float64, rp.NLocal),
 	}
 	w.local = rp.A
+	w.split = rp.Split.AsFormatSplit()
 	if rp.Format != nil {
 		w.local = rp.Format
+		w.split = rp.SplitFormat
 	}
-	w.chunks = spmv.BalanceNnz(rp.A.RowPtr, threads)
+	w.localChunks = w.split.LocalChunks(threads)
+	w.remoteChunks = w.split.RemoteChunks(threads)
 	w.fullChunks = spmv.BalanceNnz(w.local.BlockNnzPrefix(), threads)
 	w.sendBufs = make([][]float64, len(rp.SendTo))
 	for i, tx := range rp.SendTo {
@@ -156,21 +175,28 @@ func (w *Worker) stepNoOverlap() {
 	})
 }
 
+// localPass computes the split-local half Y = A_local·X on the team, in
+// whatever storage format the plan carries (CSR by default, the converted
+// format after Plan.ConvertFormat).
+func (w *Worker) localPass() {
+	w.split.MulVecLocal(w.Team, w.localChunks, w.Y, w.X)
+}
+
+// remotePass computes Y += A_remote·X on the compacted remote matrix: only
+// halo-coupled rows are touched, so the Eq. (2) write-twice penalty scales
+// with the halo.
+func (w *Worker) remotePass() {
+	w.split.MulVecRemoteAdd(w.Team, w.remoteChunks, w.Y, w.X)
+}
+
 func (w *Worker) stepNaiveOverlap() {
 	w.postRecvs()
 	w.gatherAndSend()
 	// Local part first — intended to overlap the transfers, but with
 	// standard MPI progress semantics nothing moves until waitHalo.
-	s := w.Plan.Split
-	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.RangeKernel(w.Y, s.Local, w.X, w.chunks[t])
-	})
+	w.localPass()
 	w.waitHalo()
-	// Second pass on the compacted remote matrix: only halo-coupled rows
-	// are touched, so the Eq. (2) write-twice penalty scales with the halo.
-	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.CompactKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
-	})
+	w.remotePass()
 }
 
 func (w *Worker) stepTaskMode() {
@@ -179,19 +205,14 @@ func (w *Worker) stepTaskMode() {
 	// Functional decomposition: this goroutine is the communication thread
 	// (it sits inside Waitall, driving progress) while the team computes
 	// the local part concurrently.
-	s := w.Plan.Split
 	computeDone := make(chan struct{})
 	go func() {
-		w.Team.RunSubteam(len(w.chunks), func(t int) {
-			spmv.RangeKernel(w.Y, s.Local, w.X, w.chunks[t])
-		})
+		w.localPass()
 		close(computeDone)
 	}()
 	w.waitHalo()
 	<-computeDone // the omp_barrier of Fig. 4c
-	w.Team.RunSubteam(len(w.chunks), func(t int) {
-		spmv.CompactKernelAdd(w.Y, s.Remote, w.X, w.chunks[t])
-	})
+	w.remotePass()
 }
 
 // RunSPMD executes body once per rank with a fully initialized Worker —

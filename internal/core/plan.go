@@ -54,8 +54,13 @@ type RankPlan struct {
 
 	// Format, when non-nil, is an alternative storage scheme for the full
 	// local matrix; the no-overlap mode then runs its kernel instead of the
-	// CSR one. Set it via Plan.ConvertFormat.
-	Format matrix.Format
+	// CSR one. SplitFormat is the matching format-generic split (local half
+	// in the same scheme, remote half the shared compacted CSR) that the
+	// overlap and task modes run on. Plan.ConvertFormat sets both together;
+	// NewWorker rejects a plan with only one of them set, so the modes can
+	// never silently disagree on storage.
+	Format      matrix.Format
+	SplitFormat *spmv.FormatSplit
 
 	// NnzLocal and NnzRemote count the entries touching owned and halo
 	// columns, available even for pattern-only plans.
@@ -133,26 +138,45 @@ func BuildPlan(src matrix.PatternSource, part *Partition, withValues bool) (*Pla
 	return plan, nil
 }
 
-// ConvertFormat converts every rank's full local matrix to an alternative
-// storage scheme (e.g. SELL-C-σ) via conv. Workers built from the plan
-// afterwards run the no-overlap kernel on the converted format. The plan
-// must have been built with values.
-func (p *Plan) ConvertFormat(conv func(a *matrix.CSR) (matrix.Format, error)) error {
+// ConvertFormat converts every rank's local matrix to the builder's storage
+// scheme (e.g. formats.SELLBuilder) — both the full matrix the no-overlap
+// kernel runs on and the local half of the column split the overlap and
+// task modes run on. The split's local half is built directly from the full
+// local matrix restricted to the owned columns [0, NLocal); the compacted
+// remote half is shared with the CSR split (it stays a CompactCSR — its
+// halo-coupled rows are short and scattered, where chunked formats have
+// nothing to offer). Every mode therefore runs on the converted format; a
+// plan can never end up with modes disagreeing on storage. The plan must
+// have been built with values.
+func (p *Plan) ConvertFormat(b matrix.FormatBuilder) error {
 	// Convert everything first, assign only on full success: a mid-loop
 	// failure must not leave the plan half-converted.
-	converted := make([]matrix.Format, len(p.Ranks))
+	full := make([]matrix.Format, len(p.Ranks))
+	split := make([]*spmv.FormatSplit, len(p.Ranks))
 	for i, rp := range p.Ranks {
 		if rp.A == nil {
 			return fmt.Errorf("core: rank %d has no local matrix (pattern-only plan)", rp.Rank)
 		}
-		f, err := conv(rp.A)
+		f, err := b.Build(rp.A)
 		if err != nil {
-			return fmt.Errorf("core: rank %d format conversion: %w", rp.Rank, err)
+			return fmt.Errorf("core: rank %d %s conversion: %w", rp.Rank, b.Name(), err)
 		}
-		converted[i] = f
+		full[i] = f
+		if csr, ok := f.(*matrix.CSR); ok && csr == rp.A {
+			// Identity conversion (matrix.CSRBuilder): the plan's split
+			// already is the column-restricted local half; don't copy it.
+			split[i] = rp.Split.AsFormatSplit()
+			continue
+		}
+		local, err := b.BuildColRange(rp.A, 0, rp.NLocal)
+		if err != nil {
+			return fmt.Errorf("core: rank %d %s split conversion: %w", rp.Rank, b.Name(), err)
+		}
+		split[i] = &spmv.FormatSplit{Local: local, Remote: rp.Split.Remote, LocalCols: rp.NLocal}
 	}
 	for i, rp := range p.Ranks {
-		rp.Format = converted[i]
+		rp.Format = full[i]
+		rp.SplitFormat = split[i]
 	}
 	return nil
 }

@@ -41,22 +41,42 @@ type SELLCSigma struct {
 // sigma ≥ 1 is the sorting-window size (sigma = 1 disables sorting and
 // preserves row order; a multiple of c is customary).
 func NewSELLCSigma(a *matrix.CSR, c, sigma int) (*SELLCSigma, error) {
+	return NewSELLCSigmaColRange(a, c, sigma, 0, a.NumCols)
+}
+
+// NewSELLCSigmaColRange builds the SELL-C-σ representation of the entries
+// of a with columns in [colLo, colHi) — the local half of a distributed
+// column split, without materializing an intermediate CSR copy. Row count
+// and column dimension stay those of a (rows with no in-range entry are
+// stored with width contributions of zero), so input and result vectors
+// keep their indexing. Row lengths for σ-sorting and chunk widths count
+// in-range entries only.
+func NewSELLCSigmaColRange(a *matrix.CSR, c, sigma, colLo, colHi int) (*SELLCSigma, error) {
 	if c < 1 || c > MaxChunkHeight {
 		return nil, fmt.Errorf("formats: chunk height C=%d outside [1,%d]", c, MaxChunkHeight)
 	}
 	if sigma < 1 {
 		return nil, fmt.Errorf("formats: sorting window σ=%d < 1", sigma)
 	}
+	if colLo < 0 || colHi > a.NumCols || colLo > colHi {
+		return nil, fmt.Errorf("formats: column range [%d,%d) outside [0,%d]", colLo, colHi, a.NumCols)
+	}
+	lo32, hi32 := int32(colLo), int32(colHi)
 	n := a.NumRows
 	s := &SELLCSigma{
 		Rows: n, Cols: a.NumCols, C: c, Sigma: sigma,
 		Perm: make([]int32, n),
-		nnz:  a.Nnz(),
 	}
 	lens := make([]int, n)
 	for i := 0; i < n; i++ {
 		s.Perm[i] = int32(i)
-		lens[i] = int(a.RowPtr[i+1] - a.RowPtr[i])
+		cols, _ := a.Row(i)
+		for _, col := range cols {
+			if col >= lo32 && col < hi32 {
+				lens[i]++
+			}
+		}
+		s.nnz += int64(lens[i])
 	}
 	// σ-window sort: descending row length within each window of σ rows,
 	// stable so equal-length rows keep their (e.g. RCM-optimized) order.
@@ -98,9 +118,14 @@ func NewSELLCSigma(a *matrix.CSR, c, sigma int) (*SELLCSigma, error) {
 				break
 			}
 			cols, vals := a.Row(int(s.Perm[row]))
+			slot := 0
 			for j, col := range cols {
-				s.ColIdx[base+int64(j*c+r)] = col
-				s.Val[base+int64(j*c+r)] = vals[j]
+				if col < lo32 || col >= hi32 {
+					continue
+				}
+				s.ColIdx[base+int64(slot*c+r)] = col
+				s.Val[base+int64(slot*c+r)] = vals[j]
+				slot++
 			}
 		}
 	}
@@ -108,6 +133,29 @@ func NewSELLCSigma(a *matrix.CSR, c, sigma int) (*SELLCSigma, error) {
 }
 
 var _ matrix.Format = (*SELLCSigma)(nil)
+
+// SELLBuilder is the matrix.FormatBuilder of SELL-C-σ, carrying the chunk
+// height C and sorting window σ. It is what Plan.ConvertFormat and the
+// format-generic split consume, covering both the full local matrix and
+// the column-restricted local half.
+type SELLBuilder struct {
+	C, Sigma int
+}
+
+var _ matrix.FormatBuilder = SELLBuilder{}
+
+// Name returns e.g. "sell-32-256".
+func (b SELLBuilder) Name() string { return fmt.Sprintf("sell-%d-%d", b.C, b.Sigma) }
+
+// Build converts the full matrix.
+func (b SELLBuilder) Build(a *matrix.CSR) (matrix.Format, error) {
+	return NewSELLCSigma(a, b.C, b.Sigma)
+}
+
+// BuildColRange converts only the entries with columns in [colLo, colHi).
+func (b SELLBuilder) BuildColRange(a *matrix.CSR, colLo, colHi int) (matrix.Format, error) {
+	return NewSELLCSigmaColRange(a, b.C, b.Sigma, colLo, colHi)
+}
 
 // Dims returns the matrix dimensions.
 func (s *SELLCSigma) Dims() (rows, cols int) { return s.Rows, s.Cols }

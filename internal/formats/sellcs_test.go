@@ -115,6 +115,107 @@ func TestSELLCSigmaSortingReducesPadding(t *testing.T) {
 	}
 }
 
+func TestSELLCSigmaColRangeMatchesRestrictedCSR(t *testing.T) {
+	a := randomCSR(61, 400, 6)
+	x := randVec(62, 400)
+	for _, rg := range []struct{ lo, hi int }{
+		{0, 400}, {0, 250}, {130, 270}, {399, 400}, {200, 200},
+	} {
+		restricted := a.RestrictCols(rg.lo, rg.hi)
+		want := make([]float64, 400)
+		restricted.MulVec(want, x)
+		for _, cfg := range []struct{ c, sigma int }{{1, 1}, {8, 32}, {32, 256}} {
+			s, err := NewSELLCSigmaColRange(a, cfg.c, cfg.sigma, rg.lo, rg.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Nnz() != restricted.Nnz() {
+				t.Fatalf("[%d,%d) C=%d: nnz %d, want %d", rg.lo, rg.hi, cfg.c, s.Nnz(), restricted.Nnz())
+			}
+			if rows, cols := s.Dims(); rows != a.NumRows || cols != a.NumCols {
+				t.Fatalf("[%d,%d): dims %dx%d, want full %dx%d", rg.lo, rg.hi, rows, cols, a.NumRows, a.NumCols)
+			}
+			got := make([]float64, 400)
+			s.MulVec(got, x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("[%d,%d) C=%d σ=%d: differs from restricted CSR at row %d: %v != %v",
+						rg.lo, rg.hi, cfg.c, cfg.sigma, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSELLCSigmaColRangeRejectsBadRange(t *testing.T) {
+	a := randomCSR(63, 50, 4)
+	for _, rg := range []struct{ lo, hi int }{{-1, 10}, {0, 51}, {30, 20}} {
+		if _, err := NewSELLCSigmaColRange(a, 4, 4, rg.lo, rg.hi); err == nil {
+			t.Errorf("column range [%d,%d) accepted", rg.lo, rg.hi)
+		}
+	}
+}
+
+func TestSELLBuilder(t *testing.T) {
+	b := SELLBuilder{C: 8, Sigma: 32}
+	if b.Name() != "sell-8-32" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+	a := randomCSR(65, 200, 5)
+	x := randVec(66, 200)
+	full, err := b.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 200)
+	a.MulVec(want, x)
+	got := make([]float64, 200)
+	full.MulVecBlocks(got, x, 0, full.NumBlocks())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Build product differs at row %d", i)
+		}
+	}
+	if _, err := b.BuildColRange(a, 10, 5); err == nil {
+		t.Error("BuildColRange accepted an inverted range")
+	}
+	if _, err := (SELLBuilder{C: 0, Sigma: 1}).Build(a); err == nil {
+		t.Error("C=0 accepted")
+	}
+}
+
+func TestFormatSplitWithSELL(t *testing.T) {
+	// The format-generic split with a SELL-C-σ local half: two-pass product
+	// bit-identical to the serial CSR kernel, local chunking in the SELL
+	// chunk (block) space.
+	a := randomCSR(67, 350, 6)
+	const boundary = 220
+	fs, err := spmv.NewFormatSplit(a, boundary, SELLBuilder{C: 16, Sigma: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := fs.Local.(*SELLCSigma)
+	if !ok {
+		t.Fatalf("local half is %T, want *SELLCSigma", fs.Local)
+	}
+	if s.NumBlocks() != (350+15)/16 {
+		t.Fatalf("local half has %d blocks", s.NumBlocks())
+	}
+	x := randVec(68, 350)
+	want := make([]float64, 350)
+	a.MulVec(want, x)
+	team := spmv.NewTeam(3)
+	defer team.Close()
+	got := make([]float64, 350)
+	fs.MulVecLocal(team, fs.LocalChunks(3), got, x)
+	fs.MulVecRemoteAdd(team, fs.RemoteChunks(3), got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SELL format split differs from serial at row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSELLCSigmaRejectsBadParams(t *testing.T) {
 	a := randomCSR(49, 50, 3)
 	if _, err := NewSELLCSigma(a, 0, 1); err == nil {

@@ -200,6 +200,41 @@ func (a *CSR) ExtractRows(lo, hi int) *CSR {
 	return sub
 }
 
+// RestrictCols returns a copy holding only the entries with columns in
+// [lo, hi). Dimensions are unchanged: rows whose entries all fall outside
+// the range become empty rather than disappearing, so the result multiplies
+// the same vectors as a.
+func (a *CSR) RestrictCols(lo, hi int) *CSR {
+	if lo < 0 || hi > a.NumCols || lo > hi {
+		panic(fmt.Sprintf("matrix: RestrictCols bounds [%d,%d) outside [0,%d]", lo, hi, a.NumCols))
+	}
+	lo32, hi32 := int32(lo), int32(hi)
+	var nnz int64
+	for _, c := range a.ColIdx {
+		if c >= lo32 && c < hi32 {
+			nnz++
+		}
+	}
+	sub := &CSR{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		RowPtr:  make([]int64, a.NumRows+1),
+		ColIdx:  make([]int32, 0, nnz),
+		Val:     make([]float64, 0, nnz),
+	}
+	for i := 0; i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if c >= lo32 && c < hi32 {
+				sub.ColIdx = append(sub.ColIdx, c)
+				sub.Val = append(sub.Val, vals[k])
+			}
+		}
+		sub.RowPtr[i+1] = int64(len(sub.ColIdx))
+	}
+	return sub
+}
+
 // Clone returns a deep copy of the matrix.
 func (a *CSR) Clone() *CSR {
 	b := &CSR{

@@ -147,6 +147,68 @@ func TestExtractRows(t *testing.T) {
 	}
 }
 
+func TestRestrictCols(t *testing.T) {
+	a := testMatrix()
+	sub := a.RestrictCols(1, 4)
+	if sub.NumRows != 4 || sub.NumCols != 5 {
+		t.Fatalf("sub dims = %dx%d, want unchanged 4x5", sub.NumRows, sub.NumCols)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := NewCSRFromDense([][]float64{
+		{0, 0, 2, 0, 0},
+		{0, 3, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 5, 0},
+	})
+	if !sub.Equal(want) {
+		t.Errorf("RestrictCols(1,4) mismatch:\n%v", sub.Dense())
+	}
+	if !a.RestrictCols(0, 5).Equal(a) {
+		t.Error("full-range restriction changed the matrix")
+	}
+	if a.RestrictCols(2, 2).Nnz() != 0 {
+		t.Error("empty-range restriction kept entries")
+	}
+	for _, rg := range [][2]int{{-1, 3}, {0, 6}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RestrictCols(%d,%d) did not panic", rg[0], rg[1])
+				}
+			}()
+			a.RestrictCols(rg[0], rg[1])
+		}()
+	}
+}
+
+func TestCSRBuilder(t *testing.T) {
+	b := CSRBuilder{}
+	if b.Name() != "crs" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+	a := testMatrix()
+	full, err := b.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.(*CSR) != a {
+		t.Error("Build must return the matrix itself")
+	}
+	part, err := b.BuildColRange(a, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.(*CSR).Equal(a.RestrictCols(1, 4)) {
+		t.Error("BuildColRange differs from RestrictCols")
+	}
+	// Same failure contract as the other builders: an error, not a panic.
+	if _, err := b.BuildColRange(a, 4, 2); err == nil {
+		t.Error("BuildColRange accepted an inverted range")
+	}
+}
+
 func TestCooDuplicatesSummed(t *testing.T) {
 	entries := []Coord{
 		{0, 0, 1}, {0, 0, 2}, {1, 1, 3}, {0, 1, -1}, {0, 1, 1},

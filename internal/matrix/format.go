@@ -1,5 +1,7 @@
 package matrix
 
+import "fmt"
+
 // Format is the node-level storage contract every sparse scheme satisfies so
 // the parallel engine (spmv.Parallel), the solver operators and the
 // distributed modes can run on any of them. Work is expressed in *blocks* —
@@ -26,6 +28,41 @@ type Format interface {
 }
 
 var _ Format = (*CSR)(nil)
+
+// FormatBuilder constructs a storage format from CSR input. Build covers
+// the whole matrix; BuildColRange builds the format of the sub-matrix
+// holding only the entries with columns in [colLo, colHi) — the local half
+// of a distributed column split. Implementations keep the full row count
+// and column dimension (so input and result vectors keep their indexing);
+// only the stored entries are restricted.
+type FormatBuilder interface {
+	// Name identifies the format (benchmark labels, error messages).
+	Name() string
+	// Build converts the full matrix.
+	Build(a *CSR) (Format, error)
+	// BuildColRange converts only the entries with columns in [colLo, colHi).
+	BuildColRange(a *CSR, colLo, colHi int) (Format, error)
+}
+
+// CSRBuilder is the identity FormatBuilder: Build returns the matrix
+// itself, BuildColRange a column-restricted copy.
+type CSRBuilder struct{}
+
+var _ FormatBuilder = CSRBuilder{}
+
+// Name returns "crs".
+func (CSRBuilder) Name() string { return "crs" }
+
+// Build returns a unchanged.
+func (CSRBuilder) Build(a *CSR) (Format, error) { return a, nil }
+
+// BuildColRange returns a copy restricted to columns [colLo, colHi).
+func (CSRBuilder) BuildColRange(a *CSR, colLo, colHi int) (Format, error) {
+	if colLo < 0 || colHi > a.NumCols || colLo > colHi {
+		return nil, fmt.Errorf("matrix: column range [%d,%d) outside [0,%d]", colLo, colHi, a.NumCols)
+	}
+	return a.RestrictCols(colLo, colHi), nil
+}
 
 // NumBlocks returns the row count: CSR parallelizes at row granularity.
 func (a *CSR) NumBlocks() int { return a.NumRows }

@@ -14,6 +14,14 @@ import (
 // scalar reductions ride the runtime's Allreduce — the structure of the
 // paper's application codes, where spMVM dominates and a handful of dot
 // products per iteration ride along.
+//
+// Both solvers are storage-format generic in every mode: convert the plan
+// with Plan.ConvertFormat (e.g. formats.SELLBuilder) before calling and the
+// no-overlap kernel, the overlap local pass and the task-mode local pass
+// all run on the converted format, with the compacted remote pass staying
+// on the CompactCSR. Each distributed multiplication is bit-identical to
+// its CSR counterpart; only the Allreduce combine order (rank arrival) is
+// nondeterministic across runs.
 
 // distDot computes the global dot product of two distributed vectors.
 func distDot(c *chanmpi.Comm, a, b []float64) float64 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
 )
@@ -116,6 +117,82 @@ func TestDistCGZeroRHS(t *testing.T) {
 	for i := range x {
 		if x[i] != 0 {
 			t.Fatal("zero RHS must give zero solution")
+		}
+	}
+}
+
+func TestDistCGFormatGeneric(t *testing.T) {
+	// DistCG on a SELL-C-σ-converted plan: every mode — including the
+	// overlap modes, whose local pass runs on the converted split — must
+	// converge to the same solution in essentially the same iterations.
+	a, plan := poissonPlan(t, 4)
+	n := a.NumRows
+	rng := rand.New(rand.NewSource(9))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	if err := plan.ConvertFormat(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, n)
+	serial, err := CG(CSROperator{a}, b, xs, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		x := make([]float64, n)
+		res, err := DistCG(plan, b, x, mode, 2, 1e-10, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("mode %v on SELL plan: not converged (res %g)", mode, res.Residual)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("mode %v on SELL plan: x[%d] = %.9f, want %.9f", mode, i, x[i], xTrue[i])
+			}
+		}
+		if absInt(res.Iterations-serial.Iterations) > 2 {
+			t.Errorf("mode %v on SELL plan: %d iterations vs serial %d", mode, res.Iterations, serial.Iterations)
+		}
+	}
+}
+
+func TestDistLanczosFormatGeneric(t *testing.T) {
+	h, err := genmat.NewHolstein(genmat.HolsteinConfig{
+		Sites: 4, NumUp: 2, NumDown: 2, MaxPhonons: 3,
+		T: 1, U: 4, Omega: 1, G: 1, Ordering: genmat.HMeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(h)
+	part := core.PartitionByNnz(h, 4)
+	plan, err := core.BuildPlan(h, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.ConvertFormat(formats.SELLBuilder{C: 32, Sigma: 128}); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := GroundState(CSROperator{a}, 70, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		dist, err := DistLanczos(plan, mode, 2, 70, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dist.Eigenvalues) == 0 {
+			t.Fatal("no Ritz values")
+		}
+		if math.Abs(dist.Eigenvalues[0]-serial) > 1e-8 {
+			t.Errorf("mode %v on SELL plan: E₀ %.10f vs serial %.10f", mode, dist.Eigenvalues[0], serial)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package spmv
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/matrix"
 )
@@ -10,26 +9,6 @@ import (
 // Serial computes y = A·x with the scalar CRS kernel of §1.2.
 func Serial(y []float64, a *matrix.CSR, x []float64) {
 	a.MulVec(y, x)
-}
-
-// RangeKernel computes y[r.Lo:r.Hi] = (A·x)[r.Lo:r.Hi], overwriting the
-// output rows. It is the building block all parallel variants share.
-//
-// The inner loop (matrix.RowDot) is 4-way unrolled over a single running
-// accumulator: loop control and bounds checks are amortized over four
-// entries while the floating-point order stays strictly sequential, so
-// serial, parallel, split two-pass and SELL-C-σ kernels all produce
-// bit-identical results.
-func RangeKernel(y []float64, a *matrix.CSR, x []float64, r Range) {
-	a.MulVecBlocks(y, x, r.Lo, r.Hi)
-}
-
-// RangeKernelAdd computes y[r.Lo:r.Hi] += (A·x)[r.Lo:r.Hi]. The split
-// kernels of the overlap variants use it for the second (nonlocal) pass,
-// which is what writes the result vector twice and motivates the modified
-// code balance of Eq. (2).
-func RangeKernelAdd(y []float64, a *matrix.CSR, x []float64, r Range) {
-	a.MulVecBlocksAdd(y, x, r.Lo, r.Hi)
 }
 
 // Parallel is a sparse matrix in any storage format bundled with a
@@ -157,18 +136,66 @@ func (c *CompactCSR) Validate() error {
 	return nil
 }
 
-// CompactKernelAdd computes y[i] += (A·x)[i] for every stored row i of c
-// that lies in the original-row range r. Chunk boundaries are original row
-// indices, so the same chunking drives the full local pass and the
-// compacted remote pass without write conflicts.
-func CompactKernelAdd(y []float64, c *CompactCSR, x []float64, r Range) {
-	lo := sort.Search(len(c.Rows), func(p int) bool { return int(c.Rows[p]) >= r.Lo })
-	hi := sort.Search(len(c.Rows), func(p int) bool { return int(c.Rows[p]) >= r.Hi })
+// MulStoredRowsAdd computes y[i] += (A·x)[i] for the stored rows [lo, hi)
+// — indices into Rows, not original row numbers. Chunking the remote pass
+// by stored rows (BalanceNnz over RowPtr) balances on the compacted
+// remote's nnz; chunks own disjoint stored rows, hence disjoint result
+// rows. The inner loop (matrix.RowDot) keeps the strictly sequential
+// accumulation order every kernel of the engine shares, and the second
+// pass's += on the result vector is what motivates the modified code
+// balance of Eq. (2).
+func (c *CompactCSR) MulStoredRowsAdd(y, x []float64, lo, hi int) {
 	rowPtr, colIdx, val := c.RowPtr, c.ColIdx, c.Val
 	for p := lo; p < hi; p++ {
 		i := c.Rows[p]
 		y[i] = matrix.RowDot(y[i], val, colIdx, x, rowPtr[p], rowPtr[p+1])
 	}
+}
+
+// NewCompactRemote builds just the compacted remote half of the column
+// split at boundary localCols: the entries with columns ≥ localCols,
+// stored for halo-coupled rows only. It equals NewSplit(a, localCols).Remote
+// without materializing the local half.
+func NewCompactRemote(a *matrix.CSR, localCols int) *CompactCSR {
+	if localCols < 0 || localCols > a.NumCols {
+		panic(fmt.Sprintf("spmv: split boundary %d outside [0,%d]", localCols, a.NumCols))
+	}
+	var nnzRem int64
+	remRows := 0
+	for i := 0; i < a.NumRows; i++ {
+		cols, _ := a.Row(i)
+		rem := 0
+		for _, c := range cols {
+			if int(c) >= localCols {
+				rem++
+			}
+		}
+		nnzRem += int64(rem)
+		if rem > 0 {
+			remRows++
+		}
+	}
+	rem := &CompactCSR{
+		NumRows: a.NumRows, NumCols: a.NumCols,
+		Rows:   make([]int32, 0, remRows),
+		RowPtr: make([]int64, 1, remRows+1),
+		ColIdx: make([]int32, 0, nnzRem),
+		Val:    make([]float64, 0, nnzRem),
+	}
+	for i := 0; i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if int(c) >= localCols {
+				rem.ColIdx = append(rem.ColIdx, c)
+				rem.Val = append(rem.Val, vals[k])
+			}
+		}
+		if int64(len(rem.ColIdx)) > rem.RowPtr[len(rem.RowPtr)-1] {
+			rem.Rows = append(rem.Rows, int32(i))
+			rem.RowPtr = append(rem.RowPtr, int64(len(rem.ColIdx)))
+		}
+	}
+	return rem
 }
 
 // Split is a matrix divided into a "local" part and a "remote" part with
@@ -186,75 +213,73 @@ type Split struct {
 // NewSplit partitions the columns of a at the boundary localCols. The local
 // half keeps the full row count; the remote half stores halo-coupled rows
 // only. Row-wise the two passes still write the same result vector (the
-// second with += semantics). Storage for both halves is pre-sized from a
-// counting pass, so construction does one allocation per array.
+// second with += semantics). Construction favors the two shared builders
+// over a fused single sweep: it scans a once per half per (count, fill)
+// pass, an O(nnz) plan-build cost paid once per rank.
 func NewSplit(a *matrix.CSR, localCols int) *Split {
 	if localCols < 0 || localCols > a.NumCols {
 		panic(fmt.Sprintf("spmv: split boundary %d outside [0,%d]", localCols, a.NumCols))
 	}
-	// Counting pass: local entries per row, remote entries and rows overall.
-	var nnzLoc, nnzRem int64
-	remRows := 0
-	for i := 0; i < a.NumRows; i++ {
-		cols, _ := a.Row(i)
-		// Columns are ascending in canonical CSR, but count linearly to stay
-		// correct for unsorted rows too.
-		rem := 0
-		for _, c := range cols {
-			if int(c) >= localCols {
-				rem++
-			}
-		}
-		nnzLoc += int64(len(cols) - rem)
-		nnzRem += int64(rem)
-		if rem > 0 {
-			remRows++
-		}
+	return &Split{
+		Local:     a.RestrictCols(0, localCols),
+		Remote:    NewCompactRemote(a, localCols),
+		LocalCols: localCols,
 	}
-	loc := &matrix.CSR{
-		NumRows: a.NumRows, NumCols: a.NumCols,
-		RowPtr: make([]int64, a.NumRows+1),
-		ColIdx: make([]int32, 0, nnzLoc),
-		Val:    make([]float64, 0, nnzLoc),
-	}
-	rem := &CompactCSR{
-		NumRows: a.NumRows, NumCols: a.NumCols,
-		Rows:   make([]int32, 0, remRows),
-		RowPtr: make([]int64, 1, remRows+1),
-		ColIdx: make([]int32, 0, nnzRem),
-		Val:    make([]float64, 0, nnzRem),
-	}
-	for i := 0; i < a.NumRows; i++ {
-		cols, vals := a.Row(i)
-		for k, c := range cols {
-			if int(c) < localCols {
-				loc.ColIdx = append(loc.ColIdx, c)
-				loc.Val = append(loc.Val, vals[k])
-			} else {
-				rem.ColIdx = append(rem.ColIdx, c)
-				rem.Val = append(rem.Val, vals[k])
-			}
-		}
-		loc.RowPtr[i+1] = int64(len(loc.ColIdx))
-		if int64(len(rem.ColIdx)) > rem.RowPtr[len(rem.RowPtr)-1] {
-			rem.Rows = append(rem.Rows, int32(i))
-			rem.RowPtr = append(rem.RowPtr, int64(len(rem.ColIdx)))
-		}
-	}
-	return &Split{Local: loc, Remote: rem, LocalCols: localCols}
 }
 
-// MulVecLocal computes y = A_local·x over the given chunks on the team.
-func (s *Split) MulVecLocal(t *Team, chunks []Range, y, x []float64) {
+// AsFormatSplit returns the format-generic view of the split, with the CSR
+// local half as its matrix.Format. The halves are shared, not copied.
+func (s *Split) AsFormatSplit() *FormatSplit {
+	return &FormatSplit{Local: s.Local, Remote: s.Remote, LocalCols: s.LocalCols}
+}
+
+// FormatSplit is the format-generic Split of the overlap modes: the local
+// half in any storage format (CSR, SELL-C-σ, …), the remote half always the
+// compacted CSR. The two passes are barrier-separated, so the local pass is
+// chunked in the local format's block space while the remote pass is
+// chunked in the compacted remote's stored-row space — each balanced on its
+// own nonzero counts.
+type FormatSplit struct {
+	Local     matrix.Format
+	Remote    *CompactCSR
+	LocalCols int
+}
+
+// NewFormatSplit builds the format-generic split of a at column boundary
+// localCols: the local half via the builder's column-range conversion, the
+// remote half compacted to halo-coupled rows.
+func NewFormatSplit(a *matrix.CSR, localCols int, b matrix.FormatBuilder) (*FormatSplit, error) {
+	local, err := b.BuildColRange(a, 0, localCols)
+	if err != nil {
+		return nil, fmt.Errorf("spmv: building %s local half: %w", b.Name(), err)
+	}
+	return &FormatSplit{Local: local, Remote: NewCompactRemote(a, localCols), LocalCols: localCols}, nil
+}
+
+// LocalChunks chunks the local pass by the local format's blocks, balanced
+// on its stored (incl. padded) entries.
+func (s *FormatSplit) LocalChunks(parts int) []Range {
+	return BalanceNnz(s.Local.BlockNnzPrefix(), parts)
+}
+
+// RemoteChunks chunks the remote pass by stored rows, balanced on the
+// compacted remote's nnz.
+func (s *FormatSplit) RemoteChunks(parts int) []Range {
+	return BalanceNnz(s.Remote.RowPtr, parts)
+}
+
+// MulVecLocal computes y = A_local·x over local block chunks on the team.
+func (s *FormatSplit) MulVecLocal(t *Team, chunks []Range, y, x []float64) {
 	t.RunSubteam(len(chunks), func(w int) {
-		RangeKernel(y, s.Local, x, chunks[w])
+		r := chunks[w]
+		s.Local.MulVecBlocks(y, x, r.Lo, r.Hi)
 	})
 }
 
-// MulVecRemoteAdd computes y += A_remote·x over the given chunks, visiting
-// only the rows with remote nonzeros.
-func (s *Split) MulVecRemoteAdd(t *Team, chunks []Range, y, x []float64) {
+// MulVecRemoteAdd computes y += A_remote·x over stored-row chunks.
+func (s *FormatSplit) MulVecRemoteAdd(t *Team, chunks []Range, y, x []float64) {
 	t.RunSubteam(len(chunks), func(w int) {
-		CompactKernelAdd(y, s.Remote, x, chunks[w])
+		r := chunks[w]
+		s.Remote.MulStoredRowsAdd(y, x, r.Lo, r.Hi)
 	})
 }

@@ -242,10 +242,10 @@ func TestSplitKernelsMatchSerial(t *testing.T) {
 
 	team := NewTeam(4)
 	defer team.Close()
-	chunks := BalanceNnz(a.RowPtr, 4)
+	fs := s.AsFormatSplit()
 	got := make([]float64, 400)
-	s.MulVecLocal(team, chunks, got, x)
-	s.MulVecRemoteAdd(team, chunks, got, x)
+	fs.MulVecLocal(team, fs.LocalChunks(4), got, x)
+	fs.MulVecRemoteAdd(team, fs.RemoteChunks(4), got, x)
 	if !vecsEqual(want, got, 1e-14) {
 		t.Error("split two-pass result differs from serial")
 	}
@@ -308,8 +308,8 @@ func TestCompactRemoteEquivalentToFullRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every stored row is nonempty and the row list is ascending (checked by
-	// Validate); the compact pass must match the full-row RangeKernelAdd on
-	// the expanded matrix bit for bit.
+	// Validate); the compact stored-row pass must match the full-row add
+	// kernel on the expanded matrix bit for bit, whatever the chunking.
 	full := rem.Expand()
 	if err := full.Validate(); err != nil {
 		t.Fatal(err)
@@ -319,16 +319,17 @@ func TestCompactRemoteEquivalentToFullRows(t *testing.T) {
 	}
 	x := randVec(22, 300)
 	y0 := randVec(23, 300) // nonzero start exercises the += semantics
+	yFull := append([]float64(nil), y0...)
+	full.MulVecBlocksAdd(yFull, x, 0, 300)
+	n := rem.NumStoredRows()
 	for _, chunks := range [][]Range{
-		{{0, 300}},
-		BalanceNnz(a.RowPtr, 4),
-		{{0, 0}, {0, 37}, {37, 300}},
+		{{0, n}},
+		BalanceNnz(rem.RowPtr, 4),
+		{{0, 0}, {0, n / 3}, {n / 3, n}},
 	} {
-		yFull := append([]float64(nil), y0...)
 		yCompact := append([]float64(nil), y0...)
 		for _, r := range chunks {
-			RangeKernelAdd(yFull, full, x, r)
-			CompactKernelAdd(yCompact, rem, x, r)
+			rem.MulStoredRowsAdd(yCompact, x, r.Lo, r.Hi)
 		}
 		for i := range yFull {
 			if yFull[i] != yCompact[i] {
@@ -343,6 +344,52 @@ func TestCompactRemoteEquivalentToFullRows(t *testing.T) {
 	}
 }
 
+func TestNewCompactRemoteMatchesSplit(t *testing.T) {
+	a := randomMatrix(25, 250, 250)
+	for _, boundary := range []int{0, 1, 97, 180, 250} {
+		want := NewSplit(a, boundary).Remote
+		got := NewCompactRemote(a, boundary)
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Expand().Equal(want.Expand()) {
+			t.Fatalf("boundary %d: standalone compact remote differs from NewSplit's", boundary)
+		}
+	}
+}
+
+func TestFormatSplitCSRBuilderMatchesSplit(t *testing.T) {
+	a := randomMatrix(33, 280, 280)
+	const boundary = 190
+	ref := NewSplit(a, boundary)
+	fs, err := NewFormatSplit(a, boundary, matrix.CSRBuilder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, ok := fs.Local.(*matrix.CSR)
+	if !ok {
+		t.Fatalf("CSRBuilder local half is %T, want *matrix.CSR", fs.Local)
+	}
+	if !local.Equal(ref.Local) {
+		t.Fatal("format split local half differs from NewSplit's")
+	}
+	// Two-pass product through the format split matches the serial kernel
+	// bit for bit, with independently balanced chunkings for each pass.
+	x := randVec(34, 280)
+	want := make([]float64, 280)
+	Serial(want, a, x)
+	team := NewTeam(4)
+	defer team.Close()
+	got := make([]float64, 280)
+	fs.MulVecLocal(team, fs.LocalChunks(4), got, x)
+	fs.MulVecRemoteAdd(team, fs.RemoteChunks(4), got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("format split product differs from serial at row %d", i)
+		}
+	}
+}
+
 func TestSplitBitIdenticalToSerial(t *testing.T) {
 	a := randomMatrix(31, 400, 400)
 	x := randVec(32, 400)
@@ -350,11 +397,10 @@ func TestSplitBitIdenticalToSerial(t *testing.T) {
 	Serial(want, a, x)
 	team := NewTeam(4)
 	defer team.Close()
-	chunks := BalanceNnz(a.RowPtr, 4)
 	got := make([]float64, 400)
-	s := NewSplit(a, 240)
-	s.MulVecLocal(team, chunks, got, x)
-	s.MulVecRemoteAdd(team, chunks, got, x)
+	fs := NewSplit(a, 240).AsFormatSplit()
+	fs.MulVecLocal(team, fs.LocalChunks(4), got, x)
+	fs.MulVecRemoteAdd(team, fs.RemoteChunks(4), got, x)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("split two-pass not bit-identical to serial at row %d: %v != %v", i, got[i], want[i])
