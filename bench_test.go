@@ -333,15 +333,27 @@ func BenchmarkSTREAMTriad(b *testing.B) {
 func BenchmarkDistributedModes(b *testing.B) {
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
 	part := core.PartitionByNnz(a, 4)
 	plan, err := core.BuildPlan(a, part, true)
 	if err != nil {
 		b.Fatal(err)
 	}
+	cl, err := core.NewCluster(plan, core.WithThreads(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
 	for _, mode := range core.Modes {
 		b.Run(mode.String(), func(b *testing.B) {
+			if err := cl.SetMode(mode); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.MulDistributed(plan, x, mode, 2, 1)
+				if err := cl.Mul(y, x, 1); err != nil {
+					b.Fatal(err)
+				}
 			}
 			reportSpmv(b, a.Nnz())
 		})
@@ -349,29 +361,82 @@ func BenchmarkDistributedModes(b *testing.B) {
 }
 
 // BenchmarkDistributedModesSELL is BenchmarkDistributedModes on a
-// SELL-C-σ-converted plan: the full local matrix and the split's local half
-// run in SELL-32-256 in every mode, the compacted remote pass stays CSR.
-// CI's benchmark smoke runs the overlap-mode cases so the format-generic
-// split pipeline is exercised on every push.
+// SELL-C-σ-converted session: the full local matrix and the split's local
+// half run in SELL-32-256 in every mode, the compacted remote pass stays
+// CSR. CI's benchmark smoke runs the overlap-mode cases so the
+// format-generic split pipeline is exercised on every push.
 func BenchmarkDistributedModesSELL(b *testing.B) {
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
+	y := make([]float64, a.NumRows)
 	part := core.PartitionByNnz(a, 4)
 	plan, err := core.BuildPlan(a, part, true)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := plan.ConvertFormat(formats.SELLBuilder{C: 32, Sigma: 256}); err != nil {
+	cl, err := core.NewCluster(plan, core.WithThreads(2),
+		core.WithFormat(formats.SELLBuilder{C: 32, Sigma: 256}))
+	if err != nil {
 		b.Fatal(err)
 	}
+	defer cl.Close()
 	for _, mode := range core.Modes {
 		b.Run(mode.String(), func(b *testing.B) {
+			if err := cl.SetMode(mode); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.MulDistributed(plan, x, mode, 2, 1)
+				if err := cl.Mul(y, x, 1); err != nil {
+					b.Fatal(err)
+				}
 			}
 			reportSpmv(b, a.Nnz())
 		})
 	}
+}
+
+// BenchmarkClusterReuse quantifies what the session API buys: one
+// multiplication on a resident core.Cluster (rank goroutines, teams, halo
+// buffers reused) against the deprecated per-call path that spawns a fresh
+// world + teams for every MulDistributed. The matrix is deliberately small
+// so setup dominates — the shape of a solver iteration, where the
+// multiplication itself is cheap and the runtime must already be there.
+func BenchmarkClusterReuse(b *testing.B) {
+	const n, ranks, threads = 2000, 4, 2
+	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: n, Bandwidth: 60, PerRow: 5, Seed: 7, Symmetric: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.Materialize(g)
+	x := randomX(n)
+	y := make([]float64, n)
+	plan, err := core.BuildPlan(a, core.PartitionByNnz(a, ranks), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("resident-cluster", func(b *testing.B) {
+		cl, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(threads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cl.Mul(y, x, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSpmv(b, a.Nnz())
+	})
+	b.Run("per-call-world", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MulDistributed(plan, x, core.TaskMode, threads, 1)
+		}
+		reportSpmv(b, a.Nnz())
+	})
 }
 
 // ---- Fig. 1: sparsity pattern extraction ------------------------------

@@ -10,28 +10,80 @@
 // simexec) that regenerates every figure of the evaluation. See README.md
 // and DESIGN.md.
 //
+// # The session API: core.Cluster
+//
+// The distributed runtime is session-oriented, mirroring the paper's
+// long-running applications (exact diagonalization, CG), where threads,
+// communicators and halo buffers persist across thousands of spMVM
+// iterations. core.NewCluster(plan, opts...) validates once and brings up
+// one resident rank goroutine per plan rank — compute team, communicator
+// and halo buffers included — configured through functional options
+// (core.WithMode, WithThreads, WithFormat, WithTransport). The session
+// then serves any number of jobs until Close:
+//
+//	cluster, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(4))
+//	defer cluster.Close()
+//	err = cluster.Mul(y, x, iters)          // distributed y = A^iters·x
+//	err = cluster.Run(func(w *core.Worker) { // SPMD job on the resident ranks
+//		... w.Step(mode); w.Comm.AllreduceScalar(...) ...
+//	})
+//	err = cluster.SetMode(core.VectorNaiveOverlap)        // live reconfiguration
+//	err = cluster.Convert(formats.SELLBuilder{C: 32, Sigma: 256})
+//
+// Between jobs the rank goroutines block on a job queue, so sequential
+// solves and benchmark sweeps reuse the same runtime instead of paying
+// world + team spawn per call (BenchmarkClusterReuse measures the gap).
+// SetMode switches the kernel organization and Convert swaps the storage
+// format in place — results stay bit-identical across both. The solvers
+// (solver.DistCG, solver.DistLanczos), the cmd/spmv-bench distributed
+// sweep and all examples/ run on one resident Cluster; misuse
+// (pattern-only plan, threads < 1, half-converted plan, unknown mode)
+// surfaces as errors from NewCluster rather than panics.
+//
+// core is decoupled from the concrete message-passing runtime by the
+// core.Comm interface (Rank/Size/Isend/Irecv/Waitall/Barrier/Allreduce…),
+// which *chanmpi.Comm satisfies directly; core.WithTransport plugs in an
+// alternative backend (e.g. a future multi-process TCP transport) without
+// touching the kernel modes.
+//
+// Migration from the deprecated per-call entry points (each is now a thin,
+// bit-identical shim over a throwaway Cluster):
+//
+//	core.MulDistributed(plan, x, mode, t, iters) → core.NewCluster(plan, core.WithMode(mode), core.WithThreads(t));
+//	                                               cluster.Mul(y, x, iters)
+//	core.RunSPMD(plan, t, body)                  → core.NewCluster(plan, core.WithThreads(t)); cluster.Run(body)
+//	core.NewWorker(rp, comm, t)                  → owned by the Cluster; use Cluster.Run to reach Workers
+//	solver.DistCG(plan, b, x, mode, t, …)        → solver.DistCG(cluster, b, x, …)
+//	solver.DistLanczos(plan, mode, t, m, seed)   → solver.DistLanczos(cluster, m, seed)
+//	solver.DistOperator{Plan, Mode, Threads}     → solver.DistOperator{Cluster: cluster}
+//
+// # Storage formats and kernels
+//
 // The kernel engine is format-generic end to end: every storage scheme —
 // CRS (internal/matrix), ELLPACK, JDS and SELL-C-σ (internal/formats) —
 // satisfies the matrix.Format interface, so the parallel engine
 // (spmv.Parallel), the solver operators (CG, Lanczos, KPM) and all three
-// distributed modes run on any of them. Plan.ConvertFormat takes a
-// matrix.FormatBuilder (e.g. formats.SELLBuilder) and converts both the
-// full local matrix (vector mode without overlap) and the local half of
-// the column split (naive overlap and task mode, via spmv.FormatSplit);
-// the remote half always stays a compacted CSR of the halo-coupled rows.
-// See internal/formats/README.md for the mode × format support matrix,
-// when SELL-C-σ beats CRS — including in the overlap modes, where the
-// Eq. (2) write-twice penalty scales with the halo — and how σ-sorting
-// composes with the RCM reordering of internal/rcm. All row kernels
-// accumulate in the same floating-point order (4-way unrolled over a
-// single accumulator), so serial CRS, parallel, split two-pass and
-// SELL-C-σ results are bit-identical in every mode. Each of the three
-// passes (full, split-local, compacted remote) is chunked independently,
-// balanced on its own nonzero counts; parallel regions are dispatched
-// through a sense-reversing barrier (one broadcast + one completion signal
-// per region) instead of per-worker channels.
+// distributed modes run on any of them. Plan.ConvertFormat (or the
+// session-level WithFormat/Convert) takes a matrix.FormatBuilder (e.g.
+// formats.SELLBuilder) and converts both the full local matrix (vector
+// mode without overlap) and the local half of the column split (naive
+// overlap and task mode, via spmv.FormatSplit); the remote half always
+// stays a compacted CSR of the halo-coupled rows. See
+// internal/formats/README.md for the mode × format support matrix, when
+// SELL-C-σ beats CRS — including in the overlap modes, where the Eq. (2)
+// write-twice penalty scales with the halo — and how σ-sorting composes
+// with the RCM reordering of internal/rcm. All row kernels accumulate in
+// the same floating-point order (4-way unrolled over a single
+// accumulator), so serial CRS, parallel, split two-pass and SELL-C-σ
+// results are bit-identical in every mode. Each of the three passes (full,
+// split-local, compacted remote) is chunked independently, balanced on its
+// own nonzero counts; parallel regions are dispatched through a
+// sense-reversing barrier (one broadcast + one completion signal per
+// region) instead of per-worker channels.
 //
 // cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot covering the
-// node kernels and the distributed modes × formats sweep (see BENCH_1.json,
-// BENCH_2.json) that tracks the repo's performance trajectory.
+// node kernels and the distributed modes × formats sweep on a resident
+// Cluster, plus a per-call reference point (see BENCH_1.json …
+// BENCH_3.json) that tracks the repo's performance trajectory; -mode
+// restricts the sweep to a single kernel mode.
 package repro

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expt"
@@ -26,6 +27,7 @@ func main() {
 		nodes   = flag.Int("nodes", 16, "cluster size in nodes")
 		linkGBs = flag.Float64("link", 3.4, "network link bandwidth [GB/s]")
 		torus   = flag.Bool("torus", false, "use a 2D torus instead of a fat tree")
+		verify  = flag.Bool("verify", false, "also run the workload for real on a resident core.Cluster session")
 	)
 	flag.Parse()
 
@@ -83,6 +85,48 @@ func main() {
 	if err := tbl.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+
+	if *verify {
+		// Cross-check the simulation numerically: bring the same workload up
+		// on one resident core.Cluster (in-process ranks instead of the
+		// modeled network) and run every kernel mode on the session, timing
+		// the resident multiplications. The session is built once; modes
+		// switch live with SetMode.
+		const ranks, threads, iters = 4, 2, 10
+		part := core.PartitionByNnz(gen, ranks)
+		plan, err := core.BuildPlan(gen, part, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster, err := core.NewCluster(plan, core.WithThreads(threads))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		var nnz int64
+		for _, rp := range plan.Ranks {
+			nnz += rp.NnzLocal + rp.NnzRemote
+		}
+		x := make([]float64, *n)
+		for i := range x {
+			x[i] = 1 / float64(i+1)
+		}
+		y := make([]float64, *n)
+		fmt.Printf("\nreal run on a resident core.Cluster (%d ranks × %d threads, in-process transport):\n", ranks, threads)
+		for _, mode := range core.Modes {
+			if err := cluster.SetMode(mode); err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			if err := cluster.Mul(y, x, iters); err != nil {
+				log.Fatal(err)
+			}
+			dt := time.Since(t0).Seconds() / iters
+			fmt.Printf("  %-22s %.2f GFlop/s (%.1f µs/MVM)\n", mode, 2*float64(nnz)/dt/1e9, dt*1e6)
+		}
+	}
+
 	fmt.Println("\nHint: rerun with -link 1.0 to see task mode's advantage grow as the network weakens,")
-	fmt.Println("or with -torus to route over a contended 2D torus (the paper's Cray XE6 effect).")
+	fmt.Println("or with -torus to route over a contended 2D torus (the paper's Cray XE6 effect),")
+	fmt.Println("or with -verify to execute the workload for real on a resident core.Cluster session.")
 }

@@ -53,15 +53,21 @@ func main() {
 	}
 	fmt.Printf("serial Lanczos(%d):      E₀ = %.10f  (%.2fs)\n", *steps, serial, time.Since(t0).Seconds())
 
-	// Same computation fully distributed: persistent SPMD ranks, one halo
+	// Same computation fully distributed: one resident core.Cluster session
+	// (rank goroutines, teams, halo buffers brought up once), one halo
 	// exchange per multiplication in task mode, reductions via Allreduce.
 	part := core.PartitionByNnz(h, *ranks)
 	plan, err := core.BuildPlan(h, part, true)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cluster, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
 	t0 = time.Now()
-	distRes, err := solver.DistLanczos(plan, core.TaskMode, 2, *steps, 7)
+	distRes, err := solver.DistLanczos(cluster, *steps, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

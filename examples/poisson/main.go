@@ -80,11 +80,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Fully distributed SPMD solve: persistent ranks, halo exchanges per
-	// multiplication, dot products via Allreduce.
+	// Fully distributed SPMD solve on a resident core.Cluster session:
+	// ranks, teams and halo buffers are brought up once and persist across
+	// every multiplication of the solve; dot products ride Allreduce.
+	cluster, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
 	xd := make([]float64, n)
 	t0 := time.Now()
-	resD, err := solver.DistCG(plan, b, xd, core.TaskMode, 2, *tol, 10*n)
+	resD, err := solver.DistCG(cluster, b, xd, *tol, 10*n)
 	if err != nil {
 		log.Fatal(err)
 	}

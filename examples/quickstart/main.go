@@ -2,6 +2,11 @@
 // worker team, and distributed across message-passing ranks in all three of
 // the paper's kernel modes — verifying that every variant produces the same
 // result.
+//
+// The distributed part runs on one resident core.Cluster session: the rank
+// goroutines, compute teams and halo buffers come up once in NewCluster and
+// serve every multiplication until Close. Mode and storage format are live
+// reconfiguration (SetMode, Convert) — no rebuild between jobs.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/formats"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
 	"repro/internal/spmv"
@@ -47,7 +53,8 @@ func main() {
 	fmt.Printf("team kernel max diff vs serial: %.2e\n", maxDiff(ySerial, yTeam))
 
 	// 3. Distributed over 4 ranks: partition by nonzeros, build the halo
-	// exchange plan, run each hybrid kernel mode.
+	// exchange plan, bring up one resident cluster session with 2 compute
+	// threads per rank, and run each hybrid kernel mode on it.
 	part := core.PartitionByNnz(a, 4)
 	plan, err := core.BuildPlan(a, part, true)
 	if err != nil {
@@ -57,10 +64,36 @@ func main() {
 		fmt.Printf("rank %d: rows %d..%d, halo %d elements from %d peers\n",
 			r, rp.Rows.Lo, rp.Rows.Hi, rp.HaloSize(), len(rp.RecvFrom))
 	}
+	cluster, err := core.NewCluster(plan, core.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	y := make([]float64, a.NumRows)
 	for _, mode := range core.Modes {
-		y := core.MulDistributed(plan, x, mode, 2, 1)
+		if err := cluster.SetMode(mode); err != nil {
+			log.Fatal(err)
+		}
+		if err := cluster.Mul(y, x, 1); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s max diff vs serial: %.2e\n", mode, maxDiff(ySerial, y))
 	}
+
+	// 4. Live storage-format reconfiguration on the same resident session:
+	// convert the local matrices to SELL-C-σ between jobs and rerun task
+	// mode — the result stays bit-identical to the CSR kernels.
+	if err := cluster.Convert(formats.SELLBuilder{C: 32, Sigma: 256}); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.SetMode(core.TaskMode); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Mul(y, x, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s max diff vs serial: %.2e (after live Convert to SELL-32-256)\n",
+		"task-mode/sell", maxDiff(ySerial, y))
 }
 
 func maxDiff(a, b []float64) float64 {

@@ -91,10 +91,24 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
-// Request tracks a nonblocking operation. A send request completes when the
-// message has been handed to the runtime (buffered semantics); a receive
-// request completes when a matching message has been copied into its buffer.
-type Request struct {
+// Request is the handle of a nonblocking operation. A send request completes
+// when the message has been handed to the runtime (buffered semantics); a
+// receive request completes when a matching message has been copied into its
+// buffer. Request is an interface so that alternative transports (a real
+// multi-process backend, the simulator re-enactment) can hand out their own
+// request handles behind the same core.Comm contract.
+type Request interface {
+	// Wait blocks until the operation completes and returns the element
+	// count (zero for sends). Wait panics if the operation failed
+	// (truncation).
+	Wait() int
+	// Done reports whether the operation has completed without blocking
+	// (MPI_Test).
+	Done() bool
+}
+
+// request is the chanmpi-backed Request implementation.
+type request struct {
 	done chan struct{}
 	// For receives: number of elements delivered.
 	n int
@@ -108,9 +122,7 @@ type Request struct {
 	err string
 }
 
-// Wait blocks until the operation completes and returns the element count
-// (zero for sends). Wait panics if the operation failed (truncation).
-func (r *Request) Wait() int {
+func (r *request) Wait() int {
 	if r == nil {
 		return 0
 	}
@@ -121,9 +133,7 @@ func (r *Request) Wait() int {
 	return r.n
 }
 
-// Done reports whether the operation has completed without blocking
-// (MPI_Test).
-func (r *Request) Done() bool {
+func (r *request) Done() bool {
 	if r == nil {
 		return true
 	}
@@ -135,18 +145,25 @@ func (r *Request) Done() bool {
 	}
 }
 
-// Waitall waits for every request (MPI_Waitall).
-func Waitall(reqs ...*Request) {
+// Waitall waits for every request (MPI_Waitall). Nil requests are trivially
+// complete.
+func Waitall(reqs ...Request) {
 	for _, r := range reqs {
-		r.Wait()
+		if r != nil {
+			r.Wait()
+		}
 	}
 }
+
+// Waitall waits for every request (MPI_Waitall), as a method so the
+// communicator handle alone carries the full point-to-point contract.
+func (c *Comm) Waitall(reqs ...Request) { Waitall(reqs...) }
 
 // mailbox holds the unmatched messages and posted receives of one rank.
 type mailbox struct {
 	mu sync.Mutex
 	// recvs are posted, unmatched receive requests in posting order.
-	recvs []*Request
+	recvs []*request
 	// sends are arrived, unmatched messages in arrival order.
 	sends []*inflight
 }
@@ -160,11 +177,11 @@ type inflight struct {
 // The runtime copies the payload immediately (buffered send), so the caller
 // may reuse data as soon as Isend returns; the returned request is already
 // complete and exists for symmetry with MPI call sites.
-func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+func (c *Comm) Isend(dst, tag int, data []float64) Request {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("chanmpi: Isend to invalid rank %d", dst))
 	}
-	req := &Request{done: make(chan struct{})}
+	req := &request{done: make(chan struct{})}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
 	// Match the earliest posted receive with the same (src, tag).
@@ -191,11 +208,11 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 // Irecv posts a nonblocking receive into buf for a message from rank src
 // with the given tag. The message length must not exceed len(buf); a longer
 // message is a truncation error and panics, matching MPI's error semantics.
-func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+func (c *Comm) Irecv(src, tag int, buf []float64) Request {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("chanmpi: Irecv from invalid rank %d", src))
 	}
-	req := &Request{done: make(chan struct{}), src: src, tag: tag, buf: buf, isRecv: true}
+	req := &request{done: make(chan struct{}), src: src, tag: tag, buf: buf, isRecv: true}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	// Match the earliest buffered message with the same (src, tag).
@@ -224,7 +241,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 // before panicking on it — panicking under the lock would leave the
 // mailbox poisoned and deadlock every other rank touching it instead of
 // propagating the failure through World.Run.
-func deliver(r *Request, data []float64) (errMsg string) {
+func deliver(r *request, data []float64) (errMsg string) {
 	if len(data) > len(r.buf) {
 		msg := fmt.Sprintf("chanmpi: message of %d elements truncated by %d-element buffer (src %d, tag %d)",
 			len(data), len(r.buf), r.src, r.tag)

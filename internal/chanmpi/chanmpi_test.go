@@ -339,8 +339,10 @@ func TestInvalidRanks(t *testing.T) {
 }
 
 func TestNilRequestWait(t *testing.T) {
-	var r *Request
-	if r.Wait() != 0 || !r.Done() {
+	var typed *request
+	if typed.Wait() != 0 || !typed.Done() {
 		t.Error("nil request should be trivially complete")
 	}
+	var iface Request
+	Waitall(iface, typed) // nil interface and typed nil both trivially complete
 }

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// Cluster is the persistent distributed runtime behind every multiplication,
+// solve and sweep: rank goroutines, compute teams, communicators and halo
+// buffers are brought up once by NewCluster and stay resident until Close.
+// Between submissions the rank goroutines block on a job queue, so
+// sequential solves and benchmark sweeps reuse the same runtime instead of
+// paying the world + team spawn per call — the paper's long-running
+// application shape (exact diagonalization, CG), where threads and
+// communicators persist across thousands of spMVM iterations.
+//
+// Jobs (Mul, Run, Convert's refresh) are serialized: a second submission
+// queues until the current one drains. Live reconfiguration between jobs
+// goes through SetMode and Convert. A Cluster must be closed to release its
+// worker teams; Close is idempotent.
+//
+// Because submissions hold the cluster's lock until the job drains, a job
+// body must not call back into Mul, Run, SetMode, Convert or Close — doing
+// so self-deadlocks. Mode is the exception: it is lock-free and safe from
+// inside a body.
+type Cluster struct {
+	plan      *Plan
+	threads   int
+	transport Transport
+
+	workers []*Worker
+	jobs    []chan *job
+	done    sync.WaitGroup // rank-goroutine exit
+
+	mode atomic.Int32 // current Mode; lock-free so job bodies may read it
+
+	mu     sync.Mutex // serializes submissions and reconfiguration
+	closed bool
+}
+
+// job is one SPMD submission: every rank runs body on its resident Worker.
+type job struct {
+	body   func(*Worker)
+	wg     sync.WaitGroup
+	panics []any // per-rank recovered panics
+}
+
+// Option configures a Cluster at construction.
+type Option func(*clusterConfig)
+
+type clusterConfig struct {
+	mode      Mode
+	threads   int
+	format    matrix.FormatBuilder
+	transport Transport
+}
+
+// WithMode selects the kernel mode multiplications run in (default
+// VectorNoOverlap); SetMode changes it later without rebuilding.
+func WithMode(m Mode) Option { return func(c *clusterConfig) { c.mode = m } }
+
+// WithThreads sets the compute-team size per rank (default 1) — the paper's
+// "worker threads"; in task mode the rank's own goroutine plays the
+// dedicated communication thread on top of them.
+func WithThreads(n int) Option { return func(c *clusterConfig) { c.threads = n } }
+
+// WithFormat converts the plan's local matrices to the builder's storage
+// scheme (e.g. formats.SELLBuilder) before the workers spin up — equivalent
+// to Plan.ConvertFormat followed by NewCluster.
+func WithFormat(b matrix.FormatBuilder) Option { return func(c *clusterConfig) { c.format = b } }
+
+// WithTransport substitutes the message-passing backend (default
+// ChanTransport, the in-process chanmpi runtime).
+func WithTransport(t Transport) Option { return func(c *clusterConfig) { c.transport = t } }
+
+// NewCluster validates the plan and options once, spins up one resident
+// rank goroutine (with Worker, compute team and halo buffers) per plan rank,
+// and returns the running Cluster. All misuse that the deprecated shims
+// still panic on — pattern-only plan, threads < 1, half-converted plan,
+// unknown mode — surfaces here as an error.
+func NewCluster(plan *Plan, opts ...Option) (*Cluster, error) {
+	if plan == nil || plan.Part == nil {
+		return nil, fmt.Errorf("core: NewCluster needs a non-nil plan")
+	}
+	cfg := clusterConfig{mode: VectorNoOverlap, threads: 1, transport: ChanTransport{}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.mode.valid() {
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.mode)
+	}
+	if cfg.threads < 1 {
+		// Checked before WithFormat runs: construction must fail without
+		// the durable side effect of converting the caller's plan.
+		return nil, fmt.Errorf("core: threads %d < 1", cfg.threads)
+	}
+	if cfg.format != nil {
+		if err := plan.ConvertFormat(cfg.format); err != nil {
+			return nil, err
+		}
+	}
+	ranks := plan.Part.NumRanks()
+	comms, err := cfg.transport.Connect(ranks)
+	if err != nil {
+		return nil, err
+	}
+	if len(comms) != ranks {
+		return nil, fmt.Errorf("core: transport connected %d ranks, plan has %d", len(comms), ranks)
+	}
+
+	c := &Cluster{
+		plan:      plan,
+		threads:   cfg.threads,
+		transport: cfg.transport,
+		workers:   make([]*Worker, ranks),
+		jobs:      make([]chan *job, ranks),
+	}
+	c.mode.Store(int32(cfg.mode))
+	for r := 0; r < ranks; r++ {
+		w, err := newWorker(plan.Ranks[r], comms[r], cfg.threads)
+		if err != nil {
+			for _, built := range c.workers[:r] {
+				built.Close()
+			}
+			return nil, err
+		}
+		c.workers[r] = w
+		c.jobs[r] = make(chan *job)
+	}
+	for r := 0; r < ranks; r++ {
+		c.done.Add(1)
+		go c.rankLoop(r)
+	}
+	return c, nil
+}
+
+// rankLoop is the resident rank goroutine: block on the job queue, run each
+// job on this rank's Worker, release the team on shutdown. In task mode this
+// goroutine doubles as the dedicated communication thread (it sits inside
+// Waitall while the team computes).
+func (c *Cluster) rankLoop(r int) {
+	defer c.done.Done()
+	w := c.workers[r]
+	defer w.Close()
+	for j := range c.jobs[r] {
+		runJob(j, r, w)
+	}
+}
+
+// runJob executes one job body on one rank, converting a panic into a
+// recorded per-rank failure so the submitter can report it as an error.
+func runJob(j *job, r int, w *Worker) {
+	defer j.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			j.panics[r] = p
+		}
+	}()
+	j.body(w)
+}
+
+// Ranks returns the number of message-passing ranks.
+func (c *Cluster) Ranks() int { return len(c.workers) }
+
+// Threads returns the compute-team size per rank.
+func (c *Cluster) Threads() int { return c.threads }
+
+// Rows returns the global matrix dimension.
+func (c *Cluster) Rows() int { return c.plan.Part.Rows() }
+
+// Plan returns the communication plan the cluster executes. Mutating it
+// while jobs run is a race; use Convert for live format changes.
+func (c *Cluster) Plan() *Plan { return c.plan }
+
+// Mode returns the kernel mode multiplications currently run in. It is
+// lock-free, so — unlike every other Cluster method — it may be called from
+// inside a Run job body.
+func (c *Cluster) Mode() Mode { return Mode(c.mode.Load()) }
+
+// SetMode switches the kernel mode for subsequent multiplications, without
+// touching the resident runtime. It takes effect after in-flight jobs drain.
+func (c *Cluster) SetMode(m Mode) error {
+	if !m.valid() {
+		return fmt.Errorf("core: unknown mode %v", m)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: SetMode on closed cluster")
+	}
+	c.mode.Store(int32(m))
+	return nil
+}
+
+// Convert switches the plan's local matrices to the builder's storage scheme
+// between jobs (see Plan.ConvertFormat) and refreshes every resident
+// worker's kernels and chunking. The refresh rides the job queue, so it is
+// ordered after any in-flight job.
+func (c *Cluster) Convert(b matrix.FormatBuilder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: Convert on closed cluster")
+	}
+	if err := c.plan.ConvertFormat(b); err != nil {
+		return err
+	}
+	return c.submitLocked(func(w *Worker) { w.refresh() })
+}
+
+// Run executes body once per rank on the resident Workers — the SPMD entry
+// point entire iterative algorithms (CG, Lanczos, …) run on. body runs
+// concurrently on all ranks; cross-rank coordination goes through w.Comm.
+// Run returns after every rank's body has finished; a panic on any rank is
+// returned as an error (after all ranks finish — a rank blocked on a
+// collective its peers abandoned will hang, exactly as in MPI). body must
+// not call back into Mul, Run, SetMode, Convert or Close (self-deadlock);
+// Mode is safe.
+func (c *Cluster) Run(body func(w *Worker)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: Run on closed cluster")
+	}
+	return c.submitLocked(body)
+}
+
+// submitLocked broadcasts one job to every rank queue and waits for it to
+// drain. Caller holds c.mu.
+func (c *Cluster) submitLocked(body func(w *Worker)) error {
+	j := &job{body: body, panics: make([]any, len(c.workers))}
+	j.wg.Add(len(c.workers))
+	for _, q := range c.jobs {
+		q <- j
+	}
+	j.wg.Wait()
+	for r, p := range j.panics {
+		if p != nil {
+			return fmt.Errorf("core: rank %d panicked: %v", r, p)
+		}
+	}
+	return nil
+}
+
+// Mul runs iters distributed multiplications y = A^iters·x in the cluster's
+// current mode and gathers the global result into y. x and y are global
+// vectors of length Rows; they may alias.
+func (c *Cluster) Mul(y, x []float64, iters int) error {
+	rows := c.plan.Part.Rows()
+	if len(x) != rows || len(y) != rows {
+		return fmt.Errorf("core: Mul dimension mismatch (matrix %d rows, len(x)=%d, len(y)=%d)", rows, len(x), len(y))
+	}
+	if iters < 1 {
+		return fmt.Errorf("core: Mul needs iters ≥ 1, got %d", iters)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: Mul on closed cluster")
+	}
+	mode := c.Mode()
+	return c.submitLocked(func(w *Worker) {
+		rp := w.Plan
+		copy(w.X[:rp.NLocal], x[rp.Rows.Lo:rp.Rows.Hi])
+		for it := 0; it < iters; it++ {
+			w.Step(mode)
+			if it < iters-1 {
+				// Next iteration multiplies the previous result.
+				copy(w.X[:rp.NLocal], w.Y)
+			}
+		}
+		copy(y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
+	})
+}
+
+// Close shuts the rank goroutines down, releases the compute teams, and —
+// if the transport implements io.Closer — closes the transport's world.
+// Close is idempotent and safe after partial use; jobs submitted after
+// Close fail with an error.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, q := range c.jobs {
+		close(q)
+	}
+	c.mu.Unlock()
+	c.done.Wait()
+	if cl, ok := c.transport.(interface{ Close() error }); ok {
+		return cl.Close()
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chanmpi"
+)
+
+// Request and ReduceOp are the transport-neutral contract types of the
+// distributed runtime. They alias the chanmpi definitions — pure interface
+// and enum, with none of the in-process runtime attached — so that
+// *chanmpi.Comm satisfies Comm directly while alternative backends only
+// have to implement two tiny methods per request handle.
+type Request = chanmpi.Request
+
+// ReduceOp selects the combining operation of Allreduce.
+type ReduceOp = chanmpi.ReduceOp
+
+// Reduction operations understood by every transport.
+const (
+	OpSum = chanmpi.OpSum
+	OpMax = chanmpi.OpMax
+	OpMin = chanmpi.OpMin
+)
+
+// Comm is one rank's communicator: the complete message-passing surface the
+// kernel modes and the SPMD solvers consume. It decouples internal/core from
+// the concrete runtime — *chanmpi.Comm satisfies it as-is, and a future
+// backend (a simmpi re-enactment, a TCP multi-process transport) plugs in
+// behind a Transport without touching the modes.
+type Comm interface {
+	// Rank returns this rank's id in [0, Size).
+	Rank() int
+	// Size returns the world size.
+	Size() int
+	// Isend starts a nonblocking send of data to rank dst with the given
+	// tag. Buffered semantics: the caller may reuse data on return.
+	Isend(dst, tag int, data []float64) Request
+	// Irecv posts a nonblocking receive into buf for a message from rank
+	// src with the given tag.
+	Irecv(src, tag int, buf []float64) Request
+	// Waitall blocks until every request has completed (MPI_Waitall).
+	Waitall(reqs ...Request)
+	// Barrier blocks until all ranks have entered it.
+	Barrier()
+	// Allreduce combines in-vectors elementwise across all ranks; the
+	// returned slice is shared across ranks and must be treated read-only.
+	Allreduce(op ReduceOp, in []float64) []float64
+	// AllreduceScalar combines a single value across all ranks.
+	AllreduceScalar(op ReduceOp, v float64) float64
+	// AllgatherInt64 gathers one int64 from every rank, indexed by rank;
+	// the result is shared read-only across ranks.
+	AllgatherInt64(v int64) []int64
+}
+
+// Transport brings up the message-passing world a Cluster runs on.
+//
+// A transport whose world holds external resources (sockets, processes)
+// should additionally implement io.Closer: Cluster.Close calls Close once
+// after the rank goroutines have drained. A Transport shared across
+// clusters must tolerate that call per cluster.
+type Transport interface {
+	// Connect establishes a world of the given size and returns one
+	// communicator per rank. The communicators stay valid until the
+	// Cluster is closed.
+	Connect(size int) ([]Comm, error)
+}
+
+// ChanTransport is the default Transport: the in-process chanmpi runtime,
+// one goroutine-backed rank per communicator.
+type ChanTransport struct{}
+
+// Connect creates a chanmpi world and hands out its rank communicators.
+func (ChanTransport) Connect(size int) ([]Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: world size %d < 1", size)
+	}
+	w := chanmpi.NewWorld(size)
+	comms := make([]Comm, size)
+	for r := range comms {
+		comms[r] = w.Comm(r)
+	}
+	return comms, nil
+}
+
+// Interface satisfaction check: the in-process runtime is a valid backend.
+var _ Comm = (*chanmpi.Comm)(nil)

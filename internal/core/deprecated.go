@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Deprecated entry points from the tear-down-per-call era. Each is a thin
+// shim over a throwaway Cluster, so results are bit-identical to the session
+// API; unlike the Cluster methods they keep the historical panic-on-misuse
+// behavior. New code should hold a Cluster for the lifetime of its workload.
+
+// NewWorker prepares the execution state of one rank.
+//
+// Deprecated: workers are owned by a Cluster; use NewCluster, whose
+// validation surfaces these panics as errors.
+func NewWorker(rp *RankPlan, comm Comm, threads int) *Worker {
+	w, err := newWorker(rp, comm, threads)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
+}
+
+// RunSPMD executes body once per rank with a fully initialized Worker.
+//
+// Deprecated: use NewCluster + Cluster.Run, which keeps the ranks resident
+// across submissions instead of re-spawning the world per call.
+func RunSPMD(plan *Plan, threads int, body func(w *Worker)) {
+	c, err := NewCluster(plan, WithThreads(threads))
+	if err != nil {
+		panic(err.Error())
+	}
+	defer c.Close()
+	if err := c.Run(body); err != nil {
+		panic(err.Error())
+	}
+}
+
+// MulDistributed runs iters distributed multiplications y = A^iters·x
+// spread over the plan's ranks and returns the gathered global result.
+//
+// Deprecated: use NewCluster + Cluster.Mul, which reuses one resident
+// runtime across multiplications instead of paying world + team spawn per
+// call.
+func MulDistributed(plan *Plan, x []float64, mode Mode, threads, iters int) []float64 {
+	c, err := NewCluster(plan, WithMode(mode), WithThreads(threads))
+	if err != nil {
+		panic(err.Error())
+	}
+	defer c.Close()
+	rows := plan.Part.Rows()
+	if len(x) != rows {
+		panic(fmt.Sprintf("core: len(x)=%d, matrix has %d rows", len(x), rows))
+	}
+	y := make([]float64, rows)
+	if iters < 1 {
+		// Historical behavior: zero multiplications yield the zero vector
+		// (Cluster.Mul instead rejects iters < 1 as an error).
+		return y
+	}
+	if err := c.Mul(y, x, iters); err != nil {
+		panic(err.Error())
+	}
+	return y
+}

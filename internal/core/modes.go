@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
-	"repro/internal/chanmpi"
 	"repro/internal/matrix"
 	"repro/internal/spmv"
 )
@@ -44,6 +44,26 @@ func (m Mode) String() string {
 // Modes lists all kernel modes in presentation order.
 var Modes = []Mode{VectorNoOverlap, VectorNaiveOverlap, TaskMode}
 
+// valid reports whether m is one of the defined kernel modes.
+func (m Mode) valid() bool {
+	return m == VectorNoOverlap || m == VectorNaiveOverlap || m == TaskMode
+}
+
+// ParseMode maps a mode name to its Mode value. It accepts the canonical
+// String() names ("vector-no-overlap", "vector-naive-overlap", "task-mode")
+// and the short aliases "vector", "naive" and "task".
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "vector-no-overlap", "vector", "no-overlap":
+		return VectorNoOverlap, nil
+	case "vector-naive-overlap", "naive", "naive-overlap":
+		return VectorNaiveOverlap, nil
+	case "task-mode", "task":
+		return TaskMode, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want vector-no-overlap, vector-naive-overlap or task-mode)", s)
+}
+
 // haloTag is the message tag of halo exchanges. Matching is FIFO per
 // (source, tag), so a single tag is sufficient across iterations.
 const haloTag = 0
@@ -53,7 +73,7 @@ const haloTag = 0
 // [NLocal, VectorLen); Y holds the owned result rows.
 type Worker struct {
 	Plan *RankPlan
-	Comm *chanmpi.Comm
+	Comm Comm
 	Team *spmv.Team
 
 	X []float64
@@ -73,25 +93,25 @@ type Worker struct {
 	fullChunks   []spmv.Range
 
 	sendBufs [][]float64
-	reqs     []*chanmpi.Request
+	reqs     []Request
 }
 
-// NewWorker prepares the execution state of one rank. threads is the size
+// newWorker prepares the execution state of one rank. threads is the size
 // of the compute team (the paper's "worker threads"); in task mode the
 // communication role is played by the rank's own goroutine, mirroring the
 // dedicated communication thread that may run on a virtual core.
-func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
+func newWorker(rp *RankPlan, comm Comm, threads int) (*Worker, error) {
 	if rp.A == nil {
-		panic("core: NewWorker needs a plan built with values")
+		return nil, fmt.Errorf("core: rank %d has no local matrix (plan must be built with values)", rp.Rank)
 	}
 	if threads < 1 {
-		panic(fmt.Sprintf("core: threads %d < 1", threads))
+		return nil, fmt.Errorf("core: threads %d < 1", threads)
 	}
 	if (rp.Format == nil) != (rp.SplitFormat == nil) {
 		// A half-set conversion would run some modes on the converted format
 		// and others on CSR — numerically equal but silently different in
 		// speed. Plan.ConvertFormat always sets both.
-		panic("core: rank plan converted for only some modes (Format and SplitFormat must be set together; use Plan.ConvertFormat)")
+		return nil, fmt.Errorf("core: rank %d plan converted for only some modes (Format and SplitFormat must be set together; use Plan.ConvertFormat)", rp.Rank)
 	}
 	w := &Worker{
 		Plan: rp,
@@ -100,6 +120,20 @@ func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
 		X:    make([]float64, rp.VectorLen()),
 		Y:    make([]float64, rp.NLocal),
 	}
+	w.refresh()
+	w.sendBufs = make([][]float64, len(rp.SendTo))
+	for i, tx := range rp.SendTo {
+		w.sendBufs[i] = make([]float64, tx.Count)
+	}
+	return w, nil
+}
+
+// refresh re-reads the plan's storage formats and rebalances the kernel
+// chunking — the hook Cluster.Convert uses to apply a live ConvertFormat to
+// already-resident workers. Must not run concurrently with Step.
+func (w *Worker) refresh() {
+	rp := w.Plan
+	threads := w.Team.Size()
 	w.local = rp.A
 	w.split = rp.Split.AsFormatSplit()
 	if rp.Format != nil {
@@ -109,11 +143,6 @@ func NewWorker(rp *RankPlan, comm *chanmpi.Comm, threads int) *Worker {
 	w.localChunks = w.split.LocalChunks(threads)
 	w.remoteChunks = w.split.RemoteChunks(threads)
 	w.fullChunks = spmv.BalanceNnz(w.local.BlockNnzPrefix(), threads)
-	w.sendBufs = make([][]float64, len(rp.SendTo))
-	for i, tx := range rp.SendTo {
-		w.sendBufs[i] = make([]float64, tx.Count)
-	}
-	return w
 }
 
 // Close releases the worker's compute team.
@@ -144,7 +173,7 @@ func (w *Worker) gatherAndSend() {
 
 // waitHalo blocks until every halo segment has arrived.
 func (w *Worker) waitHalo() {
-	chanmpi.Waitall(w.reqs...)
+	w.Comm.Waitall(w.reqs...)
 }
 
 // Step performs one distributed multiplication Y = A·X in the given mode.
@@ -213,47 +242,4 @@ func (w *Worker) stepTaskMode() {
 	w.waitHalo()
 	<-computeDone // the omp_barrier of Fig. 4c
 	w.remotePass()
-}
-
-// RunSPMD executes body once per rank with a fully initialized Worker —
-// persistent compute teams, communicator and halo buffers — so entire
-// iterative algorithms (CG, Lanczos, …) run distributed without
-// re-spawning ranks per multiplication. body runs concurrently on all
-// ranks; cross-rank coordination goes through w.Comm.
-func RunSPMD(plan *Plan, threads int, body func(w *Worker)) {
-	world := chanmpi.NewWorld(plan.Part.NumRanks())
-	world.Run(func(c *chanmpi.Comm) {
-		w := NewWorker(plan.Ranks[c.Rank()], c, threads)
-		defer w.Close()
-		body(w)
-	})
-}
-
-// MulDistributed runs `iters` distributed multiplications y = A^iters·x
-// spread over the plan's ranks with the given threads per rank, and returns
-// the gathered global result. It is the high-level entry point used by the
-// examples and tests; solvers drive Worker directly.
-func MulDistributed(plan *Plan, x []float64, mode Mode, threads, iters int) []float64 {
-	ranks := plan.Part.NumRanks()
-	world := chanmpi.NewWorld(ranks)
-	rows := plan.Part.Rows()
-	if len(x) != rows {
-		panic(fmt.Sprintf("core: len(x)=%d, matrix has %d rows", len(x), rows))
-	}
-	y := make([]float64, rows)
-	world.Run(func(c *chanmpi.Comm) {
-		rp := plan.Ranks[c.Rank()]
-		w := NewWorker(rp, c, threads)
-		defer w.Close()
-		copy(w.X[:rp.NLocal], x[rp.Rows.Lo:rp.Rows.Hi])
-		for it := 0; it < iters; it++ {
-			w.Step(mode)
-			if it < iters-1 {
-				// Next iteration multiplies the previous result.
-				copy(w.X[:rp.NLocal], w.Y)
-			}
-		}
-		copy(y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
-	})
-	return y
 }

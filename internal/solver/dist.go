@@ -4,19 +4,20 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/chanmpi"
 	"repro/internal/core"
 )
 
-// This file implements fully distributed solvers in SPMD style on top of
-// core.RunSPMD: every rank owns a contiguous slice of each vector, every
-// multiplication is one halo exchange + kernel in the chosen mode, and
-// scalar reductions ride the runtime's Allreduce — the structure of the
+// This file implements fully distributed solvers in SPMD style on a
+// resident core.Cluster: every rank owns a contiguous slice of each vector,
+// every multiplication is one halo exchange + kernel in the cluster's mode,
+// and scalar reductions ride the runtime's Allreduce — the structure of the
 // paper's application codes, where spMVM dominates and a handful of dot
-// products per iteration ride along.
+// products per iteration ride along. The cluster's rank goroutines, teams
+// and halo buffers persist across the whole solve (and across consecutive
+// solves on the same cluster); nothing is re-spawned per multiplication.
 //
-// Both solvers are storage-format generic in every mode: convert the plan
-// with Plan.ConvertFormat (e.g. formats.SELLBuilder) before calling and the
+// Both solvers are storage-format generic in every mode: bring the cluster
+// up with core.WithFormat (or call Cluster.Convert between solves) and the
 // no-overlap kernel, the overlap local pass and the task-mode local pass
 // all run on the converted format, with the compacted remote pass staying
 // on the CompactCSR. Each distributed multiplication is bit-identical to
@@ -24,26 +25,31 @@ import (
 // nondeterministic across runs.
 
 // distDot computes the global dot product of two distributed vectors.
-func distDot(c *chanmpi.Comm, a, b []float64) float64 {
-	return c.AllreduceScalar(chanmpi.OpSum, Dot(a, b))
+func distDot(c core.Comm, a, b []float64) float64 {
+	return c.AllreduceScalar(core.OpSum, Dot(a, b))
 }
 
-// DistCG solves A·x = b with conjugate gradients on the distributed kernel.
-// b and x are global vectors; the solve runs SPMD across the plan's ranks
-// and writes the solution back into x. All ranks see identical reduced
-// scalars, so the iteration count is deterministic.
-func DistCG(plan *core.Plan, b, x []float64, mode core.Mode, threads int, tol float64, maxIter int) (CGResult, error) {
-	n := plan.Part.Rows()
+// DistCG solves A·x = b with conjugate gradients on the cluster's resident
+// distributed kernel. b and x are global vectors; the solve runs SPMD across
+// the cluster's ranks in its current mode and writes the solution back into
+// x. All ranks see identical reduced scalars, so the iteration count is
+// deterministic.
+func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResult, error) {
+	if cl == nil {
+		return CGResult{}, fmt.Errorf("solver: DistCG needs a cluster")
+	}
+	n := cl.Rows()
 	if len(b) != n || len(x) != n {
 		return CGResult{}, fmt.Errorf("solver: DistCG dimension mismatch (n=%d, b=%d, x=%d)", n, len(b), len(x))
 	}
 	if tol <= 0 || maxIter < 1 {
 		return CGResult{}, fmt.Errorf("solver: DistCG needs tol > 0 and maxIter ≥ 1")
 	}
-	results := make([]CGResult, plan.Part.NumRanks())
+	mode := cl.Mode()
+	results := make([]CGResult, cl.Ranks())
 	var globalErr error
 
-	core.RunSPMD(plan, threads, func(w *core.Worker) {
+	err := cl.Run(func(w *core.Worker) {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi
@@ -109,18 +115,24 @@ func DistCG(plan *core.Plan, b, x []float64, mode core.Mode, threads int, tol fl
 		}
 		copy(x[lo:hi], xl)
 	})
+	if err != nil {
+		return CGResult{}, err
+	}
 	if globalErr != nil {
 		return CGResult{}, globalErr
 	}
 	return results[0], nil
 }
 
-// DistLanczos runs the symmetric Lanczos iteration SPMD across the plan's
-// ranks with full reorthogonalization against the distributed basis, and
-// returns the Ritz values — the distributed version of the paper's
-// exact-diagonalization workload.
-func DistLanczos(plan *core.Plan, mode core.Mode, threads, m int, seed int64) (LanczosResult, error) {
-	n := plan.Part.Rows()
+// DistLanczos runs the symmetric Lanczos iteration SPMD across the
+// cluster's ranks with full reorthogonalization against the distributed
+// basis, and returns the Ritz values — the distributed version of the
+// paper's exact-diagonalization workload.
+func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
+	if cl == nil {
+		return LanczosResult{}, fmt.Errorf("solver: DistLanczos needs a cluster")
+	}
+	n := cl.Rows()
 	if n == 0 {
 		return LanczosResult{}, fmt.Errorf("solver: DistLanczos on empty operator")
 	}
@@ -130,15 +142,16 @@ func DistLanczos(plan *core.Plan, mode core.Mode, threads, m int, seed int64) (L
 	if m > n {
 		m = n
 	}
+	mode := cl.Mode()
 	// The start vector is generated globally so results are independent of
 	// the rank count.
 	start := make([]float64, n)
 	rngFill(start, seed)
 
-	results := make([]LanczosResult, plan.Part.NumRanks())
+	results := make([]LanczosResult, cl.Ranks())
 	var alphas, betas []float64 // written by rank 0 only
 
-	core.RunSPMD(plan, threads, func(w *core.Worker) {
+	err := cl.Run(func(w *core.Worker) {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi
@@ -184,6 +197,9 @@ func DistLanczos(plan *core.Plan, mode core.Mode, threads, m int, seed int64) (L
 			alphas, betas = la, lb
 		}
 	})
+	if err != nil {
+		return LanczosResult{}, err
+	}
 
 	res := results[0]
 	eigs, err := SymTridiagEigenvalues(alphas, betas)

@@ -26,8 +26,23 @@ func poissonPlan(t *testing.T, ranks int) (*matrix.CSR, *core.Plan) {
 	return a, plan
 }
 
+// poissonCluster brings up a resident session over a fresh Poisson plan and
+// registers its teardown with the test.
+func poissonCluster(t *testing.T, ranks int, opts ...core.Option) (*matrix.CSR, *core.Cluster) {
+	t.Helper()
+	a, plan := poissonPlan(t, ranks)
+	cl, err := core.NewCluster(plan, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return a, cl
+}
+
 func TestDistCGMatchesSerialCG(t *testing.T) {
-	a, plan := poissonPlan(t, 5)
+	// One resident cluster serves every mode: the solver session persists
+	// and SetMode reconfigures the kernel between solves.
+	a, cl := poissonCluster(t, 5, core.WithThreads(2))
 	n := a.NumRows
 	rng := rand.New(rand.NewSource(3))
 	xTrue := make([]float64, n)
@@ -38,8 +53,11 @@ func TestDistCGMatchesSerialCG(t *testing.T) {
 	a.MulVec(b, xTrue)
 
 	for _, mode := range core.Modes {
+		if err := cl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
 		x := make([]float64, n)
-		res, err := DistCG(plan, b, x, mode, 2, 1e-10, 5000)
+		res, err := DistCG(cl, b, x, 1e-10, 5000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,9 +97,9 @@ func TestDistCGRankCountInvariance(t *testing.T) {
 	}
 	var ref []float64
 	for _, ranks := range []int{1, 3, 7} {
-		_, plan := poissonPlan(t, ranks)
+		_, cl := poissonCluster(t, ranks, core.WithMode(core.TaskMode), core.WithThreads(2))
 		x := make([]float64, n)
-		res, err := DistCG(plan, b, x, core.TaskMode, 2, 1e-11, 5000)
+		res, err := DistCG(cl, b, x, 1e-11, 5000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,13 +119,13 @@ func TestDistCGRankCountInvariance(t *testing.T) {
 }
 
 func TestDistCGZeroRHS(t *testing.T) {
-	_, plan := poissonPlan(t, 3)
-	n := plan.Part.Rows()
+	_, cl := poissonCluster(t, 3)
+	n := cl.Rows()
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = 1
 	}
-	res, err := DistCG(plan, make([]float64, n), x, core.VectorNoOverlap, 1, 1e-10, 10)
+	res, err := DistCG(cl, make([]float64, n), x, 1e-10, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,10 +140,11 @@ func TestDistCGZeroRHS(t *testing.T) {
 }
 
 func TestDistCGFormatGeneric(t *testing.T) {
-	// DistCG on a SELL-C-σ-converted plan: every mode — including the
+	// DistCG on a SELL-C-σ-converted session: every mode — including the
 	// overlap modes, whose local pass runs on the converted split — must
 	// converge to the same solution in essentially the same iterations.
-	a, plan := poissonPlan(t, 4)
+	// The conversion is applied live with Cluster.Convert between solves.
+	a, cl := poissonCluster(t, 4, core.WithThreads(2))
 	n := a.NumRows
 	rng := rand.New(rand.NewSource(9))
 	xTrue := make([]float64, n)
@@ -134,7 +153,7 @@ func TestDistCGFormatGeneric(t *testing.T) {
 	}
 	b := make([]float64, n)
 	a.MulVec(b, xTrue)
-	if err := plan.ConvertFormat(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
+	if err := cl.Convert(formats.SELLBuilder{C: 16, Sigma: 64}); err != nil {
 		t.Fatal(err)
 	}
 	xs := make([]float64, n)
@@ -143,21 +162,24 @@ func TestDistCGFormatGeneric(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range core.Modes {
+		if err := cl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
 		x := make([]float64, n)
-		res, err := DistCG(plan, b, x, mode, 2, 1e-10, 5000)
+		res, err := DistCG(cl, b, x, 1e-10, 5000)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !res.Converged {
-			t.Fatalf("mode %v on SELL plan: not converged (res %g)", mode, res.Residual)
+			t.Fatalf("mode %v on SELL session: not converged (res %g)", mode, res.Residual)
 		}
 		for i := range x {
 			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
-				t.Fatalf("mode %v on SELL plan: x[%d] = %.9f, want %.9f", mode, i, x[i], xTrue[i])
+				t.Fatalf("mode %v on SELL session: x[%d] = %.9f, want %.9f", mode, i, x[i], xTrue[i])
 			}
 		}
 		if absInt(res.Iterations-serial.Iterations) > 2 {
-			t.Errorf("mode %v on SELL plan: %d iterations vs serial %d", mode, res.Iterations, serial.Iterations)
+			t.Errorf("mode %v on SELL session: %d iterations vs serial %d", mode, res.Iterations, serial.Iterations)
 		}
 	}
 }
@@ -176,15 +198,22 @@ func TestDistLanczosFormatGeneric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := plan.ConvertFormat(formats.SELLBuilder{C: 32, Sigma: 128}); err != nil {
+	// WithFormat converts at session bring-up, before the workers spin.
+	cl, err := core.NewCluster(plan,
+		core.WithThreads(2), core.WithFormat(formats.SELLBuilder{C: 32, Sigma: 128}))
+	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	serial, err := GroundState(CSROperator{a}, 70, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range core.Modes {
-		dist, err := DistLanczos(plan, mode, 2, 70, 5)
+		if err := cl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		dist, err := DistLanczos(cl, 70, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,19 +221,42 @@ func TestDistLanczosFormatGeneric(t *testing.T) {
 			t.Fatal("no Ritz values")
 		}
 		if math.Abs(dist.Eigenvalues[0]-serial) > 1e-8 {
-			t.Errorf("mode %v on SELL plan: E₀ %.10f vs serial %.10f", mode, dist.Eigenvalues[0], serial)
+			t.Errorf("mode %v on SELL session: E₀ %.10f vs serial %.10f", mode, dist.Eigenvalues[0], serial)
 		}
 	}
 }
 
 func TestDistCGInvalid(t *testing.T) {
-	_, plan := poissonPlan(t, 2)
-	n := plan.Part.Rows()
-	if _, err := DistCG(plan, make([]float64, n-1), make([]float64, n), core.TaskMode, 1, 1e-8, 10); err == nil {
+	_, cl := poissonCluster(t, 2, core.WithMode(core.TaskMode))
+	n := cl.Rows()
+	if _, err := DistCG(cl, make([]float64, n-1), make([]float64, n), 1e-8, 10); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
-	if _, err := DistCG(plan, make([]float64, n), make([]float64, n), core.TaskMode, 1, 0, 10); err == nil {
+	if _, err := DistCG(cl, make([]float64, n), make([]float64, n), 0, 10); err == nil {
 		t.Error("zero tolerance accepted")
+	}
+	if _, err := DistCG(nil, make([]float64, n), make([]float64, n), 1e-8, 10); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := DistLanczos(nil, 10, 1); err == nil {
+		t.Error("nil cluster accepted by DistLanczos")
+	}
+	if _, err := DistLanczos(cl, 0, 1); err == nil {
+		t.Error("m = 0 accepted by DistLanczos")
+	}
+}
+
+func TestDistSolversOnClosedCluster(t *testing.T) {
+	_, cl := poissonCluster(t, 2)
+	n := cl.Rows()
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistCG(cl, make([]float64, n), make([]float64, n), 1e-8, 10); err == nil {
+		t.Error("DistCG ran on a closed cluster")
+	}
+	if _, err := DistLanczos(cl, 5, 1); err == nil {
+		t.Error("DistLanczos ran on a closed cluster")
 	}
 }
 
@@ -222,12 +274,20 @@ func TestDistLanczosMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl, err := core.NewCluster(plan, core.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
 	serial, err := GroundState(CSROperator{a}, 70, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range core.Modes {
-		dist, err := DistLanczos(plan, mode, 2, 70, 5)
+		if err := cl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		dist, err := DistLanczos(cl, 70, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +318,12 @@ func TestDistLanczosRankInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := DistLanczos(plan, core.VectorNaiveOverlap, 1, 50, 9)
+		cl, err := core.NewCluster(plan, core.WithMode(core.VectorNaiveOverlap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DistLanczos(cl, 50, 9)
+		cl.Close()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -55,22 +55,22 @@ func (o *TeamOperator) Dim() int { return o.P.Rows() }
 // Apply computes y = A·x on the team.
 func (o *TeamOperator) Apply(y, x []float64) { o.P.MulVec(o.Team, y, x) }
 
-// DistOperator applies the distributed hybrid kernel: each Apply performs a
-// full halo exchange and multiplication across the plan's ranks in the
-// configured mode.
+// DistOperator applies the distributed hybrid kernel on a resident
+// core.Cluster: each Apply performs a full halo exchange and multiplication
+// across the cluster's ranks in its current mode, reusing the same rank
+// goroutines, teams and halo buffers call after call.
 type DistOperator struct {
-	Plan    *core.Plan
-	Mode    core.Mode
-	Threads int
+	Cluster *core.Cluster
 }
 
 // Dim returns the operator dimension.
-func (o *DistOperator) Dim() int { return o.Plan.Part.Rows() }
+func (o *DistOperator) Dim() int { return o.Cluster.Rows() }
 
 // Apply computes y = A·x with the distributed kernel.
 func (o *DistOperator) Apply(y, x []float64) {
-	res := core.MulDistributed(o.Plan, x, o.Mode, o.Threads, 1)
-	copy(y, res)
+	if err := o.Cluster.Mul(y, x, 1); err != nil {
+		panic(err.Error()) // Operator.Apply has no error channel; misuse only
+	}
 }
 
 // Dot returns xᵀy.

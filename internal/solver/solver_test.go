@@ -179,8 +179,16 @@ func TestLanczosDistributedOperatorAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl, err := core.NewCluster(plan, core.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
 	for _, mode := range core.Modes {
-		dist, err := GroundState(&DistOperator{Plan: plan, Mode: mode, Threads: 2}, 50, 7)
+		if err := cl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		dist, err := GroundState(&DistOperator{Cluster: cl}, 50, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
