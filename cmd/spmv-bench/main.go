@@ -34,6 +34,7 @@ func main() {
 		reps     = flag.Int("reps", 5, "repetitions for -host measurements")
 		snapshot = flag.String("snapshot", "", "write a kernel GFlop/s snapshot (JSON) to this path and exit")
 		modeFlag = flag.String("mode", "", "with -snapshot: restrict the distributed sweep to one kernel mode (vector-no-overlap, vector-naive-overlap, task-mode); default all")
+		fmtFlag  = flag.String("format", "", "with -snapshot: restrict the distributed sweep to one storage format (crs or sell-<C>-<sigma>); default both crs and sell-32-256")
 	)
 	flag.Parse()
 	modes := core.Modes
@@ -47,8 +48,19 @@ func main() {
 		}
 		modes = []core.Mode{m}
 	}
+	sweepFormats := []matrix.FormatBuilder{matrix.CSRBuilder{}, formats.SELLBuilder{C: 32, Sigma: 256}}
+	if *fmtFlag != "" {
+		if *snapshot == "" {
+			fatal(fmt.Errorf("-format only applies to the -snapshot distributed sweep"))
+		}
+		b, err := core.ParseFormat(*fmtFlag)
+		if err != nil {
+			fatal(err)
+		}
+		sweepFormats = []matrix.FormatBuilder{b}
+	}
 	if *snapshot != "" {
-		if err := writeSnapshot(*snapshot, *workers, *reps, modes); err != nil {
+		if err := writeSnapshot(*snapshot, *workers, *reps, modes, sweepFormats); err != nil {
 			fatal(err)
 		}
 		return
@@ -152,9 +164,10 @@ func measureGFlops(nnz int64, reps int, fn func()) float64 {
 // trajectory. The distributed sweep runs on one resident core.Cluster per
 // fixture (modes switch with SetMode, formats with Convert), plus one
 // "dist-…-percall" reference point that pays the deprecated per-call world
-// spawn, quantifying what session reuse saves. modes restricts the sweep
-// (the -mode flag); pass core.Modes for the full matrix.
-func writeSnapshot(path string, workers, reps int, modes []core.Mode) error {
+// spawn, quantifying what session reuse saves. modes and sweepFormats
+// restrict the sweep (the -mode and -format flags); pass core.Modes and
+// the default builder pair for the full matrix.
+func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepFormats []matrix.FormatBuilder) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be ≥ 1, got %d", workers)
 	}
@@ -241,9 +254,6 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode) error {
 				}
 				return nil
 			}
-			if err := sweep("crs"); err != nil {
-				return err
-			}
 			// Reference point while the plan is still CSR: the same
 			// multiplication through the deprecated per-call shim, paying
 			// world + team spawn each call. The gap to the resident
@@ -254,10 +264,15 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode) error {
 				distRanks * distThreads,
 				measureGFlops(a.Nnz(), reps, func() { core.MulDistributed(plan, x, modes[0], distThreads, 1) }),
 			})
-			if err := cluster.Convert(formats.SELLBuilder{C: 32, Sigma: 256}); err != nil {
-				return err
+			for _, b := range sweepFormats {
+				if err := cluster.Convert(b); err != nil {
+					return err
+				}
+				if err := sweep(b.Name()); err != nil {
+					return err
+				}
 			}
-			return sweep("sell-32-256")
+			return nil
 		}()
 		if err != nil {
 			return err

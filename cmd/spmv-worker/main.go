@@ -1,0 +1,175 @@
+// Command spmv-worker is one process of a multi-process distributed SpMV
+// world: it joins (or coordinates) a tcpmpi world by rendezvous address +
+// rank range, brings up a resident core.Cluster over its local ranks, and
+// runs a distributed CG solve on a deterministic SPD fixture that every
+// participating process derives from the same flags.
+//
+// A two-process world on loopback (see examples/tcp, which drives this):
+//
+//	spmv-worker -addr 127.0.0.1:9453 -coordinate -ranks 0:2 -world-ranks 4 -verify &
+//	spmv-worker -addr 127.0.0.1:9453 -ranks 2:4 -world-ranks 4 -verify
+//
+// With -verify each process additionally re-runs the identical solve on
+// the in-process chan transport and checks its own solution rows bit for
+// bit — the acceptance proof that the wire transport does not change
+// numerics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+	"repro/internal/solver"
+	"repro/internal/tcpmpi"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9453", "rendezvous address (coordinator listens, workers dial)")
+		coordinate = flag.Bool("coordinate", false, "act as the rendezvous coordinator (exactly one process must)")
+		ranksFlag  = flag.String("ranks", "", "owned rank range lo:hi (half-open), e.g. 0:2 (required)")
+		worldRanks = flag.Int("world-ranks", 4, "total ranks in the world, across all processes")
+		n          = flag.Int("n", 2000, "fixture dimension (identical on every process)")
+		seed       = flag.Uint64("seed", 12345, "fixture seed (identical on every process)")
+		threads    = flag.Int("threads", 2, "compute-team size per rank")
+		modeFlag   = flag.String("mode", "task-mode", "kernel mode (vector-no-overlap, vector-naive-overlap, task-mode)")
+		formatFlag = flag.String("format", "", "storage format (crs or sell-<C>-<sigma>); default plan CSR")
+		tol        = flag.Float64("tol", 1e-10, "CG convergence tolerance")
+		maxIter    = flag.Int("maxiter", 5000, "CG iteration cap")
+		timeout    = flag.Duration("timeout", 60*time.Second, "world bring-up (rendezvous + mesh) deadline; the solve itself is bounded by -maxiter, not wall clock")
+		verify     = flag.Bool("verify", false, "re-run the solve in-process on the chan transport and bit-compare the local rows")
+	)
+	flag.Parse()
+
+	lo, hi, err := parseRanks(*ranksFlag)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := core.ParseMode(*modeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var builder matrix.FormatBuilder
+	if *formatFlag != "" {
+		if builder, err = core.ParseFormat(*formatFlag); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Every process derives the identical fixture, RHS and plan from the
+	// shared flags, then drives only its own rank range.
+	gen, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: *n, Bandwidth: *n / 4, PerRow: 5, Seed: *seed, Symmetric: true, SPD: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	a := matrix.Materialize(gen)
+	b := rhs(a)
+	newCluster := func(opts ...core.Option) (*core.Cluster, error) {
+		plan, err := core.BuildPlan(a, core.PartitionByNnz(a, *worldRanks), true)
+		if err != nil {
+			return nil, err
+		}
+		if builder != nil {
+			opts = append(opts, core.WithFormat(builder))
+		}
+		return core.NewCluster(plan, append(opts, core.WithThreads(*threads), core.WithMode(mode))...)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	transport := &tcpmpi.Transport{Addr: *addr, Coordinate: *coordinate, RankLo: lo, RankHi: hi}
+	cl, err := newCluster(core.WithTransport(transport), core.WithDialContext(ctx))
+	if err != nil {
+		fatal(fmt.Errorf("joining world at %s: %w", *addr, err))
+	}
+	defer cl.Close()
+	role := "worker"
+	if *coordinate {
+		role = "coordinator"
+	}
+	fmt.Printf("spmv-worker: joined world size=%d as ranks [%d,%d) (%s), n=%d nnz=%d mode=%s\n",
+		cl.Ranks(), lo, hi, role, *n, a.Nnz(), mode)
+
+	x := make([]float64, *n)
+	start := time.Now()
+	res, err := solver.DistCG(cl, b, x, *tol, *maxIter)
+	if err != nil {
+		fatal(fmt.Errorf("DistCG over tcpmpi: %w", err))
+	}
+	fmt.Printf("spmv-worker: DistCG converged=%v iterations=%d residual=%.3e mvms=%d in %v\n",
+		res.Converged, res.Iterations, res.Residual, res.MVMs, time.Since(start).Round(time.Millisecond))
+	if !res.Converged {
+		fatal(fmt.Errorf("solve did not converge within %d iterations", *maxIter))
+	}
+
+	if *verify {
+		refCl, err := newCluster()
+		if err != nil {
+			fatal(err)
+		}
+		defer refCl.Close()
+		xRef := make([]float64, *n)
+		resRef, err := solver.DistCG(refCl, b, xRef, *tol, *maxIter)
+		if err != nil {
+			fatal(fmt.Errorf("in-process reference solve: %w", err))
+		}
+		if res.Iterations != resRef.Iterations || res.Residual != resRef.Residual {
+			fatal(fmt.Errorf("iteration trace differs from in-process solve: tcp (%d, %v) vs chan (%d, %v)",
+				res.Iterations, res.Residual, resRef.Iterations, resRef.Residual))
+		}
+		rows := 0
+		for _, r := range cl.LocalRanks() {
+			rg := cl.Plan().Ranks[r].Rows
+			for row := rg.Lo; row < rg.Hi; row++ {
+				if x[row] != xRef[row] {
+					fatal(fmt.Errorf("row %d differs from in-process solve: %v != %v", row, x[row], xRef[row]))
+				}
+			}
+			rows += rg.Len()
+		}
+		fmt.Printf("spmv-worker: verify OK — %d local solution rows bit-identical to the in-process chan-transport solve\n", rows)
+	}
+}
+
+// rhs builds the deterministic right-hand side b = A·xTrue.
+func rhs(a *matrix.CSR) []float64 {
+	xTrue := make([]float64, a.NumRows)
+	for i := range xTrue {
+		xTrue[i] = float64((i*11)%17) / 17
+	}
+	b := make([]float64, a.NumRows)
+	a.MulVec(b, xTrue)
+	return b
+}
+
+func parseRanks(s string) (lo, hi int, err error) {
+	loStr, hiStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("spmv-worker: -ranks must be lo:hi (half-open), got %q", s)
+	}
+	if lo, err = strconv.Atoi(loStr); err != nil {
+		return 0, 0, fmt.Errorf("spmv-worker: bad -ranks lower bound %q", loStr)
+	}
+	if hi, err = strconv.Atoi(hiStr); err != nil {
+		return 0, 0, fmt.Errorf("spmv-worker: bad -ranks upper bound %q", hiStr)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("spmv-worker: -ranks [%d,%d) is empty or negative", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmv-worker:", err)
+	os.Exit(1)
+}

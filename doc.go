@@ -23,9 +23,12 @@
 //
 //	cluster, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(4))
 //	defer cluster.Close()
-//	err = cluster.Mul(y, x, iters)          // distributed y = A^iters·x
-//	err = cluster.Run(func(w *core.Worker) { // SPMD job on the resident ranks
-//		... w.Step(mode); w.Comm.AllreduceScalar(...) ...
+//	err = cluster.Mul(y, x, iters)                // distributed y = A^iters·x
+//	err = cluster.Run(func(w *core.Worker) error { // SPMD job on the resident ranks
+//		if err := w.Step(mode); err != nil { return err }
+//		sum, err := w.Comm.AllreduceScalar(core.OpSum, v)
+//		...
+//		return nil
 //	})
 //	err = cluster.SetMode(core.VectorNaiveOverlap)        // live reconfiguration
 //	err = cluster.Convert(formats.SELLBuilder{C: 32, Sigma: 256})
@@ -40,11 +43,41 @@
 // (pattern-only plan, threads < 1, half-converted plan, unknown mode)
 // surfaces as errors from NewCluster rather than panics.
 //
+// # Comm v2: the wire-capable transport contract
+//
 // core is decoupled from the concrete message-passing runtime by the
-// core.Comm interface (Rank/Size/Isend/Irecv/Waitall/Barrier/Allreduce…),
-// which *chanmpi.Comm satisfies directly; core.WithTransport plugs in an
-// alternative backend (e.g. a future multi-process TCP transport) without
-// touching the kernel modes.
+// core.Comm interface — error-first end to end, so misuse and transport
+// failures surface as errors from the Cluster and solver entry points
+// instead of panics (no panic is reachable through the interface). A
+// transport dials a core.World that may own only a SUBSET of the ranks:
+// core.Transport.Dial(ctx, size) blocks until every participating process
+// has joined, World.LocalRanks lists the ranks this process drives, and
+// the Cluster spins resident goroutines only for those. The default
+// ChanTransport (the in-process chanmpi runtime) owns every rank and
+// keeps today's single-process behavior bit-identically; internal/tcpmpi
+// is the real multi-process TCP backend — rendezvous by address, rank
+// ranges per process, length-prefixed binary frames, tree collectives
+// with canonical rank-order combining (see internal/tcpmpi/README.md).
+// Reductions combine in canonical rank order on every transport, so
+// distributed solves are bit-reproducible across runs AND across
+// transports: cmd/spmv-worker joins a world by address + rank range, and
+// examples/tcp (the CI tcp-smoke job) verifies a two-OS-process DistCG
+// bit-identical to the in-process solve.
+//
+// Migration from the v1 transport surface (PR 3) to Comm v2:
+//
+//	Transport.Connect(size) ([]Comm, error)   → Transport.Dial(ctx, size) (World, error);
+//	                                            World.LocalRanks / World.Comm(rank) / World.Close
+//	Comm.Isend/Irecv(…) Request               → Comm.Isend/Irecv(…) (Request, error)
+//	Request.Wait() int (panics on failure)    → Request.Wait() error
+//	Comm.Waitall(reqs…) / Barrier()           → both return error
+//	Comm.Allreduce / AllreduceScalar /        → all return (value, error)
+//	Comm.AllgatherInt64
+//	Worker.Step(mode)                         → Worker.Step(mode) error
+//	Cluster.Run(func(w *Worker))              → Cluster.Run(func(w *Worker) error) error
+//	chanmpi panics (invalid rank, truncation, → typed errors: RankError, TruncationError,
+//	  Allreduce length mismatch, failed world)  MismatchError, WorldError (re-exported by core);
+//	                                            a failed rank fails the world, peers unwedge
 //
 // Migration from the deprecated per-call entry points (each is now a thin,
 // bit-identical shim over a throwaway Cluster):
@@ -84,6 +117,7 @@
 // cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot covering the
 // node kernels and the distributed modes × formats sweep on a resident
 // Cluster, plus a per-call reference point (see BENCH_1.json …
-// BENCH_3.json) that tracks the repo's performance trajectory; -mode
-// restricts the sweep to a single kernel mode.
+// BENCH_3.json) that tracks the repo's performance trajectory; -mode and
+// -format (core.ParseMode, core.ParseFormat) restrict the sweep to a
+// single kernel mode or storage format.
 package repro

@@ -9,9 +9,17 @@
 // progress" observation) are modeled separately by internal/simmpi on the
 // discrete-event simulator; chanmpi is always asynchronous, as a perfect
 // progress engine would be.
+//
+// The contract is error-first: misuse (invalid rank, Allreduce length
+// mismatch) and transport failures (truncation) return typed errors — see
+// errors.go — instead of panicking. A failure that breaks an in-flight
+// exchange fails the whole world: blocked peers wake with a *WorldError
+// wrapping the first cause rather than wedging, the way an MPI error
+// aborts the job.
 package chanmpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -23,12 +31,37 @@ type World struct {
 	barrier  *barrier
 	reducer  *reducer
 	gatherer *gatherer
+	failure  *failure
+}
+
+// failure is the write-once failure state of a world. The first fail wins;
+// its cause is what every subsequent or interrupted operation reports.
+type failure struct {
+	mu  sync.Mutex
+	err error
+	ch  chan struct{} // closed on first failure; selected on by blocked waits
+}
+
+func (f *failure) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil {
+		f.err = err
+		close(f.ch)
+	}
+}
+
+// Err returns the first failure, or nil while the world is healthy.
+func (f *failure) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
 }
 
 // NewWorld creates a world with the given number of ranks.
-func NewWorld(size int) *World {
+func NewWorld(size int) (*World, error) {
 	if size < 1 {
-		panic(fmt.Sprintf("chanmpi: world size %d < 1", size))
+		return nil, fmt.Errorf("chanmpi: world size %d < 1", size)
 	}
 	w := &World{
 		size:     size,
@@ -36,47 +69,95 @@ func NewWorld(size int) *World {
 		barrier:  newBarrier(size),
 		reducer:  newReducer(size),
 		gatherer: newGatherer(size),
+		failure:  &failure{ch: make(chan struct{})},
 	}
 	for i := range w.boxes {
 		w.boxes[i] = &mailbox{}
 	}
-	return w
+	return w, nil
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// Err returns the world's first failure, or nil while it is healthy.
+func (w *World) Err() error { return w.failure.Err() }
+
+// Fail poisons the world with the given cause: every blocked operation
+// wakes with a *WorldError and every subsequent operation returns one.
+// The first cause wins; later calls are no-ops.
+func (w *World) Fail(err error) {
+	w.failure.fail(err)
+	// Wake collective waiters. Broadcasting under each collective's lock
+	// closes the race against a waiter that checked Err just before
+	// entering cond.Wait (Wait releases the lock atomically, so holding it
+	// here means the waiter is either before the check or already parked).
+	w.barrier.mu.Lock()
+	w.barrier.cond.Broadcast()
+	w.barrier.mu.Unlock()
+	w.reducer.mu.Lock()
+	w.reducer.cond.Broadcast()
+	w.reducer.mu.Unlock()
+	w.gatherer.mu.Lock()
+	w.gatherer.cond.Broadcast()
+	w.gatherer.mu.Unlock()
+	// Point-to-point waiters select on failure.ch directly.
+}
+
+// Close fails the world with ErrWorldClosed, releasing anything still
+// blocked in it. Closing an already-failed or closed world is a no-op.
+func (w *World) Close() error {
+	w.Fail(ErrWorldClosed)
+	return nil
+}
+
 // Comm returns the communicator handle of the given rank.
-func (w *World) Comm(rank int) *Comm {
+func (w *World) Comm(rank int) (*Comm, error) {
 	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("chanmpi: rank %d outside [0,%d)", rank, w.size))
+		return nil, &RankError{Op: "Comm", Rank: rank, Size: w.size}
 	}
-	return &Comm{world: w, rank: rank}
+	return &Comm{world: w, rank: rank}, nil
 }
 
 // Run spawns one goroutine per rank executing body and blocks until all
-// ranks return. Panics inside ranks are collected and re-raised.
-func (w *World) Run(body func(c *Comm)) {
+// ranks return. A rank that returns an error (or panics; panics are
+// recovered into errors) fails the world, so peers blocked on it unwedge
+// with a *WorldError instead of deadlocking. Run returns the primary
+// failure: the first rank error that is not itself a secondary
+// world-failure report.
+func (w *World) Run(body func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
+	errs := make([]error, w.size)
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[r] = p
+					errs[r] = fmt.Errorf("chanmpi: rank %d panicked: %v", r, p)
+				}
+				if errs[r] != nil {
+					w.Fail(errs[r])
 				}
 			}()
-			body(w.Comm(r))
+			errs[r] = body(&Comm{world: w, rank: r})
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("chanmpi: rank %d panicked: %v", r, p))
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var we *WorldError
+		if !errors.As(err, &we) {
+			return err
+		}
+		if first == nil {
+			first = err
 		}
 	}
+	return first
 }
 
 // Comm is one rank's communicator handle.
@@ -94,14 +175,14 @@ func (c *Comm) Size() int { return c.world.size }
 // Request is the handle of a nonblocking operation. A send request completes
 // when the message has been handed to the runtime (buffered semantics); a
 // receive request completes when a matching message has been copied into its
-// buffer. Request is an interface so that alternative transports (a real
-// multi-process backend, the simulator re-enactment) can hand out their own
-// request handles behind the same core.Comm contract.
+// buffer. Request is an interface so that alternative transports (the
+// multi-process TCP backend in internal/tcpmpi, a simulator re-enactment)
+// can hand out their own request handles behind the same core.Comm contract.
 type Request interface {
-	// Wait blocks until the operation completes and returns the element
-	// count (zero for sends). Wait panics if the operation failed
-	// (truncation).
-	Wait() int
+	// Wait blocks until the operation completes and returns its error:
+	// nil on success, a *TruncationError if the exchange was truncated, or
+	// a *WorldError if the world failed before completion.
+	Wait() error
 	// Done reports whether the operation has completed without blocking
 	// (MPI_Test).
 	Done() bool
@@ -110,27 +191,35 @@ type Request interface {
 // request is the chanmpi-backed Request implementation.
 type request struct {
 	done chan struct{}
+	fail *failure
 	// For receives: number of elements delivered.
 	n int
 	// Identity for matching (receives queued at the destination).
 	src, tag int
 	buf      []float64
-	isRecv   bool
 	matched  bool
-	// err records a delivery error (truncation); Wait re-raises it so both
+	// err records a delivery error (truncation); Wait returns it so both
 	// endpoints observe the failure, as an MPI error would abort both.
-	err string
+	err error
 }
 
-func (r *request) Wait() int {
+func (r *request) Wait() error {
 	if r == nil {
-		return 0
+		return nil
 	}
-	<-r.done
-	if r.err != "" {
-		panic(r.err)
+	select {
+	case <-r.done:
+		return r.err
+	case <-r.fail.ch:
+		// The world failed; the match may never arrive. A completion that
+		// raced the failure still counts.
+		select {
+		case <-r.done:
+			return r.err
+		default:
+			return &WorldError{Cause: r.fail.Err()}
+		}
 	}
-	return r.n
 }
 
 func (r *request) Done() bool {
@@ -145,19 +234,25 @@ func (r *request) Done() bool {
 	}
 }
 
-// Waitall waits for every request (MPI_Waitall). Nil requests are trivially
-// complete.
-func Waitall(reqs ...Request) {
+// Waitall waits for every request (MPI_Waitall) and returns the first
+// error observed, after all requests have been waited on. Nil requests are
+// trivially complete.
+func Waitall(reqs ...Request) error {
+	var first error
 	for _, r := range reqs {
-		if r != nil {
-			r.Wait()
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
 		}
 	}
+	return first
 }
 
 // Waitall waits for every request (MPI_Waitall), as a method so the
 // communicator handle alone carries the full point-to-point contract.
-func (c *Comm) Waitall(reqs ...Request) { Waitall(reqs...) }
+func (c *Comm) Waitall(reqs ...Request) error { return Waitall(reqs...) }
 
 // mailbox holds the unmatched messages and posted receives of one rank.
 type mailbox struct {
@@ -176,12 +271,17 @@ type inflight struct {
 // Isend starts a nonblocking send of data to rank dst with the given tag.
 // The runtime copies the payload immediately (buffered send), so the caller
 // may reuse data as soon as Isend returns; the returned request is already
-// complete and exists for symmetry with MPI call sites.
-func (c *Comm) Isend(dst, tag int, data []float64) Request {
+// complete and exists for symmetry with MPI call sites. A truncation
+// detected at match time is returned immediately (and recorded on the
+// request), and fails the world.
+func (c *Comm) Isend(dst, tag int, data []float64) (Request, error) {
 	if dst < 0 || dst >= c.world.size {
-		panic(fmt.Sprintf("chanmpi: Isend to invalid rank %d", dst))
+		return nil, &RankError{Op: "Isend", Rank: dst, Size: c.world.size}
 	}
-	req := &request{done: make(chan struct{})}
+	if err := c.world.failure.Err(); err != nil {
+		return nil, &WorldError{Cause: err}
+	}
+	req := &request{done: make(chan struct{}), fail: c.world.failure}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
 	// Match the earliest posted receive with the same (src, tag).
@@ -189,30 +289,39 @@ func (c *Comm) Isend(dst, tag int, data []float64) Request {
 		if rr.matched || rr.src != c.rank || rr.tag != tag {
 			continue
 		}
-		errMsg := deliver(rr, data)
+		err := deliver(rr, data)
 		box.compactLocked()
 		box.mu.Unlock()
+		req.err = err
 		close(req.done)
-		if errMsg != "" {
-			panic(errMsg)
+		if err != nil {
+			// Fail outside the mailbox lock: poisoning the mailbox while
+			// holding it would deadlock every other rank touching it
+			// instead of propagating the failure.
+			c.world.Fail(err)
 		}
-		return req
+		return req, err
 	}
 	// No receive posted yet: buffer a copy.
 	box.sends = append(box.sends, &inflight{src: c.rank, tag: tag, data: append([]float64(nil), data...)})
 	box.mu.Unlock()
 	close(req.done)
-	return req
+	return req, nil
 }
 
 // Irecv posts a nonblocking receive into buf for a message from rank src
 // with the given tag. The message length must not exceed len(buf); a longer
-// message is a truncation error and panics, matching MPI's error semantics.
-func (c *Comm) Irecv(src, tag int, buf []float64) Request {
+// message is a truncation error, reported through the request (and, when
+// matched immediately, from Irecv itself) and failing the world, matching
+// MPI's error semantics.
+func (c *Comm) Irecv(src, tag int, buf []float64) (Request, error) {
 	if src < 0 || src >= c.world.size {
-		panic(fmt.Sprintf("chanmpi: Irecv from invalid rank %d", src))
+		return nil, &RankError{Op: "Irecv", Rank: src, Size: c.world.size}
 	}
-	req := &request{done: make(chan struct{}), src: src, tag: tag, buf: buf, isRecv: true}
+	if err := c.world.failure.Err(); err != nil {
+		return nil, &WorldError{Cause: err}
+	}
+	req := &request{done: make(chan struct{}), fail: c.world.failure, src: src, tag: tag, buf: buf}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	// Match the earliest buffered message with the same (src, tag).
@@ -221,40 +330,35 @@ func (c *Comm) Irecv(src, tag int, buf []float64) Request {
 			continue
 		}
 		box.sends[i] = nil
-		errMsg := deliver(req, m.data)
+		err := deliver(req, m.data)
 		box.compactLocked()
 		box.mu.Unlock()
-		if errMsg != "" {
-			panic(errMsg)
+		if err != nil {
+			c.world.Fail(err)
 		}
-		return req
+		return req, err
 	}
 	box.recvs = append(box.recvs, req)
 	box.mu.Unlock()
-	return req
+	return req, nil
 }
 
 // deliver copies data into the receive buffer and completes the request.
-// Callers hold the destination mailbox lock. On truncation the request is
-// completed with an error (so a rank blocked in Wait observes the failure)
-// and the error is returned; the caller must RELEASE the mailbox lock
-// before panicking on it — panicking under the lock would leave the
-// mailbox poisoned and deadlock every other rank touching it instead of
-// propagating the failure through World.Run.
-func deliver(r *request, data []float64) (errMsg string) {
+// Callers hold the destination mailbox lock; on a truncation error they
+// must RELEASE it before failing the world.
+func deliver(r *request, data []float64) error {
 	if len(data) > len(r.buf) {
-		msg := fmt.Sprintf("chanmpi: message of %d elements truncated by %d-element buffer (src %d, tag %d)",
-			len(data), len(r.buf), r.src, r.tag)
-		r.err = msg
+		err := &TruncationError{Len: len(data), Cap: len(r.buf), Src: r.src, Tag: r.tag}
+		r.err = err
 		r.matched = true
 		close(r.done)
-		return msg
+		return err
 	}
 	copy(r.buf, data)
 	r.n = len(data)
 	r.matched = true
 	close(r.done)
-	return ""
+	return nil
 }
 
 // compactLocked removes matched receives and consumed sends.
@@ -276,17 +380,31 @@ func (b *mailbox) compactLocked() {
 }
 
 // Send is a blocking send (trivially complete under buffered semantics).
-func (c *Comm) Send(dst, tag int, data []float64) {
-	c.Isend(dst, tag, data).Wait()
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	req, err := c.Isend(dst, tag, data)
+	if err != nil {
+		return err
+	}
+	return req.Wait()
 }
 
 // Recv is a blocking receive; it returns the element count.
-func (c *Comm) Recv(src, tag int, buf []float64) int {
-	return c.Irecv(src, tag, buf).Wait()
+func (c *Comm) Recv(src, tag int, buf []float64) (int, error) {
+	req, err := c.Irecv(src, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	if err := req.Wait(); err != nil {
+		return 0, err
+	}
+	return req.(*request).n, nil
 }
 
-// Barrier blocks until all ranks have entered it.
-func (c *Comm) Barrier() { c.world.barrier.await() }
+// Barrier blocks until all ranks have entered it. On a failed world it
+// returns a *WorldError instead of blocking forever.
+func (c *Comm) Barrier() error {
+	return c.world.barrier.await(c.world.failure)
+}
 
 // ReduceOp selects the combining operation of Allreduce.
 type ReduceOp int
@@ -297,7 +415,11 @@ const (
 	OpMin
 )
 
-func (op ReduceOp) combine(a, b float64) float64 {
+// Combine applies the reduction pairwise. Exported so every transport
+// (tcpmpi's tree reduction, future backends) folds with the identical
+// operation table — a transport-private copy could silently diverge on a
+// newly added op and break cross-transport bit-identity. Unknown ops sum.
+func (op ReduceOp) Combine(a, b float64) float64 {
 	switch op {
 	case OpMax:
 		if a > b {
@@ -316,20 +438,38 @@ func (op ReduceOp) combine(a, b float64) float64 {
 
 // Allreduce combines in-vectors elementwise across all ranks and returns
 // the combined vector (the same backing array is returned to every rank;
-// callers must treat it as read-only).
-func (c *Comm) Allreduce(op ReduceOp, in []float64) []float64 {
-	return c.world.reducer.allreduce(op, in)
+// callers must treat it as read-only). The combine runs in canonical rank
+// order 0,1,…,Size-1 once every rank has contributed, so the result is
+// bit-deterministic across runs — and bit-identical to any other transport
+// using the same canonical order (tcpmpi's tree reduction does). Ranks
+// must agree on the vector length: a mismatch returns a *MismatchError to
+// the offending rank and fails the world, so peers blocked in the round
+// observe a *WorldError.
+func (c *Comm) Allreduce(op ReduceOp, in []float64) ([]float64, error) {
+	res, err := c.world.reducer.allreduce(op, in, c.rank, c.world.failure)
+	if err != nil {
+		if _, ok := err.(*MismatchError); ok {
+			// Fail outside the reducer lock (allreduce has released it).
+			c.world.Fail(err)
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // AllreduceScalar combines a single value across all ranks.
-func (c *Comm) AllreduceScalar(op ReduceOp, v float64) float64 {
-	return c.Allreduce(op, []float64{v})[0]
+func (c *Comm) AllreduceScalar(op ReduceOp, v float64) (float64, error) {
+	res, err := c.Allreduce(op, []float64{v})
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
 }
 
 // AllgatherInt64 gathers one int64 from every rank; the result is indexed
 // by rank and shared read-only across ranks.
-func (c *Comm) AllgatherInt64(v int64) []int64 {
-	return c.world.gatherer.gather(c.rank, v)
+func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
+	return c.world.gatherer.gather(c.rank, v, c.world.failure)
 }
 
 // barrier is a reusable generation-counting barrier.
@@ -347,33 +487,45 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+func (b *barrier) await(f *failure) error {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := f.Err(); err != nil {
+		return &WorldError{Cause: err}
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
+		return nil
 	}
 	for gen == b.gen {
 		b.cond.Wait()
+		if err := f.Err(); err != nil {
+			return &WorldError{Cause: err}
+		}
 	}
-	b.mu.Unlock()
+	return nil
 }
 
-// reducer implements Allreduce with one shared accumulator per round.
+// reducer implements Allreduce by collecting every rank's vector and
+// combining them in canonical rank order when the round completes, so the
+// floating-point result is bit-deterministic regardless of arrival order.
 // A round cannot overlap the next because every rank participates exactly
-// once per round.
+// once per round. The per-rank collection buffers persist across rounds
+// (reductions sit on every solver iteration's hot path); only the result
+// is freshly allocated, because it escapes to the callers as a shared
+// read-only slice.
 type reducer struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	size  int
 	count int
 	gen   uint64
-	acc   []float64
+	refLn int // vector length of the round's first arrival
+	vecs  [][]float64
 	res   []float64
 }
 
@@ -383,36 +535,56 @@ func newReducer(size int) *reducer {
 	return r
 }
 
-func (r *reducer) allreduce(op ReduceOp, in []float64) []float64 {
+// allreduce returns the combined vector, a *MismatchError for the rank
+// whose vector length disagrees with the round (the caller fails the world
+// afterwards, outside the reducer lock), or a *WorldError if the world
+// failed while this rank was blocked in the round.
+func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]float64, error) {
 	r.mu.Lock()
-	if r.count == 0 {
-		r.acc = append([]float64(nil), in...)
-	} else {
-		if len(in) != len(r.acc) {
-			panic(fmt.Sprintf("chanmpi: Allreduce length mismatch: %d vs %d", len(in), len(r.acc)))
-		}
-		for i, v := range in {
-			r.acc[i] = op.combine(r.acc[i], v)
-		}
+	defer r.mu.Unlock()
+	if err := f.Err(); err != nil {
+		return nil, &WorldError{Cause: err}
 	}
+	if r.count == 0 {
+		if r.vecs == nil {
+			r.vecs = make([][]float64, r.size)
+		}
+		r.refLn = len(in)
+	} else if len(in) != r.refLn {
+		return nil, &MismatchError{Got: len(in), Want: r.refLn}
+	}
+	buf := r.vecs[rank]
+	if cap(buf) < len(in) {
+		buf = make([]float64, len(in))
+	} else {
+		buf = buf[:len(in)]
+	}
+	copy(buf, in)
+	r.vecs[rank] = buf
 	r.count++
 	if r.count == r.size {
+		// Canonical rank-order combine: 0 ⊕ 1 ⊕ … ⊕ size-1. The result
+		// must not alias the reusable collection buffers.
+		acc := append([]float64(nil), r.vecs[0]...)
+		for q := 1; q < r.size; q++ {
+			for i, v := range r.vecs[q] {
+				acc[i] = op.Combine(acc[i], v)
+			}
+		}
 		r.count = 0
-		r.res = r.acc
-		r.acc = nil
+		r.res = acc
 		r.gen++
 		r.cond.Broadcast()
-		res := r.res
-		r.mu.Unlock()
-		return res
+		return r.res, nil
 	}
 	gen := r.gen
 	for gen == r.gen {
 		r.cond.Wait()
+		if err := f.Err(); err != nil {
+			return nil, &WorldError{Cause: err}
+		}
 	}
-	res := r.res
-	r.mu.Unlock()
-	return res
+	return r.res, nil
 }
 
 // gatherer implements AllgatherInt64 analogously.
@@ -432,8 +604,12 @@ func newGatherer(size int) *gatherer {
 	return g
 }
 
-func (g *gatherer) gather(rank int, v int64) []int64 {
+func (g *gatherer) gather(rank int, v int64, f *failure) ([]int64, error) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := f.Err(); err != nil {
+		return nil, &WorldError{Cause: err}
+	}
 	if g.count == 0 {
 		g.acc = make([]int64, g.size)
 	}
@@ -445,15 +621,14 @@ func (g *gatherer) gather(rank int, v int64) []int64 {
 		g.acc = nil
 		g.gen++
 		g.cond.Broadcast()
-		res := g.res
-		g.mu.Unlock()
-		return res
+		return g.res, nil
 	}
 	gen := g.gen
 	for gen == g.gen {
 		g.cond.Wait()
+		if err := f.Err(); err != nil {
+			return nil, &WorldError{Cause: err}
+		}
 	}
-	res := g.res
-	g.mu.Unlock()
-	return res
+	return g.res, nil
 }

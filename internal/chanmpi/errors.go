@@ -1,0 +1,67 @@
+package chanmpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed errors of the message-passing contract. Every failure that used
+// to panic — invalid ranks, truncated receives, length-mismatched reductions,
+// operations on a failed world — now surfaces as one of these, so transports
+// and the distributed runtime can report them through normal error returns
+// (and a wire-level backend can map its own failures onto the same taxonomy).
+
+// ErrWorldClosed is the failure cause recorded when a world is shut down via
+// Close; operations attempted afterwards return a *WorldError wrapping it.
+var ErrWorldClosed = errors.New("chanmpi: world closed")
+
+// RankError reports a point-to-point operation addressing a rank outside
+// [0, Size).
+type RankError struct {
+	Op   string // "Isend", "Irecv", "Comm", ...
+	Rank int
+	Size int
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("chanmpi: %s rank %d outside [0,%d)", e.Op, e.Rank, e.Size)
+}
+
+// TruncationError reports a message longer than the posted receive buffer
+// (MPI_ERR_TRUNCATE). Both endpoints of the exchange observe it, and the
+// world fails so ranks blocked on the broken exchange unwedge.
+type TruncationError struct {
+	Len, Cap int // message elements, receive-buffer capacity
+	Src, Tag int
+}
+
+func (e *TruncationError) Error() string {
+	return fmt.Sprintf("chanmpi: message of %d elements truncated by %d-element buffer (src %d, tag %d)",
+		e.Len, e.Cap, e.Src, e.Tag)
+}
+
+// MismatchError reports ranks disagreeing on the vector length of an
+// Allreduce round. The offending rank receives it directly and the world
+// fails, so peers already blocked in the round observe a *WorldError
+// instead of wedging.
+type MismatchError struct {
+	Got, Want int
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("chanmpi: Allreduce length mismatch: %d vs %d", e.Got, e.Want)
+}
+
+// WorldError reports an operation attempted on (or interrupted by) a failed
+// world; Cause is the first failure. It unwraps to the cause, so
+// errors.Is(err, ErrWorldClosed) and friends see through it.
+type WorldError struct {
+	Cause error
+}
+
+func (e *WorldError) Error() string {
+	return fmt.Sprintf("chanmpi: world failed: %v", e.Cause)
+}
+
+// Unwrap exposes the first failure.
+func (e *WorldError) Unwrap() error { return e.Cause }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,13 @@ import (
 // application shape (exact diagonalization, CG), where threads and
 // communicators persist across thousands of spMVM iterations.
 //
+// The cluster drives only the ranks its World owns locally. On the default
+// ChanTransport that is every rank; on a multi-process transport (tcpmpi)
+// each OS process holds its own Cluster over the same plan and drives its
+// own rank subset, so submissions are SPMD across processes: every process
+// must submit the same sequence of jobs (Mul, Run, Convert) for the
+// cross-rank collectives inside them to line up.
+//
 // Jobs (Mul, Run, Convert's refresh) are serialized: a second submission
 // queues until the current one drains. Live reconfiguration between jobs
 // goes through SetMode and Convert. A Cluster must be closed to release its
@@ -27,25 +36,28 @@ import (
 // so self-deadlocks. Mode is the exception: it is lock-free and safe from
 // inside a body.
 type Cluster struct {
-	plan      *Plan
-	threads   int
-	transport Transport
+	plan    *Plan
+	threads int
+	world   World
 
-	workers []*Worker
-	jobs    []chan *job
-	done    sync.WaitGroup // rank-goroutine exit
+	localRanks []int     // the ranks this process drives, ascending
+	workers    []*Worker // parallel to localRanks
+	jobs       []chan *job
+	done       sync.WaitGroup // rank-goroutine exit
 
 	mode atomic.Int32 // current Mode; lock-free so job bodies may read it
 
 	mu     sync.Mutex // serializes submissions and reconfiguration
 	closed bool
+	failed error // first job failure; the world is poisoned, rebuild to recover
 }
 
-// job is one SPMD submission: every rank runs body on its resident Worker.
+// job is one SPMD submission: every local rank runs body on its resident
+// Worker. Body errors and recovered panics are collected per rank.
 type job struct {
-	body   func(*Worker)
-	wg     sync.WaitGroup
-	panics []any // per-rank recovered panics
+	body func(*Worker) error
+	wg   sync.WaitGroup
+	errs []error // per-local-rank failures
 }
 
 // Option configures a Cluster at construction.
@@ -56,6 +68,7 @@ type clusterConfig struct {
 	threads   int
 	format    matrix.FormatBuilder
 	transport Transport
+	ctx       context.Context
 }
 
 // WithMode selects the kernel mode multiplications run in (default
@@ -76,16 +89,22 @@ func WithFormat(b matrix.FormatBuilder) Option { return func(c *clusterConfig) {
 // ChanTransport, the in-process chanmpi runtime).
 func WithTransport(t Transport) Option { return func(c *clusterConfig) { c.transport = t } }
 
-// NewCluster validates the plan and options once, spins up one resident
-// rank goroutine (with Worker, compute team and halo buffers) per plan rank,
-// and returns the running Cluster. All misuse that the deprecated shims
-// still panic on — pattern-only plan, threads < 1, half-converted plan,
-// unknown mode — surfaces here as an error.
+// WithDialContext bounds the transport's world bring-up: a multi-process
+// Dial blocks until every peer has joined, and the context's deadline or
+// cancellation aborts the wait. Default context.Background().
+func WithDialContext(ctx context.Context) Option { return func(c *clusterConfig) { c.ctx = ctx } }
+
+// NewCluster validates the plan and options once, dials the transport, and
+// spins up one resident rank goroutine (with Worker, compute team and halo
+// buffers) per LOCAL rank of the dialed world — every rank on the default
+// chan transport, this process's subset on a multi-process one. All misuse
+// that the deprecated shims still panic on — pattern-only plan, threads < 1,
+// half-converted plan, unknown mode — surfaces here as an error.
 func NewCluster(plan *Plan, opts ...Option) (*Cluster, error) {
 	if plan == nil || plan.Part == nil {
 		return nil, fmt.Errorf("core: NewCluster needs a non-nil plan")
 	}
-	cfg := clusterConfig{mode: VectorNoOverlap, threads: 1, transport: ChanTransport{}}
+	cfg := clusterConfig{mode: VectorNoOverlap, threads: 1, transport: ChanTransport{}, ctx: context.Background()}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -103,36 +122,51 @@ func NewCluster(plan *Plan, opts ...Option) (*Cluster, error) {
 		}
 	}
 	ranks := plan.Part.NumRanks()
-	comms, err := cfg.transport.Connect(ranks)
+	world, err := cfg.transport.Dial(cfg.ctx, ranks)
 	if err != nil {
 		return nil, err
 	}
-	if len(comms) != ranks {
-		return nil, fmt.Errorf("core: transport connected %d ranks, plan has %d", len(comms), ranks)
+	if world.Size() != ranks {
+		world.Close()
+		return nil, fmt.Errorf("core: transport dialed a %d-rank world, plan has %d", world.Size(), ranks)
+	}
+	local := append([]int(nil), world.LocalRanks()...)
+	if err := validLocalRanks(local, ranks); err != nil {
+		world.Close()
+		return nil, err
 	}
 
 	c := &Cluster{
-		plan:      plan,
-		threads:   cfg.threads,
-		transport: cfg.transport,
-		workers:   make([]*Worker, ranks),
-		jobs:      make([]chan *job, ranks),
+		plan:       plan,
+		threads:    cfg.threads,
+		world:      world,
+		localRanks: local,
+		workers:    make([]*Worker, len(local)),
+		jobs:       make([]chan *job, len(local)),
 	}
 	c.mode.Store(int32(cfg.mode))
-	for r := 0; r < ranks; r++ {
-		w, err := newWorker(plan.Ranks[r], comms[r], cfg.threads)
+	for i, r := range local {
+		comm, err := world.Comm(r)
+		if err == nil && comm.Rank() != r {
+			err = fmt.Errorf("core: world handed rank %d a communicator for rank %d", r, comm.Rank())
+		}
+		var w *Worker
+		if err == nil {
+			w, err = newWorker(plan.Ranks[r], comm, cfg.threads)
+		}
 		if err != nil {
-			for _, built := range c.workers[:r] {
+			for _, built := range c.workers[:i] {
 				built.Close()
 			}
+			world.Close()
 			return nil, err
 		}
-		c.workers[r] = w
-		c.jobs[r] = make(chan *job)
+		c.workers[i] = w
+		c.jobs[i] = make(chan *job)
 	}
-	for r := 0; r < ranks; r++ {
+	for i := range local {
 		c.done.Add(1)
-		go c.rankLoop(r)
+		go c.rankLoop(i)
 	}
 	return c, nil
 }
@@ -141,29 +175,46 @@ func NewCluster(plan *Plan, opts ...Option) (*Cluster, error) {
 // job on this rank's Worker, release the team on shutdown. In task mode this
 // goroutine doubles as the dedicated communication thread (it sits inside
 // Waitall while the team computes).
-func (c *Cluster) rankLoop(r int) {
+func (c *Cluster) rankLoop(i int) {
 	defer c.done.Done()
-	w := c.workers[r]
+	w := c.workers[i]
 	defer w.Close()
-	for j := range c.jobs[r] {
-		runJob(j, r, w)
+	for j := range c.jobs[i] {
+		c.runJob(j, i, w)
 	}
 }
 
-// runJob executes one job body on one rank, converting a panic into a
-// recorded per-rank failure so the submitter can report it as an error.
-func runJob(j *job, r int, w *Worker) {
+// runJob executes one job body on one rank, recording its error and
+// converting a panic into a recorded per-rank failure so the submitter can
+// report it as an error. A failure immediately fails the world
+// (MPI_ERRORS_ARE_FATAL): peers blocked on a collective or receive this
+// rank abandoned wake with a *WorldError instead of wedging the job
+// forever — on a multi-process transport the teardown reaches the peer
+// processes too.
+func (c *Cluster) runJob(j *job, i int, w *Worker) {
 	defer j.wg.Done()
+	rank := c.localRanks[i]
 	defer func() {
 		if p := recover(); p != nil {
-			j.panics[r] = p
+			j.errs[i] = fmt.Errorf("core: rank %d panicked: %v", rank, p)
+		}
+		if j.errs[i] != nil {
+			c.world.Fail(j.errs[i])
 		}
 	}()
-	j.body(w)
+	if err := j.body(w); err != nil {
+		j.errs[i] = fmt.Errorf("core: rank %d: %w", rank, err)
+	}
 }
 
-// Ranks returns the number of message-passing ranks.
-func (c *Cluster) Ranks() int { return len(c.workers) }
+// Ranks returns the total number of message-passing ranks in the world,
+// including ranks driven by peer processes.
+func (c *Cluster) Ranks() int { return c.plan.Part.NumRanks() }
+
+// LocalRanks returns the ranks this cluster drives, ascending — all of them
+// on the default chan transport, this process's subset on a multi-process
+// one.
+func (c *Cluster) LocalRanks() []int { return append([]int(nil), c.localRanks...) }
 
 // Threads returns the compute-team size per rank.
 func (c *Cluster) Threads() int { return c.threads }
@@ -205,21 +256,33 @@ func (c *Cluster) Convert(b matrix.FormatBuilder) error {
 	if c.closed {
 		return fmt.Errorf("core: Convert on closed cluster")
 	}
+	if c.failed != nil {
+		// Checked before ConvertFormat runs: a refused Convert must not
+		// have the durable side effect of converting the caller's plan
+		// while the resident workers are never refreshed.
+		return fmt.Errorf("core: cluster failed by an earlier job (%v); close and rebuild", c.failed)
+	}
 	if err := c.plan.ConvertFormat(b); err != nil {
 		return err
 	}
-	return c.submitLocked(func(w *Worker) { w.refresh() })
+	return c.submitLocked(func(w *Worker) error { w.refresh(); return nil })
 }
 
-// Run executes body once per rank on the resident Workers — the SPMD entry
-// point entire iterative algorithms (CG, Lanczos, …) run on. body runs
-// concurrently on all ranks; cross-rank coordination goes through w.Comm.
-// Run returns after every rank's body has finished; a panic on any rank is
-// returned as an error (after all ranks finish — a rank blocked on a
-// collective its peers abandoned will hang, exactly as in MPI). body must
-// not call back into Mul, Run, SetMode, Convert or Close (self-deadlock);
-// Mode is safe.
-func (c *Cluster) Run(body func(w *Worker)) error {
+// Run executes body once per local rank on the resident Workers — the SPMD
+// entry point entire iterative algorithms (CG, Lanczos, …) run on. body
+// runs concurrently on all local ranks; cross-rank coordination goes
+// through w.Comm. Run returns after every local rank's body has finished.
+//
+// A body error or panic on any rank is fatal to the world, as an MPI error
+// is to an MPI job: the failing rank's error poisons the world, peers
+// blocked on a collective or receive it abandoned wake with a *WorldError
+// instead of wedging, Run returns the primary cause, and the cluster
+// refuses further submissions (Close and rebuild to recover). A condition
+// an algorithm detects in lockstep on every rank (e.g. CG breakdown on a
+// globally reduced scalar) should therefore be recorded out-of-band and
+// returned after Run, not through the body error. body must not call back
+// into Mul, Run, SetMode, Convert or Close (self-deadlock); Mode is safe.
+func (c *Cluster) Run(body func(w *Worker) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -228,26 +291,47 @@ func (c *Cluster) Run(body func(w *Worker)) error {
 	return c.submitLocked(body)
 }
 
-// submitLocked broadcasts one job to every rank queue and waits for it to
-// drain. Caller holds c.mu.
-func (c *Cluster) submitLocked(body func(w *Worker)) error {
-	j := &job{body: body, panics: make([]any, len(c.workers))}
+// submitLocked broadcasts one job to every local rank queue and waits for
+// it to drain. It returns the job's primary failure — the first rank error
+// in rank order that is not a secondary *WorldError report of a failure
+// that originated elsewhere — and marks the cluster failed, since the
+// world is poisoned. Caller holds c.mu.
+func (c *Cluster) submitLocked(body func(w *Worker) error) error {
+	if c.failed != nil {
+		return fmt.Errorf("core: cluster failed by an earlier job (%v); close and rebuild", c.failed)
+	}
+	j := &job{body: body, errs: make([]error, len(c.workers))}
 	j.wg.Add(len(c.workers))
 	for _, q := range c.jobs {
 		q <- j
 	}
 	j.wg.Wait()
-	for r, p := range j.panics {
-		if p != nil {
-			return fmt.Errorf("core: rank %d panicked: %v", r, p)
+	var first error
+	for _, err := range j.errs {
+		if err == nil {
+			continue
+		}
+		var we *WorldError
+		if !errors.As(err, &we) {
+			first = err
+			break
+		}
+		if first == nil {
+			first = err
 		}
 	}
-	return nil
+	if first != nil {
+		c.failed = first
+	}
+	return first
 }
 
 // Mul runs iters distributed multiplications y = A^iters·x in the cluster's
-// current mode and gathers the global result into y. x and y are global
-// vectors of length Rows; they may alias.
+// current mode and gathers the result rows of the LOCAL ranks into y. x and
+// y are global vectors of length Rows; they may alias. On an all-local
+// world y is the complete global result; on a multi-process world each
+// process obtains the rows its ranks own (every process must call Mul with
+// the same x for the halo exchanges to agree).
 func (c *Cluster) Mul(y, x []float64, iters int) error {
 	rows := c.plan.Part.Rows()
 	if len(x) != rows || len(y) != rows {
@@ -262,24 +346,27 @@ func (c *Cluster) Mul(y, x []float64, iters int) error {
 		return fmt.Errorf("core: Mul on closed cluster")
 	}
 	mode := c.Mode()
-	return c.submitLocked(func(w *Worker) {
+	return c.submitLocked(func(w *Worker) error {
 		rp := w.Plan
 		copy(w.X[:rp.NLocal], x[rp.Rows.Lo:rp.Rows.Hi])
 		for it := 0; it < iters; it++ {
-			w.Step(mode)
+			if err := w.Step(mode); err != nil {
+				return err
+			}
 			if it < iters-1 {
 				// Next iteration multiplies the previous result.
 				copy(w.X[:rp.NLocal], w.Y)
 			}
 		}
 		copy(y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
+		return nil
 	})
 }
 
-// Close shuts the rank goroutines down, releases the compute teams, and —
-// if the transport implements io.Closer — closes the transport's world.
-// Close is idempotent and safe after partial use; jobs submitted after
-// Close fail with an error.
+// Close shuts the rank goroutines down, releases the compute teams, and
+// closes the transport's world (sockets, peer goroutines). Close is
+// idempotent and safe after partial use; jobs submitted after Close fail
+// with an error.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -292,8 +379,5 @@ func (c *Cluster) Close() error {
 	}
 	c.mu.Unlock()
 	c.done.Wait()
-	if cl, ok := c.transport.(interface{ Close() error }); ok {
-		return cl.Close()
-	}
-	return nil
+	return c.world.Close()
 }

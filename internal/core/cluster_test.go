@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/chanmpi"
 	"repro/internal/formats"
@@ -160,7 +162,7 @@ func TestClusterLiveSetModeAndConvert(t *testing.T) {
 func TestClusterRunSPMDCollectives(t *testing.T) {
 	_, cl := newTestCluster(t, 77, 200, 60, 5, 4, WithThreads(2))
 	var visited int64
-	err := cl.Run(func(w *Worker) {
+	err := cl.Run(func(w *Worker) error {
 		atomic.AddInt64(&visited, 1)
 		// Mode is lock-free and therefore the one Cluster method a job
 		// body may call back into (the others self-deadlock).
@@ -173,10 +175,14 @@ func TestClusterRunSPMDCollectives(t *testing.T) {
 		if w.Plan.Rank != w.Comm.Rank() {
 			t.Errorf("plan rank %d != comm rank %d", w.Plan.Rank, w.Comm.Rank())
 		}
-		sum := w.Comm.AllreduceScalar(OpSum, 1)
+		sum, err := w.Comm.AllreduceScalar(OpSum, 1)
+		if err != nil {
+			return err
+		}
 		if sum != 4 {
 			t.Errorf("allreduce = %g", sum)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +192,7 @@ func TestClusterRunSPMDCollectives(t *testing.T) {
 	}
 	// The same resident ranks serve the next submission.
 	visited = 0
-	if err := cl.Run(func(w *Worker) { atomic.AddInt64(&visited, 1) }); err != nil {
+	if err := cl.Run(func(w *Worker) error { atomic.AddInt64(&visited, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if visited != 4 {
@@ -207,7 +213,7 @@ func TestClusterDoubleCloseAndUseAfterClose(t *testing.T) {
 	if err := cl.Mul(y, x, 1); err == nil {
 		t.Error("Mul on closed cluster succeeded")
 	}
-	if err := cl.Run(func(*Worker) {}); err == nil {
+	if err := cl.Run(func(*Worker) error { return nil }); err == nil {
 		t.Error("Run on closed cluster succeeded")
 	}
 	if err := cl.SetMode(TaskMode); err == nil {
@@ -240,10 +246,15 @@ func TestClusterSequentialJobStress(t *testing.T) {
 			t.Fatalf("iteration %d mode %v: max diff %g", it, mode, d)
 		}
 		if it%5 == 4 {
-			if err := cl.Run(func(w *Worker) {
-				if got := w.Comm.AllreduceScalar(OpSum, float64(w.Comm.Rank())); got != 6 {
+			if err := cl.Run(func(w *Worker) error {
+				got, err := w.Comm.AllreduceScalar(OpSum, float64(w.Comm.Rank()))
+				if err != nil {
+					return err
+				}
+				if got != 6 {
 					t.Errorf("allreduce of ranks = %g, want 6", got)
 				}
+				return nil
 			}); err != nil {
 				t.Fatal(err)
 			}
@@ -253,7 +264,7 @@ func TestClusterSequentialJobStress(t *testing.T) {
 
 func TestClusterRunPanicBecomesError(t *testing.T) {
 	_, cl := newTestCluster(t, 83, 60, 20, 3, 3)
-	err := cl.Run(func(w *Worker) {
+	err := cl.Run(func(w *Worker) error {
 		panic(fmt.Sprintf("boom on rank %d", w.Comm.Rank()))
 	})
 	if err == nil {
@@ -262,11 +273,15 @@ func TestClusterRunPanicBecomesError(t *testing.T) {
 	if !strings.Contains(err.Error(), "boom on rank") {
 		t.Fatalf("error %q does not carry the panic", err)
 	}
-	// The runtime survives a failed job: the next submission still works.
+	// A failed job is fatal to the world (fail-stop): further submissions
+	// refuse with the original cause, and Close still works.
 	y := make([]float64, 60)
 	x := make([]float64, 60)
-	if err := cl.Mul(y, x, 1); err != nil {
-		t.Fatalf("cluster unusable after failed job: %v", err)
+	if err := cl.Mul(y, x, 1); err == nil || !strings.Contains(err.Error(), "boom on rank") {
+		t.Fatalf("Mul after failed job: %v, want refusal carrying the cause", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close after failed job: %v", err)
 	}
 }
 
@@ -359,8 +374,8 @@ func TestClusterCustomTransport(t *testing.T) {
 	// proves the modes run through the injected Comms, not a hidden world.
 	ct := &countingTransport{}
 	a, cl := newTestCluster(t, 93, 120, 40, 4, 3, WithTransport(ct), WithMode(VectorNaiveOverlap))
-	if ct.connects != 1 {
-		t.Fatalf("transport connected %d times, want 1", ct.connects)
+	if ct.dials != 1 {
+		t.Fatalf("transport dialed %d times, want 1", ct.dials)
 	}
 	x := randVec(94, 120)
 	want := make([]float64, 120)
@@ -377,36 +392,46 @@ func TestClusterCustomTransport(t *testing.T) {
 	}
 }
 
-func TestClusterClosesClosableTransport(t *testing.T) {
+func TestClusterClosesWorld(t *testing.T) {
 	ct := &closableTransport{}
 	_, cl := newTestCluster(t, 97, 60, 20, 3, 2, WithTransport(ct))
 	if err := cl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := ct.closes; got != 1 {
-		t.Fatalf("transport closed %d times, want 1", got)
+	if got := ct.closes.Load(); got != 1 {
+		t.Fatalf("world closed %d times, want 1", got)
 	}
-	// Idempotent Close must not re-close the transport.
+	// Idempotent Close must not re-close the world.
 	if err := cl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := ct.closes; got != 1 {
-		t.Fatalf("double Close reached the transport (%d closes)", got)
+	if got := ct.closes.Load(); got != 1 {
+		t.Fatalf("double Close reached the world (%d closes)", got)
 	}
 }
 
-// closableTransport records Close calls from Cluster.Close.
+// closableTransport hands out worlds that record Close calls from
+// Cluster.Close.
 type closableTransport struct {
-	closes int
+	closes atomic.Int64
 }
 
-func (ct *closableTransport) Connect(size int) ([]Comm, error) {
-	return ChanTransport{}.Connect(size)
+func (ct *closableTransport) Dial(ctx context.Context, size int) (World, error) {
+	w, err := ChanTransport{}.Dial(ctx, size)
+	if err != nil {
+		return nil, err
+	}
+	return &closableWorld{World: w, closes: &ct.closes}, nil
 }
 
-func (ct *closableTransport) Close() error {
-	ct.closes++
-	return nil
+type closableWorld struct {
+	World
+	closes *atomic.Int64
+}
+
+func (cw *closableWorld) Close() error {
+	cw.closes.Add(1)
+	return cw.World.Close()
 }
 
 func TestNewClusterFailureLeavesPlanUnconverted(t *testing.T) {
@@ -428,22 +453,32 @@ func TestNewClusterFailureLeavesPlanUnconverted(t *testing.T) {
 	}
 }
 
-// countingTransport wraps ChanTransport, counting Connects and Isends.
+// countingTransport wraps ChanTransport, counting Dials and Isends.
 type countingTransport struct {
-	connects int
-	sends    atomic.Int64
+	dials int
+	sends atomic.Int64
 }
 
-func (ct *countingTransport) Connect(size int) ([]Comm, error) {
-	ct.connects++
-	comms, err := ChanTransport{}.Connect(size)
+func (ct *countingTransport) Dial(ctx context.Context, size int) (World, error) {
+	ct.dials++
+	w, err := ChanTransport{}.Dial(ctx, size)
 	if err != nil {
 		return nil, err
 	}
-	for i, c := range comms {
-		comms[i] = &countingComm{Comm: c, sends: &ct.sends}
+	return &countingWorld{World: w, sends: &ct.sends}, nil
+}
+
+type countingWorld struct {
+	World
+	sends *atomic.Int64
+}
+
+func (cw *countingWorld) Comm(rank int) (Comm, error) {
+	c, err := cw.World.Comm(rank)
+	if err != nil {
+		return nil, err
 	}
-	return comms, nil
+	return &countingComm{Comm: c, sends: cw.sends}, nil
 }
 
 type countingComm struct {
@@ -451,9 +486,121 @@ type countingComm struct {
 	sends *atomic.Int64
 }
 
-func (cc *countingComm) Isend(dst, tag int, data []float64) Request {
+func (cc *countingComm) Isend(dst, tag int, data []float64) (Request, error) {
 	cc.sends.Add(1)
 	return cc.Comm.Isend(dst, tag, data)
+}
+
+func TestClusterRunBodyErrorSurfaces(t *testing.T) {
+	// Comm v2's error-first contract end to end: a body error (not a panic)
+	// comes back from Run tagged with its rank.
+	_, cl := newTestCluster(t, 101, 80, 30, 3, 3)
+	bodyErr := fmt.Errorf("rank refused")
+	err := cl.Run(func(w *Worker) error {
+		if w.Comm.Rank() == 1 {
+			return bodyErr
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "rank refused") {
+		t.Fatalf("Run returned %v, want rank-tagged body error", err)
+	}
+}
+
+func TestClusterFailedRankUnwedgesBlockedPeers(t *testing.T) {
+	// The fail-stop regression: one rank's body errors out while its peers
+	// sit in a collective waiting for it. The failure must fail the world —
+	// peers wake with a WorldError instead of wedging the job (and Close)
+	// forever — and Run must report the PRIMARY cause with the right rank,
+	// not a bystander's secondary world-failure error.
+	_, cl := newTestCluster(t, 107, 80, 30, 3, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.Run(func(w *Worker) error {
+			if w.Comm.Rank() == 2 {
+				return fmt.Errorf("rank 2 bailed")
+			}
+			return w.Comm.Barrier() // abandoned by rank 2
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "rank 2") || !strings.Contains(err.Error(), "bailed") {
+			t.Fatalf("Run returned %v, want the primary rank 2 failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("peers stayed wedged in the abandoned collective")
+	}
+	if err := cl.Run(func(*Worker) error { return nil }); err == nil {
+		t.Fatal("failed cluster accepted another job")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close after failed job: %v", err)
+	}
+}
+
+func TestClusterLocalRanks(t *testing.T) {
+	_, cl := newTestCluster(t, 103, 90, 30, 4, 3)
+	got := cl.LocalRanks()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("LocalRanks() = %v, want [0 1 2] on the all-local chan world", got)
+	}
+	// The accessor hands out a copy, not the cluster's own slice.
+	got[0] = 99
+	if again := cl.LocalRanks(); again[0] != 0 {
+		t.Error("LocalRanks() exposes internal state")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if b, err := ParseFormat("crs"); err != nil || b.Name() != "crs" {
+		t.Errorf("ParseFormat(crs) = %v, %v", b, err)
+	}
+	if b, err := ParseFormat(" CSR "); err != nil || b.Name() != "crs" {
+		t.Errorf("ParseFormat(CSR) = %v, %v", b, err)
+	}
+	b, err := ParseFormat("sell-32-256")
+	if err != nil {
+		t.Fatalf("ParseFormat(sell-32-256): %v", err)
+	}
+	sb, ok := b.(formats.SELLBuilder)
+	if !ok || sb.C != 32 || sb.Sigma != 256 {
+		t.Errorf("ParseFormat(sell-32-256) = %#v", b)
+	}
+	// Round trip: the builder's canonical name parses back to itself.
+	if rb, err := ParseFormat(sb.Name()); err != nil || rb != b {
+		t.Errorf("ParseFormat(%q) = %v, %v", sb.Name(), rb, err)
+	}
+	for _, bad := range []string{"", "ellpack", "sell", "sell-32", "sell-0-8", "sell-x-y", "sell-8-"} {
+		if _, err := ParseFormat(bad); err == nil {
+			t.Errorf("ParseFormat(%q) accepted", bad)
+		}
+	}
+	// A parsed format drives a real conversion: cluster results stay
+	// bit-identical to the explicitly constructed builder.
+	parsed, err := ParseFormat("sell-8-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, cl := newTestCluster(t, 105, 150, 50, 5, 3, WithFormat(parsed))
+	x := randVec(106, 150)
+	y := make([]float64, 150)
+	if err := cl.Mul(y, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	refPlan, err := BuildPlan(a, PartitionByNnz(a, 3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refPlan.ConvertFormat(formats.SELLBuilder{C: 8, Sigma: 32}); err != nil {
+		t.Fatal(err)
+	}
+	want := MulDistributed(refPlan, x, VectorNoOverlap, 1, 1)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("parsed-format cluster differs at row %d: %v != %v", i, y[i], want[i])
+		}
+	}
 }
 
 func TestParseMode(t *testing.T) {
@@ -512,11 +659,18 @@ func TestDeprecatedShimsStillPanicOnMisuse(t *testing.T) {
 	}
 	mustPanic("MulDistributed bad threads", func() { MulDistributed(plan, make([]float64, 60), TaskMode, 0, 1) })
 	mustPanic("RunSPMD bad threads", func() { RunSPMD(plan, 0, func(*Worker) {}) })
-	world := chanmpi.NewWorld(2)
-	mustPanic("NewWorker bad threads", func() { NewWorker(plan.Ranks[0], world.Comm(0), 0) })
+	world, err := chanmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm0, err := world.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("NewWorker bad threads", func() { NewWorker(plan.Ranks[0], comm0, 0) })
 	patternOnly, err := BuildPlan(a, PartitionByNnz(a, 2), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mustPanic("NewWorker pattern-only", func() { NewWorker(patternOnly.Ranks[0], world.Comm(0), 1) })
+	mustPanic("NewWorker pattern-only", func() { NewWorker(patternOnly.Ranks[0], comm0, 1) })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chanmpi"
@@ -23,11 +24,30 @@ const (
 	OpMin = chanmpi.OpMin
 )
 
+// The shared error taxonomy of the transport contract, aliased from the
+// in-process runtime so every backend reports the same typed failures:
+// addressing a rank outside the world (RankError), a message longer than
+// its receive buffer (TruncationError), ranks disagreeing on an Allreduce
+// length (MismatchError), and any operation on a failed world
+// (WorldError, which unwraps to the first cause).
+type (
+	RankError       = chanmpi.RankError
+	TruncationError = chanmpi.TruncationError
+	MismatchError   = chanmpi.MismatchError
+	WorldError      = chanmpi.WorldError
+)
+
 // Comm is one rank's communicator: the complete message-passing surface the
 // kernel modes and the SPMD solvers consume. It decouples internal/core from
-// the concrete runtime — *chanmpi.Comm satisfies it as-is, and a future
-// backend (a simmpi re-enactment, a TCP multi-process transport) plugs in
-// behind a Transport without touching the modes.
+// the concrete runtime — *chanmpi.Comm satisfies it as-is, and a wire-level
+// backend (internal/tcpmpi, a simmpi re-enactment) plugs in behind a
+// Transport without touching the modes.
+//
+// The contract is error-first: misuse and transport failures return errors
+// instead of panicking, so a network backend can report a lost peer the
+// same way the in-process runtime reports a truncated exchange. Errors
+// surface through the Cluster and solver entry points; no implementation
+// may panic on the paths reachable through this interface.
 type Comm interface {
 	// Rank returns this rank's id in [0, Size).
 	Rank() int
@@ -35,52 +55,117 @@ type Comm interface {
 	Size() int
 	// Isend starts a nonblocking send of data to rank dst with the given
 	// tag. Buffered semantics: the caller may reuse data on return.
-	Isend(dst, tag int, data []float64) Request
+	Isend(dst, tag int, data []float64) (Request, error)
 	// Irecv posts a nonblocking receive into buf for a message from rank
 	// src with the given tag.
-	Irecv(src, tag int, buf []float64) Request
-	// Waitall blocks until every request has completed (MPI_Waitall).
-	Waitall(reqs ...Request)
+	Irecv(src, tag int, buf []float64) (Request, error)
+	// Waitall blocks until every request has completed (MPI_Waitall) and
+	// returns the first error observed.
+	Waitall(reqs ...Request) error
 	// Barrier blocks until all ranks have entered it.
-	Barrier()
+	Barrier() error
 	// Allreduce combines in-vectors elementwise across all ranks; the
-	// returned slice is shared across ranks and must be treated read-only.
-	Allreduce(op ReduceOp, in []float64) []float64
+	// returned slice may be shared across ranks and must be treated
+	// read-only.
+	Allreduce(op ReduceOp, in []float64) ([]float64, error)
 	// AllreduceScalar combines a single value across all ranks.
-	AllreduceScalar(op ReduceOp, v float64) float64
+	AllreduceScalar(op ReduceOp, v float64) (float64, error)
 	// AllgatherInt64 gathers one int64 from every rank, indexed by rank;
-	// the result is shared read-only across ranks.
-	AllgatherInt64(v int64) []int64
+	// the result may be shared and must be treated read-only.
+	AllgatherInt64(v int64) ([]int64, error)
+}
+
+// World is an established message-passing world of Size ranks, of which
+// this process owns LocalRanks. The all-local chan world owns every rank;
+// a multi-process backend like tcpmpi owns a subset, with the remaining
+// ranks living in peer OS processes.
+type World interface {
+	// Size returns the total number of ranks in the world, across all
+	// participating processes.
+	Size() int
+	// LocalRanks lists the ranks this process owns, ascending. The Cluster
+	// spins one resident rank goroutine per local rank; remote ranks are
+	// driven by their own processes.
+	LocalRanks() []int
+	// Comm returns the communicator of a local rank. Asking for a rank
+	// this process does not own is an error.
+	Comm(rank int) (Comm, error)
+	// Fail poisons the world with the given cause: ranks blocked in its
+	// communication wake with a *WorldError and subsequent operations
+	// refuse. The Cluster calls it when a job body fails on one rank, so
+	// peers blocked on that rank unwedge instead of deadlocking. The
+	// first cause wins; later calls are no-ops.
+	Fail(err error)
+	// Close releases the world's resources (goroutines, sockets). Ranks
+	// still blocked in it observe a failure rather than wedging. Close is
+	// idempotent.
+	Close() error
 }
 
 // Transport brings up the message-passing world a Cluster runs on.
-//
-// A transport whose world holds external resources (sockets, processes)
-// should additionally implement io.Closer: Cluster.Close calls Close once
-// after the rank goroutines have drained. A Transport shared across
-// clusters must tolerate that call per cluster.
 type Transport interface {
-	// Connect establishes a world of the given size and returns one
-	// communicator per rank. The communicators stay valid until the
-	// Cluster is closed.
-	Connect(size int) ([]Comm, error)
+	// Dial establishes (or joins) a world with the given total rank count.
+	// It blocks until the world is fully connected — for a multi-process
+	// backend, until every peer process has joined — or ctx expires. The
+	// world stays valid until its Close.
+	Dial(ctx context.Context, size int) (World, error)
 }
 
 // ChanTransport is the default Transport: the in-process chanmpi runtime,
-// one goroutine-backed rank per communicator.
+// one goroutine-backed rank per communicator, all ranks local.
 type ChanTransport struct{}
 
-// Connect creates a chanmpi world and hands out its rank communicators.
-func (ChanTransport) Connect(size int) ([]Comm, error) {
-	if size < 1 {
-		return nil, fmt.Errorf("core: world size %d < 1", size)
+// Dial creates a chanmpi world owning every rank.
+func (ChanTransport) Dial(_ context.Context, size int) (World, error) {
+	w, err := chanmpi.NewWorld(size)
+	if err != nil {
+		return nil, err
 	}
-	w := chanmpi.NewWorld(size)
-	comms := make([]Comm, size)
-	for r := range comms {
-		comms[r] = w.Comm(r)
+	return &chanWorld{w: w}, nil
+}
+
+// chanWorld adapts *chanmpi.World to the transport-neutral World contract.
+type chanWorld struct {
+	w *chanmpi.World
+}
+
+func (cw *chanWorld) Size() int { return cw.w.Size() }
+
+func (cw *chanWorld) LocalRanks() []int {
+	ranks := make([]int, cw.w.Size())
+	for i := range ranks {
+		ranks[i] = i
 	}
-	return comms, nil
+	return ranks
+}
+
+func (cw *chanWorld) Comm(rank int) (Comm, error) {
+	c, err := cw.w.Comm(rank)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (cw *chanWorld) Fail(err error) { cw.w.Fail(err) }
+
+func (cw *chanWorld) Close() error { return cw.w.Close() }
+
+// validLocalRanks checks a world's local rank list against its size:
+// non-empty, strictly ascending, in range.
+func validLocalRanks(local []int, size int) error {
+	if len(local) == 0 {
+		return fmt.Errorf("core: world owns no local ranks")
+	}
+	for i, r := range local {
+		if r < 0 || r >= size {
+			return fmt.Errorf("core: local rank %d outside [0,%d)", r, size)
+		}
+		if i > 0 && local[i-1] >= r {
+			return fmt.Errorf("core: local ranks not strictly ascending at %d", r)
+		}
+	}
+	return nil
 }
 
 // Interface satisfaction check: the in-process runtime is a valid backend.

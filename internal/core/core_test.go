@@ -505,8 +505,15 @@ func TestSplitChunksBalancedOnSplitNnz(t *testing.T) {
 		t.Fatal(err)
 	}
 	rp := plan.Ranks[0]
-	world := chanmpi.NewWorld(2)
-	w := NewWorker(rp, world.Comm(0), threads)
+	world, err := chanmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm0, err := world.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(rp, comm0, threads)
 	defer w.Close()
 
 	// Sanity: the fixture is skewed enough that the old chunking is badly
@@ -545,7 +552,14 @@ func TestWorkerRejectsHalfConvertedPlan(t *testing.T) {
 		}
 		return plan
 	}
-	world := chanmpi.NewWorld(2)
+	world, err := chanmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm0, err := world.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Run("full-only", func(t *testing.T) {
 		rp := newPlan().Ranks[0]
 		rp.Format = rp.A
@@ -554,7 +568,7 @@ func TestWorkerRejectsHalfConvertedPlan(t *testing.T) {
 				t.Error("NewWorker accepted Format without SplitFormat")
 			}
 		}()
-		NewWorker(rp, world.Comm(0), 2)
+		NewWorker(rp, comm0, 2)
 	})
 	t.Run("split-only", func(t *testing.T) {
 		rp := newPlan().Ranks[0]
@@ -564,7 +578,7 @@ func TestWorkerRejectsHalfConvertedPlan(t *testing.T) {
 				t.Error("NewWorker accepted SplitFormat without Format")
 			}
 		}()
-		NewWorker(rp, world.Comm(0), 2)
+		NewWorker(rp, comm0, 2)
 	})
 }
 

@@ -22,14 +22,15 @@ func NewWorker(rp *RankPlan, comm Comm, threads int) *Worker {
 // RunSPMD executes body once per rank with a fully initialized Worker.
 //
 // Deprecated: use NewCluster + Cluster.Run, which keeps the ranks resident
-// across submissions instead of re-spawning the world per call.
+// across submissions instead of re-spawning the world per call, and whose
+// error-first bodies surface communication failures instead of panicking.
 func RunSPMD(plan *Plan, threads int, body func(w *Worker)) {
 	c, err := NewCluster(plan, WithThreads(threads))
 	if err != nil {
 		panic(err.Error())
 	}
 	defer c.Close()
-	if err := c.Run(body); err != nil {
+	if err := c.Run(func(w *Worker) error { body(w); return nil }); err != nil {
 		panic(err.Error())
 	}
 }

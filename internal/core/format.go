@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/formats"
+	"repro/internal/matrix"
+)
+
+// ParseFormat maps a storage-format name to its FormatBuilder — the format
+// counterpart of ParseMode, so command-line sweeps can be restricted to one
+// scheme. It accepts the builders' canonical Name() spellings:
+//
+//	"crs" (alias "csr")      → matrix.CSRBuilder{}
+//	"sell-<C>-<sigma>"       → formats.SELLBuilder{C, Sigma}, e.g. "sell-32-256"
+func ParseFormat(s string) (matrix.FormatBuilder, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	switch name {
+	case "crs", "csr":
+		return matrix.CSRBuilder{}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "sell-"); ok {
+		cStr, sigmaStr, ok := strings.Cut(rest, "-")
+		if ok {
+			c, errC := strconv.Atoi(cStr)
+			sigma, errS := strconv.Atoi(sigmaStr)
+			if errC == nil && errS == nil && c > 0 && sigma > 0 {
+				return formats.SELLBuilder{C: c, Sigma: sigma}, nil
+			}
+		}
+		return nil, fmt.Errorf("core: malformed SELL-C-σ format %q (want sell-<C>-<sigma> with positive integers, e.g. sell-32-256)", s)
+	}
+	return nil, fmt.Errorf("core: unknown format %q (want crs or sell-<C>-<sigma>)", s)
+}

@@ -150,51 +150,67 @@ func (w *Worker) Close() { w.Team.Close() }
 
 // postRecvs posts one nonblocking receive per halo segment, directly into
 // the halo region of X (segments are contiguous by construction).
-func (w *Worker) postRecvs() {
+func (w *Worker) postRecvs() error {
 	w.reqs = w.reqs[:0]
 	for _, rx := range w.Plan.RecvFrom {
 		seg := w.X[w.Plan.NLocal+rx.Offset : w.Plan.NLocal+rx.Offset+rx.Count]
-		w.reqs = append(w.reqs, w.Comm.Irecv(rx.Peer, haloTag, seg))
+		req, err := w.Comm.Irecv(rx.Peer, haloTag, seg)
+		if err != nil {
+			return err
+		}
+		w.reqs = append(w.reqs, req)
 	}
+	return nil
 }
 
 // gatherAndSend copies the owned elements each peer needs into contiguous
 // send buffers and posts the sends. The local gather may be done after the
 // receives are initiated, potentially hiding the copy cost (§3.1).
-func (w *Worker) gatherAndSend() {
+func (w *Worker) gatherAndSend() error {
 	for i, tx := range w.Plan.SendTo {
 		buf := w.sendBufs[i]
 		for j, idx := range tx.Indices {
 			buf[j] = w.X[idx]
 		}
-		w.Comm.Isend(tx.Peer, haloTag, buf)
+		if _, err := w.Comm.Isend(tx.Peer, haloTag, buf); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // waitHalo blocks until every halo segment has arrived.
-func (w *Worker) waitHalo() {
-	w.Comm.Waitall(w.reqs...)
+func (w *Worker) waitHalo() error {
+	return w.Comm.Waitall(w.reqs...)
 }
 
 // Step performs one distributed multiplication Y = A·X in the given mode.
-// The caller must have filled X[0:NLocal] with the owned RHS elements.
-func (w *Worker) Step(mode Mode) {
+// The caller must have filled X[0:NLocal] with the owned RHS elements. A
+// transport failure during the halo exchange is returned as an error (and
+// the cluster submission carrying the Step reports it).
+func (w *Worker) Step(mode Mode) error {
 	switch mode {
 	case VectorNoOverlap:
-		w.stepNoOverlap()
+		return w.stepNoOverlap()
 	case VectorNaiveOverlap:
-		w.stepNaiveOverlap()
+		return w.stepNaiveOverlap()
 	case TaskMode:
-		w.stepTaskMode()
+		return w.stepTaskMode()
 	default:
-		panic(fmt.Sprintf("core: unknown mode %v", mode))
+		return fmt.Errorf("core: unknown mode %v", mode)
 	}
 }
 
-func (w *Worker) stepNoOverlap() {
-	w.postRecvs()
-	w.gatherAndSend()
-	w.waitHalo()
+func (w *Worker) stepNoOverlap() error {
+	if err := w.postRecvs(); err != nil {
+		return err
+	}
+	if err := w.gatherAndSend(); err != nil {
+		return err
+	}
+	if err := w.waitHalo(); err != nil {
+		return err
+	}
 	// Full kernel: one pass, result written once (code balance Eq. 1). Runs
 	// on whatever storage format the plan carries (CSR by default).
 	f := w.local
@@ -202,6 +218,7 @@ func (w *Worker) stepNoOverlap() {
 		r := w.fullChunks[t]
 		f.MulVecBlocks(w.Y, w.X, r.Lo, r.Hi)
 	})
+	return nil
 }
 
 // localPass computes the split-local half Y = A_local·X on the team, in
@@ -218,19 +235,30 @@ func (w *Worker) remotePass() {
 	w.split.MulVecRemoteAdd(w.Team, w.remoteChunks, w.Y, w.X)
 }
 
-func (w *Worker) stepNaiveOverlap() {
-	w.postRecvs()
-	w.gatherAndSend()
+func (w *Worker) stepNaiveOverlap() error {
+	if err := w.postRecvs(); err != nil {
+		return err
+	}
+	if err := w.gatherAndSend(); err != nil {
+		return err
+	}
 	// Local part first — intended to overlap the transfers, but with
 	// standard MPI progress semantics nothing moves until waitHalo.
 	w.localPass()
-	w.waitHalo()
+	if err := w.waitHalo(); err != nil {
+		return err
+	}
 	w.remotePass()
+	return nil
 }
 
-func (w *Worker) stepTaskMode() {
-	w.postRecvs()
-	w.gatherAndSend()
+func (w *Worker) stepTaskMode() error {
+	if err := w.postRecvs(); err != nil {
+		return err
+	}
+	if err := w.gatherAndSend(); err != nil {
+		return err
+	}
 	// Functional decomposition: this goroutine is the communication thread
 	// (it sits inside Waitall, driving progress) while the team computes
 	// the local part concurrently.
@@ -239,7 +267,11 @@ func (w *Worker) stepTaskMode() {
 		w.localPass()
 		close(computeDone)
 	}()
-	w.waitHalo()
+	err := w.waitHalo()
 	<-computeDone // the omp_barrier of Fig. 4c
+	if err != nil {
+		return err
+	}
 	w.remotePass()
+	return nil
 }

@@ -27,8 +27,10 @@ func TestRunSPMDBasics(t *testing.T) {
 			t.Error("worker buffers missized")
 		}
 		// Collective round trip inside the SPMD body.
-		sum := w.Comm.AllreduceScalar(chanmpi.OpSum, 1)
-		if sum != 4 {
+		sum, err := w.Comm.AllreduceScalar(chanmpi.OpSum, 1)
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+		} else if sum != 4 {
 			t.Errorf("allreduce = %g", sum)
 		}
 	})

@@ -16,24 +16,32 @@ import (
 // and halo buffers persist across the whole solve (and across consecutive
 // solves on the same cluster); nothing is re-spawned per multiplication.
 //
+// The solvers run on whatever rank subset the cluster drives locally: on
+// the default chan transport that is every rank (and the full solution is
+// written back); on a multi-process transport each process computes the
+// rows its local ranks own, while iteration counts and residuals — derived
+// entirely from global reductions — are identical on every process.
+//
 // Both solvers are storage-format generic in every mode: bring the cluster
 // up with core.WithFormat (or call Cluster.Convert between solves) and the
 // no-overlap kernel, the overlap local pass and the task-mode local pass
 // all run on the converted format, with the compacted remote pass staying
 // on the CompactCSR. Each distributed multiplication is bit-identical to
-// its CSR counterpart; only the Allreduce combine order (rank arrival) is
-// nondeterministic across runs.
+// its CSR counterpart, and reductions combine in canonical rank order on
+// every transport, so whole solves are bit-reproducible across runs and
+// across transports (the tcpmpi acceptance tests rely on this).
 
 // distDot computes the global dot product of two distributed vectors.
-func distDot(c core.Comm, a, b []float64) float64 {
+func distDot(c core.Comm, a, b []float64) (float64, error) {
 	return c.AllreduceScalar(core.OpSum, Dot(a, b))
 }
 
 // DistCG solves A·x = b with conjugate gradients on the cluster's resident
 // distributed kernel. b and x are global vectors; the solve runs SPMD across
-// the cluster's ranks in its current mode and writes the solution back into
-// x. All ranks see identical reduced scalars, so the iteration count is
-// deterministic.
+// the cluster's ranks in its current mode and writes the solution rows of
+// the locally driven ranks back into x. All ranks see identical reduced
+// scalars, so the iteration count is deterministic (and identical across
+// the processes of a multi-process world).
 func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResult, error) {
 	if cl == nil {
 		return CGResult{}, fmt.Errorf("solver: DistCG needs a cluster")
@@ -47,9 +55,9 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 	}
 	mode := cl.Mode()
 	results := make([]CGResult, cl.Ranks())
-	var globalErr error
+	breakdowns := make([]error, cl.Ranks())
 
-	err := cl.Run(func(w *core.Worker) {
+	err := cl.Run(func(w *core.Worker) error {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi
@@ -59,46 +67,69 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 		xl := append([]float64(nil), x[lo:hi]...)
 		res := &results[rank]
 
-		bNorm2 := distDot(c, bl, bl)
+		bNorm2, err := distDot(c, bl, bl)
+		if err != nil {
+			return err
+		}
 		if bNorm2 == 0 {
 			for i := range xl {
 				xl[i] = 0
 			}
 			copy(x[lo:hi], xl)
 			res.Converged = true
-			return
+			return nil
 		}
 		bNorm := math.Sqrt(bNorm2)
 
-		apply := func(dst, src []float64) {
+		apply := func(dst, src []float64) error {
 			copy(w.X[:nl], src)
-			w.Step(mode)
+			if err := w.Step(mode); err != nil {
+				return err
+			}
 			copy(dst, w.Y)
 			res.MVMs++
+			return nil
 		}
 
 		r := make([]float64, nl)
 		ap := make([]float64, nl)
-		apply(ap, xl)
+		if err := apply(ap, xl); err != nil {
+			return err
+		}
 		for i := range r {
 			r[i] = bl[i] - ap[i]
 		}
 		p := append([]float64(nil), r...)
-		rr := distDot(c, r, r)
+		rr, err := distDot(c, r, r)
+		if err != nil {
+			return err
+		}
 
 		for k := 0; k < maxIter; k++ {
-			apply(ap, p)
-			pap := distDot(c, p, ap)
+			if err := apply(ap, p); err != nil {
+				return err
+			}
+			pap, err := distDot(c, p, ap)
+			if err != nil {
+				return err
+			}
 			if pap <= 0 {
-				if rank == 0 && globalErr == nil {
-					globalErr = fmt.Errorf("solver: DistCG broke down (pᵀAp = %g ≤ 0)", pap)
-				}
-				return
+				// pap is a global reduction, so every rank detects the
+				// breakdown identically and returns in lockstep. Recorded
+				// out-of-band rather than as a body error: a body error is
+				// fatal to the world (fail-stop), while a lockstep
+				// breakdown leaves the resident cluster perfectly usable
+				// for the next solve.
+				breakdowns[rank] = fmt.Errorf("solver: DistCG broke down (pᵀAp = %g ≤ 0)", pap)
+				return nil
 			}
 			alpha := rr / pap
 			Axpy(alpha, p, xl)
 			Axpy(-alpha, ap, r)
-			rrNew := distDot(c, r, r)
+			rrNew, err := distDot(c, r, r)
+			if err != nil {
+				return err
+			}
 			res.Iterations = k + 1
 			rel := math.Sqrt(rrNew) / bNorm
 			res.History = append(res.History, rel)
@@ -114,14 +145,18 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 			rr = rrNew
 		}
 		copy(x[lo:hi], xl)
+		return nil
 	})
 	if err != nil {
 		return CGResult{}, err
 	}
-	if globalErr != nil {
-		return CGResult{}, globalErr
+	// Convergence history, counts and breakdowns derive from global
+	// reductions, so any locally driven rank's record is the world's record.
+	first := cl.LocalRanks()[0]
+	if breakdowns[first] != nil {
+		return CGResult{}, breakdowns[first]
 	}
-	return results[0], nil
+	return results[first], nil
 }
 
 // DistLanczos runs the symmetric Lanczos iteration SPMD across the
@@ -148,10 +183,11 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 	start := make([]float64, n)
 	rngFill(start, seed)
 
+	firstLocal := cl.LocalRanks()[0]
 	results := make([]LanczosResult, cl.Ranks())
-	var alphas, betas []float64 // written by rank 0 only
+	var alphas, betas []float64 // written by the first local rank only
 
-	err := cl.Run(func(w *core.Worker) {
+	err := cl.Run(func(w *core.Worker) error {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi
@@ -159,31 +195,50 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 		res := &results[rank]
 
 		v := append([]float64(nil), start[lo:hi]...)
-		norm := math.Sqrt(distDot(c, v, v))
-		Scale(1/norm, v)
+		vv, err := distDot(c, v, v)
+		if err != nil {
+			return err
+		}
+		Scale(1/math.Sqrt(vv), v)
 
 		var la, lb []float64
 		basis := [][]float64{append([]float64(nil), v...)}
 		wv := make([]float64, nl)
-		apply := func(dst, src []float64) {
+		apply := func(dst, src []float64) error {
 			copy(w.X[:nl], src)
-			w.Step(mode)
+			if err := w.Step(mode); err != nil {
+				return err
+			}
 			copy(dst, w.Y)
 			res.MVMs++
+			return nil
 		}
 
 		for j := 0; j < m; j++ {
-			apply(wv, basis[j])
-			alpha := distDot(c, basis[j], wv)
+			if err := apply(wv, basis[j]); err != nil {
+				return err
+			}
+			alpha, err := distDot(c, basis[j], wv)
+			if err != nil {
+				return err
+			}
 			la = append(la, alpha)
 			Axpy(-alpha, basis[j], wv)
 			if j > 0 {
 				Axpy(-lb[j-1], basis[j-1], wv)
 			}
 			for _, u := range basis {
-				Axpy(-distDot(c, u, wv), u, wv)
+				uw, err := distDot(c, u, wv)
+				if err != nil {
+					return err
+				}
+				Axpy(-uw, u, wv)
 			}
-			beta := math.Sqrt(distDot(c, wv, wv))
+			ww, err := distDot(c, wv, wv)
+			if err != nil {
+				return err
+			}
+			beta := math.Sqrt(ww)
 			res.Steps = j + 1
 			if beta < 1e-12 || j == m-1 {
 				break
@@ -193,15 +248,19 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 			Scale(1/beta, next)
 			basis = append(basis, next)
 		}
-		if rank == 0 {
+		if rank == firstLocal {
+			// The tridiagonal coefficients come from global reductions, so
+			// every rank holds identical copies; the first locally driven
+			// rank publishes them.
 			alphas, betas = la, lb
 		}
+		return nil
 	})
 	if err != nil {
 		return LanczosResult{}, err
 	}
 
-	res := results[0]
+	res := results[firstLocal]
 	eigs, err := SymTridiagEigenvalues(alphas, betas)
 	if err != nil {
 		return res, err

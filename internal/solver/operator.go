@@ -66,10 +66,13 @@ type DistOperator struct {
 // Dim returns the operator dimension.
 func (o *DistOperator) Dim() int { return o.Cluster.Rows() }
 
-// Apply computes y = A·x with the distributed kernel.
+// Apply computes y = A·x with the distributed kernel. Operator.Apply has
+// no error channel, so a Cluster.Mul failure (misuse, or a transport
+// failure on a wire backend) panics; error-first callers should drive the
+// cluster directly (Cluster.Mul, solver.DistCG, solver.DistLanczos).
 func (o *DistOperator) Apply(y, x []float64) {
 	if err := o.Cluster.Mul(y, x, 1); err != nil {
-		panic(err.Error()) // Operator.Apply has no error channel; misuse only
+		panic(err.Error())
 	}
 }
 

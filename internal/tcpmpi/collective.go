@@ -1,0 +1,178 @@
+package tcpmpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// The collectives run on a static binary tree over ranks (children of r
+// are 2r+1 and 2r+2), using internal kindColl frames so they can never
+// collide with user tags. Each collective is gather + transform +
+// broadcast:
+//
+//  1. every rank sends its subtree's vectors — its own followed by its
+//     children's subtrees, i.e. the subtree's depth-first enumeration —
+//     up to its parent (tagGather);
+//  2. root 0, holding every rank's vector, applies the transform;
+//  3. the result travels back down the tree (tagBcast).
+//
+// The gather preserves per-rank vectors instead of combining en route, so
+// the root can combine in canonical rank order 0 ⊕ 1 ⊕ … ⊕ size-1 — the
+// exact floating-point sequence the in-process chanmpi runtime uses. That
+// is what makes whole solves bit-identical across transports. Ranks
+// participate in collectives in one global order (an SPMD requirement, as
+// in MPI), so the per-(src,tag) FIFO matching keeps successive rounds
+// separated.
+const (
+	tagGather = 0
+	tagBcast  = 1
+)
+
+// recvExact receives a collective payload of exactly want elements from
+// src; any other length is a protocol-level mismatch that fails the world.
+func (w *world) recvExact(rank, src, tag, want int) ([]float64, error) {
+	buf := make([]float64, want)
+	req, err := w.post(rank, src, tag, true, buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Wait(); err != nil {
+		return nil, err
+	}
+	if req.n != want {
+		err := &core.MismatchError{Got: req.n, Want: want}
+		w.failWorld(err)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// gatherTransformBcast runs one tree collective for local rank `rank`:
+// contribute the ln-element vector in, let root transform the full
+// per-rank set (indexed by rank), and return the resLen-element result
+// every rank receives. Ranks must agree on ln and resLen per round; a
+// disagreement surfaces as a *core.MismatchError (or a truncation) and
+// fails the world rather than wedging the tree.
+func (w *world) gatherTransformBcast(rank int, in []float64, resLen int, transform func(vecs [][]float64) ([]float64, error)) ([]float64, error) {
+	if err := w.failure.Err(); err != nil {
+		return nil, &core.WorldError{Cause: err}
+	}
+	ln := len(in)
+	size := w.size
+
+	// Gather: own vector first, then each child subtree's DFS payload.
+	payload := make([]float64, 0, w.subSize[rank]*ln)
+	payload = append(payload, in...)
+	for _, child := range []int{2*rank + 1, 2*rank + 2} {
+		if child >= size {
+			continue
+		}
+		sub, err := w.recvExact(rank, child, tagGather, w.subSize[child]*ln)
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, sub...)
+	}
+
+	if rank != 0 {
+		if err := w.send(rank, (rank-1)/2, tagGather, true, payload); err != nil {
+			return nil, err
+		}
+		res, err := w.recvExact(rank, (rank-1)/2, tagBcast, resLen)
+		if err != nil {
+			return nil, err
+		}
+		for _, child := range []int{2*rank + 1, 2*rank + 2} {
+			if child < size {
+				if err := w.send(rank, child, tagBcast, true, res); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return res, nil
+	}
+
+	// Root: reorder the depth-first payload into rank-indexed vectors.
+	vecs := make([][]float64, size)
+	for i, r := range w.dfsOrder {
+		vecs[r] = payload[i*ln : (i+1)*ln]
+	}
+	res, err := transform(vecs)
+	if err != nil {
+		w.failWorld(err)
+		return nil, err
+	}
+	if len(res) != resLen {
+		err := fmt.Errorf("tcpmpi: collective transform produced %d elements, want %d", len(res), resLen)
+		w.failWorld(err)
+		return nil, err
+	}
+	for _, child := range []int{1, 2} {
+		if child < size {
+			if err := w.send(rank, child, tagBcast, true, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Barrier is the empty-payload tree collective: it completes only after
+// every rank's (empty) contribution has reached the root and the (empty)
+// release has travelled back down.
+func (c *comm) Barrier() error {
+	_, err := c.w.gatherTransformBcast(c.rank, nil, 0, func([][]float64) ([]float64, error) {
+		return nil, nil
+	})
+	return err
+}
+
+// Allreduce combines in-vectors elementwise across all ranks. The root
+// combines in canonical rank order with the shared ReduceOp.Combine
+// table, so results are bit-identical to the in-process runtime's. The
+// returned slice is freshly allocated per rank.
+func (c *comm) Allreduce(op core.ReduceOp, in []float64) ([]float64, error) {
+	return c.w.gatherTransformBcast(c.rank, in, len(in), func(vecs [][]float64) ([]float64, error) {
+		acc := append([]float64(nil), vecs[0]...)
+		for q := 1; q < len(vecs); q++ {
+			for i, v := range vecs[q] {
+				acc[i] = op.Combine(acc[i], v)
+			}
+		}
+		return acc, nil
+	})
+}
+
+// AllreduceScalar combines a single value across all ranks.
+func (c *comm) AllreduceScalar(op core.ReduceOp, v float64) (float64, error) {
+	res, err := c.Allreduce(op, []float64{v})
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// AllgatherInt64 gathers one int64 from every rank, indexed by rank. The
+// values ride the float64 frames bit-cast (exact for the full int64
+// range), and the root's transform is pure placement — no arithmetic —
+// so the round trip is lossless.
+func (c *comm) AllgatherInt64(v int64) ([]int64, error) {
+	res, err := c.w.gatherTransformBcast(c.rank, []float64{math.Float64frombits(uint64(v))}, c.w.size,
+		func(vecs [][]float64) ([]float64, error) {
+			out := make([]float64, len(vecs))
+			for r, vec := range vecs {
+				out[r] = vec[0]
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(res))
+	for i, f := range res {
+		out[i] = int64(math.Float64bits(f))
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package tcpmpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Wire framing: every message between two processes is one length-prefixed
+// binary frame (little-endian):
+//
+//	offset  0  uint32  count — number of float64 payload elements
+//	offset  4  uint8   kind  — kindUser or kindColl (matching namespace)
+//	offset  5  int32   src   — sending rank
+//	offset  9  int32   dst   — receiving rank (must be local to the reader)
+//	offset 13  int32   tag
+//	offset 17  payload — count IEEE-754 float64 values, little-endian
+//
+// Frames of user point-to-point traffic and of the internal tree
+// collectives share the connection but live in separate matching
+// namespaces via kind, so a collective can never steal a user message
+// with a colliding tag (or vice versa). kindBye is the graceful-shutdown
+// announcement: the last frame a closing process writes on each
+// connection, telling the peer its ranks have departed (src/dst/tag and
+// payload empty).
+const (
+	kindUser byte = 0
+	kindColl byte = 1
+	kindBye  byte = 2
+)
+
+const frameHeaderLen = 17
+
+// maxFrameElems bounds a frame's payload (2^27 float64 = 1 GiB), so a
+// corrupt or hostile length prefix cannot drive an arbitrary allocation.
+const maxFrameElems = 1 << 27
+
+// peerConn is one established connection to a peer process: a buffered
+// reader owned by the world's reader goroutine and a mutex-serialized
+// buffered writer shared by every local rank sending to that process.
+type peerConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	// rscratch is the decode buffer, owned by the single reader goroutine
+	// and reused across frames (only the decoded float64 slice escapes,
+	// into the mailbox).
+	rscratch []byte
+
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+func newPeerConn(c net.Conn, br *bufio.Reader) *peerConn {
+	if br == nil {
+		br = bufio.NewReader(c)
+	}
+	return &peerConn{c: c, br: br, bw: bufio.NewWriter(c)}
+}
+
+// writeFrame sends one frame, flushing it onto the wire before returning —
+// buffered-send semantics: once writeFrame returns, the payload is owned
+// by the kernel's socket buffer and the caller may reuse data.
+func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) error {
+	if len(data) > maxFrameElems {
+		return fmt.Errorf("tcpmpi: frame of %d elements exceeds the %d-element cap", len(data), maxFrameElems)
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	need := frameHeaderLen + 8*len(data)
+	if cap(p.scratch) < need {
+		p.scratch = make([]byte, need)
+	}
+	b := p.scratch[:need]
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(data)))
+	b[4] = kind
+	binary.LittleEndian.PutUint32(b[5:], uint32(int32(src)))
+	binary.LittleEndian.PutUint32(b[9:], uint32(int32(dst)))
+	binary.LittleEndian.PutUint32(b[13:], uint32(int32(tag)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(b[frameHeaderLen+8*i:], math.Float64bits(v))
+	}
+	if _, err := p.bw.Write(b); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// readFrame reads one frame from the peer. It validates the length prefix
+// and kind before allocating the payload; the raw byte buffer is reused
+// across frames (readFrame is only called from the connection's single
+// reader goroutine), so one allocation per message remains — the decoded
+// float64 slice the mailbox takes ownership of.
+func (p *peerConn) readFrame() (kind byte, src, dst, tag int, data []float64, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(p.br, hdr[:]); err != nil {
+		return
+	}
+	count := binary.LittleEndian.Uint32(hdr[0:])
+	kind = hdr[4]
+	src = int(int32(binary.LittleEndian.Uint32(hdr[5:])))
+	dst = int(int32(binary.LittleEndian.Uint32(hdr[9:])))
+	tag = int(int32(binary.LittleEndian.Uint32(hdr[13:])))
+	if count > maxFrameElems {
+		err = fmt.Errorf("tcpmpi: frame length prefix %d exceeds the %d-element cap", count, maxFrameElems)
+		return
+	}
+	if kind != kindUser && kind != kindColl && kind != kindBye {
+		err = fmt.Errorf("tcpmpi: unknown frame kind %d", kind)
+		return
+	}
+	if count == 0 {
+		return
+	}
+	if cap(p.rscratch) < int(8*count) {
+		p.rscratch = make([]byte, 8*count)
+	}
+	raw := p.rscratch[:8*count]
+	if _, err = io.ReadFull(p.br, raw); err != nil {
+		return
+	}
+	data = make([]float64, count)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return
+}

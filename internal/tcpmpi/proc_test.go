@@ -1,0 +1,160 @@
+package tcpmpi_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+	"repro/internal/solver"
+	"repro/internal/tcpmpi"
+)
+
+// The acceptance test of the multi-process transport: a DistCG solve over
+// tcpmpi with TWO REAL OS PROCESSES on loopback, each owning half the
+// ranks, bit-identical to the all-local chan-transport solve. The second
+// process is this test binary re-executed with TCPMPI_HELPER set (the
+// standard helper-process pattern), so `go test ./...` covers the OS
+// process boundary hermetically; the CI smoke job additionally drives the
+// cmd/spmv-worker binary through examples/tcp.
+
+const (
+	procN     = 160
+	procSeed  = 424242
+	procRanks = 4
+	procTol   = 1e-10
+	procIters = 2000
+)
+
+// procPlan rebuilds the deterministic SPD fixture; every process derives
+// the identical plan from the shared constants, as real workers would
+// from shared flags.
+func procPlan(tb testing.TB) (*matrix.CSR, *core.Plan) {
+	tb.Helper()
+	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: procN, Bandwidth: procN / 4, PerRow: 5, Seed: procSeed, Symmetric: true, SPD: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := matrix.Materialize(g)
+	plan, err := core.BuildPlan(a, core.PartitionByNnz(a, procRanks), true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a, plan
+}
+
+func procRHS(a *matrix.CSR) []float64 {
+	xTrue := make([]float64, procN)
+	for i := range xTrue {
+		xTrue[i] = float64((i*11)%17) / 17
+	}
+	b := make([]float64, procN)
+	a.MulVec(b, xTrue)
+	return b
+}
+
+// solveAndVerify joins the world as ranks [lo,hi), runs DistCG over
+// tcpmpi, and checks this process's solution rows bit-exactly against an
+// in-process all-local reference solve.
+func solveAndVerify(tb testing.TB, addr string, coordinate bool, lo, hi int) solver.CGResult {
+	tb.Helper()
+	a, plan := procPlan(tb)
+	b := procRHS(a)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl, err := core.NewCluster(plan,
+		core.WithThreads(2),
+		core.WithMode(core.TaskMode),
+		core.WithTransport(&tcpmpi.Transport{Addr: addr, Coordinate: coordinate, RankLo: lo, RankHi: hi}),
+		core.WithDialContext(ctx))
+	if err != nil {
+		tb.Fatalf("joining world: %v", err)
+	}
+	defer cl.Close()
+	x := make([]float64, procN)
+	res, err := solver.DistCG(cl, b, x, procTol, procIters)
+	if err != nil {
+		tb.Fatalf("DistCG over tcpmpi: %v", err)
+	}
+	if !res.Converged {
+		tb.Fatalf("DistCG did not converge (residual %g)", res.Residual)
+	}
+
+	// In-process reference on the default chan transport.
+	_, refPlan := procPlan(tb)
+	refCl, err := core.NewCluster(refPlan, core.WithThreads(2), core.WithMode(core.TaskMode))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer refCl.Close()
+	xRef := make([]float64, procN)
+	resRef, err := solver.DistCG(refCl, b, xRef, procTol, procIters)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.Iterations != resRef.Iterations || res.Residual != resRef.Residual {
+		tb.Fatalf("iteration trace differs: tcp (%d, %v) vs chan (%d, %v)",
+			res.Iterations, res.Residual, resRef.Iterations, resRef.Residual)
+	}
+	for _, r := range cl.LocalRanks() {
+		rg := cl.Plan().Ranks[r].Rows
+		for row := rg.Lo; row < rg.Hi; row++ {
+			if x[row] != xRef[row] {
+				tb.Fatalf("row %d: tcp %v != chan %v", row, x[row], xRef[row])
+			}
+		}
+	}
+	return res
+}
+
+// TestHelperWorkerProcess is not a test: it is the worker half of
+// TestTwoProcessDistCGBitIdentical, run in a child OS process.
+func TestHelperWorkerProcess(t *testing.T) {
+	addr := os.Getenv("TCPMPI_HELPER")
+	if addr == "" {
+		t.Skip("helper half of TestTwoProcessDistCGBitIdentical")
+	}
+	res := solveAndVerify(t, addr, false, procRanks/2, procRanks)
+	fmt.Printf("HELPER-OK iterations=%d\n", res.Iterations)
+}
+
+func TestTwoProcessDistCGBitIdentical(t *testing.T) {
+	addr := freeAddr(t)
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorkerProcess$", "-test.v", "-test.timeout=120s")
+	cmd.Env = append(os.Environ(), "TCPMPI_HELPER="+addr)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting worker process: %v", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+
+	// This process coordinates and drives the first half of the ranks.
+	res := solveAndVerify(t, addr, true, 0, procRanks/2)
+
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("worker process failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(90 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("worker process hung\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "HELPER-OK") {
+		t.Fatalf("worker process did not verify its half\n%s", out.String())
+	}
+	if want := fmt.Sprintf("iterations=%d", res.Iterations); !strings.Contains(out.String(), want) {
+		t.Fatalf("worker converged differently (coordinator: %d iterations)\n%s", res.Iterations, out.String())
+	}
+}

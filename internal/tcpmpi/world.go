@@ -1,0 +1,487 @@
+package tcpmpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chanmpi"
+	"repro/internal/core"
+)
+
+// ErrWorldClosed is the failure cause recorded when a world is shut down
+// via Close; operations attempted afterwards return a *core.WorldError
+// wrapping it.
+var ErrWorldClosed = errors.New("tcpmpi: world closed")
+
+// failure is the write-once failure state of a world (same contract as the
+// in-process runtime's): the first fail wins, blocked waiters select on ch.
+type failure struct {
+	mu  sync.Mutex
+	err error
+	ch  chan struct{}
+}
+
+func (f *failure) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil {
+		f.err = err
+		close(f.ch)
+	}
+}
+
+func (f *failure) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// world is one process's endpoint of a multi-process TCP world: the local
+// rank range [lo, hi), one mailbox per local rank, and one connection per
+// peer process, each drained by a dedicated reader goroutine. The reader
+// goroutines give the transport genuinely asynchronous progress: frames
+// move off the wire whether or not any rank is inside a communication
+// call (see README.md for how this relates to §3 of the paper).
+type world struct {
+	size   int
+	lo, hi int
+	procs  []procInfo
+	me     int
+
+	rankProc []int      // rank → owning process index
+	boxes    []*mailbox // local rank r → boxes[r-lo]
+	conns    []*peerConn
+	departed []atomic.Bool // by process index: announced a graceful Close (BYE)
+
+	// dfsOrder and subSize describe the binary collective tree: dfsOrder
+	// is the depth-first enumeration of ranks from root 0 (the layout of
+	// gathered payloads), subSize[r] the size of r's subtree.
+	dfsOrder []int
+	subSize  []int
+
+	failure   *failure
+	closing   atomic.Bool
+	closeOnce sync.Once
+	listener  net.Listener // joiner mesh / coordinator join listener, may be nil
+}
+
+func newWorld(size, lo, hi int, procs []procInfo, me int) (*world, error) {
+	w := &world{
+		size:     size,
+		lo:       lo,
+		hi:       hi,
+		procs:    procs,
+		me:       me,
+		rankProc: make([]int, size),
+		boxes:    make([]*mailbox, hi-lo),
+		conns:    make([]*peerConn, len(procs)),
+		departed: make([]atomic.Bool, len(procs)),
+		failure:  &failure{ch: make(chan struct{})},
+	}
+	covered := 0
+	for p, pi := range procs {
+		if pi.RankLo != covered || pi.RankHi <= pi.RankLo || pi.RankHi > size {
+			return nil, fmt.Errorf("tcpmpi: roster does not tile [0,%d): process %d owns [%d,%d)", size, p, pi.RankLo, pi.RankHi)
+		}
+		for r := pi.RankLo; r < pi.RankHi; r++ {
+			w.rankProc[r] = p
+		}
+		covered = pi.RankHi
+	}
+	if covered != size {
+		return nil, fmt.Errorf("tcpmpi: roster covers %d of %d ranks", covered, size)
+	}
+	if me < 0 || me >= len(procs) || procs[me].RankLo != lo || procs[me].RankHi != hi {
+		return nil, fmt.Errorf("tcpmpi: roster disagrees with local rank range [%d,%d)", lo, hi)
+	}
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+	}
+	w.subSize = make([]int, size)
+	for r := size - 1; r >= 0; r-- {
+		w.subSize[r] = 1
+		if l := 2*r + 1; l < size {
+			w.subSize[r] += w.subSize[l]
+		}
+		if rr := 2*r + 2; rr < size {
+			w.subSize[r] += w.subSize[rr]
+		}
+	}
+	w.dfsOrder = make([]int, 0, size)
+	var dfs func(r int)
+	dfs = func(r int) {
+		if r >= size {
+			return
+		}
+		w.dfsOrder = append(w.dfsOrder, r)
+		dfs(2*r + 1)
+		dfs(2*r + 2)
+	}
+	dfs(0)
+	return w, nil
+}
+
+// failWorld records the first failure and tears the connections down, so
+// blocked local waiters wake with a *core.WorldError and peer processes
+// observe the loss on their next read — the closest TCP analogue of an
+// MPI job abort.
+func (w *world) failWorld(err error) {
+	w.failure.fail(err)
+	w.teardown()
+}
+
+func (w *world) teardown() {
+	w.closeOnce.Do(func() {
+		if w.listener != nil {
+			w.listener.Close()
+		}
+		for _, p := range w.conns {
+			if p != nil {
+				p.c.Close()
+			}
+		}
+	})
+}
+
+// Size returns the total number of ranks across all processes.
+func (w *world) Size() int { return w.size }
+
+// Fail poisons the world with the given cause (core.World contract); see
+// failWorld. The connection teardown propagates the failure to peer
+// processes, so a job that fails in one process fails the whole world.
+func (w *world) Fail(err error) { w.failWorld(err) }
+
+// LocalRanks lists the ranks this process owns, ascending.
+func (w *world) LocalRanks() []int {
+	ranks := make([]int, 0, w.hi-w.lo)
+	for r := w.lo; r < w.hi; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}
+
+// Comm returns the communicator of a local rank.
+func (w *world) Comm(rank int) (core.Comm, error) {
+	if rank < w.lo || rank >= w.hi {
+		return nil, fmt.Errorf("tcpmpi: rank %d is not local to this process (owns [%d,%d))", rank, w.lo, w.hi)
+	}
+	return &comm{w: w, rank: rank}, nil
+}
+
+// Close shuts the endpoint down gracefully: a BYE frame is flushed to
+// every peer — the last bytes this process writes, so the peers' readers
+// see the departure announcement before the EOF and treat it as a clean
+// exit rather than a world failure — then the local world is failed with
+// ErrWorldClosed (releasing anything still blocked in it) and every
+// connection is closed. Already-delivered frames on the peers remain
+// receivable after the departure (see post), so a lagging peer can finish
+// consuming a completed exchange; only receives that can never be matched
+// fail. Close is idempotent.
+func (w *world) Close() error {
+	if w.closing.Swap(true) {
+		return nil
+	}
+	if w.failure.Err() == nil {
+		for _, p := range w.conns {
+			if p != nil {
+				p.writeFrame(kindBye, 0, 0, 0, nil) // best effort
+			}
+		}
+	}
+	w.failure.fail(ErrWorldClosed)
+	w.teardown()
+	return nil
+}
+
+// markDeparted records a peer process's graceful exit and fails every
+// posted receive that is still waiting on one of its ranks — those can
+// never be matched now. Buffered arrivals from the departed process stay
+// consumable.
+func (w *world) markDeparted(proc int) {
+	w.departed[proc].Store(true)
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		for _, r := range box.recvs {
+			if !r.matched && w.rankProc[r.src] == proc {
+				r.failWith(w.departedErr(r.src))
+			}
+		}
+		box.compactLocked()
+		box.mu.Unlock()
+	}
+}
+
+func (w *world) departedErr(src int) error {
+	return fmt.Errorf("tcpmpi: the process owning rank %d closed its world before the message arrived", src)
+}
+
+// readLoop drains one peer connection, delivering each frame into the
+// destination rank's mailbox. A BYE frame marks the peer gracefully
+// departed (the connection's EOF is then expected); any other read error
+// fails the world — unless this endpoint is itself closing.
+func (w *world) readLoop(proc int, p *peerConn) {
+	for {
+		kind, src, dst, tag, data, err := p.readFrame()
+		if err != nil {
+			if !w.closing.Load() && !w.departed[proc].Load() {
+				w.failWorld(fmt.Errorf("tcpmpi: peer connection lost: %w", err))
+			}
+			return
+		}
+		if kind == kindBye {
+			w.markDeparted(proc)
+			continue // EOF follows
+		}
+		if src < 0 || src >= w.size || dst < w.lo || dst >= w.hi {
+			w.failWorld(fmt.Errorf("tcpmpi: frame addressed %d→%d outside this process's ranks [%d,%d)", src, dst, w.lo, w.hi))
+			return
+		}
+		if err := w.deliverArrival(kind == kindColl, src, dst, tag, data); err != nil {
+			w.failWorld(err)
+			return
+		}
+	}
+}
+
+// mailbox holds the unmatched arrivals and posted receives of one local
+// rank, in the same posting-order matching discipline as the in-process
+// runtime: earliest posted receive with equal (src, tag, coll) wins.
+type mailbox struct {
+	mu    sync.Mutex
+	recvs []*request
+	sends []*inflight
+}
+
+type inflight struct {
+	src, tag int
+	coll     bool
+	data     []float64
+}
+
+// request is the tcpmpi-backed core.Request implementation for receives.
+type request struct {
+	done chan struct{}
+	fail *failure
+
+	n        int
+	src, tag int
+	coll     bool
+	buf      []float64
+	matched  bool
+	err      error
+}
+
+func (r *request) Wait() error {
+	if r == nil {
+		return nil
+	}
+	select {
+	case <-r.done:
+		return r.err
+	case <-r.fail.ch:
+		select {
+		case <-r.done:
+			return r.err
+		default:
+			return &core.WorldError{Cause: r.fail.Err()}
+		}
+	}
+}
+
+func (r *request) Done() bool {
+	if r == nil {
+		return true
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// doneRequest is the trivially complete handle of a buffered send.
+type doneRequest struct{}
+
+func (doneRequest) Wait() error { return nil }
+func (doneRequest) Done() bool  { return true }
+
+// failWith completes the request with an error. Callers hold the mailbox
+// lock.
+func (r *request) failWith(err error) {
+	r.err = err
+	r.matched = true
+	close(r.done)
+}
+
+// complete copies data into the request buffer and closes it, recording a
+// truncation error if the message does not fit. Callers hold the mailbox
+// lock and must release it before failing the world on the returned error.
+func (r *request) complete(data []float64) error {
+	if len(data) > len(r.buf) {
+		err := &core.TruncationError{Len: len(data), Cap: len(r.buf), Src: r.src, Tag: r.tag}
+		r.failWith(err)
+		return err
+	}
+	copy(r.buf, data)
+	r.n = len(data)
+	r.matched = true
+	close(r.done)
+	return nil
+}
+
+func (b *mailbox) compactLocked() {
+	recvs := b.recvs[:0]
+	for _, r := range b.recvs {
+		if !r.matched {
+			recvs = append(recvs, r)
+		}
+	}
+	b.recvs = recvs
+	sends := b.sends[:0]
+	for _, s := range b.sends {
+		if s != nil {
+			sends = append(sends, s)
+		}
+	}
+	b.sends = sends
+}
+
+// deliverArrival files a frame that arrived from the wire (or a local
+// send's copied payload): match the earliest posted receive or buffer it.
+// The data slice is owned by the mailbox afterwards.
+func (w *world) deliverArrival(coll bool, src, dst, tag int, data []float64) error {
+	box := w.boxes[dst-w.lo]
+	box.mu.Lock()
+	for _, rr := range box.recvs {
+		if rr.matched || rr.src != src || rr.tag != tag || rr.coll != coll {
+			continue
+		}
+		err := rr.complete(data)
+		box.compactLocked()
+		box.mu.Unlock()
+		return err
+	}
+	box.sends = append(box.sends, &inflight{src: src, tag: tag, coll: coll, data: data})
+	box.mu.Unlock()
+	return nil
+}
+
+// send transmits data from local rank src to rank dst: a direct mailbox
+// delivery when dst is local, one frame on the owning process's connection
+// otherwise. Buffered semantics either way — the caller may reuse data as
+// soon as send returns.
+func (w *world) send(src, dst, tag int, coll bool, data []float64) error {
+	if dst < 0 || dst >= w.size {
+		return &core.RankError{Op: "Isend", Rank: dst, Size: w.size}
+	}
+	if err := w.failure.Err(); err != nil {
+		return &core.WorldError{Cause: err}
+	}
+	if dst >= w.lo && dst < w.hi {
+		if err := w.deliverArrival(coll, src, dst, tag, append([]float64(nil), data...)); err != nil {
+			w.failWorld(err)
+			return err
+		}
+		return nil
+	}
+	proc := w.rankProc[dst]
+	if w.departed[proc].Load() {
+		// The peer closed gracefully; the send can never arrive, but the
+		// rest of the world is intact — report without failing it.
+		return fmt.Errorf("tcpmpi: send %d→%d: the owning process closed its world", src, dst)
+	}
+	kind := kindUser
+	if coll {
+		kind = kindColl
+	}
+	if err := w.conns[proc].writeFrame(kind, src, dst, tag, data); err != nil {
+		err = fmt.Errorf("tcpmpi: send %d→%d: %w", src, dst, err)
+		w.failWorld(err)
+		return err
+	}
+	return nil
+}
+
+// post registers a nonblocking receive for local rank dst, matching any
+// already-buffered arrival first. The buffered-arrival scan runs BEFORE
+// the failure check: a message that reached this process before the world
+// failed is still deliverable (a lagging rank must be able to consume the
+// final frames of a completed exchange after a peer has departed).
+func (w *world) post(dst, src, tag int, coll bool, buf []float64) (*request, error) {
+	if src < 0 || src >= w.size {
+		return nil, &core.RankError{Op: "Irecv", Rank: src, Size: w.size}
+	}
+	req := &request{done: make(chan struct{}), fail: w.failure, src: src, tag: tag, coll: coll, buf: buf}
+	box := w.boxes[dst-w.lo]
+	box.mu.Lock()
+	for i, m := range box.sends {
+		if m == nil || m.src != src || m.tag != tag || m.coll != coll {
+			continue
+		}
+		box.sends[i] = nil
+		err := req.complete(m.data)
+		box.compactLocked()
+		box.mu.Unlock()
+		if err != nil {
+			w.failWorld(err)
+		}
+		return req, err
+	}
+	if err := w.failure.Err(); err != nil {
+		box.mu.Unlock()
+		return nil, &core.WorldError{Cause: err}
+	}
+	if w.departed[w.rankProc[src]].Load() {
+		// Checked under the box lock, after the buffered scan: anything
+		// the departed peer sent before its BYE was already consumable
+		// above; what remains can never be matched.
+		box.mu.Unlock()
+		return nil, w.departedErr(src)
+	}
+	box.recvs = append(box.recvs, req)
+	box.mu.Unlock()
+	return req, nil
+}
+
+// comm is one local rank's communicator handle, satisfying core.Comm.
+type comm struct {
+	w    *world
+	rank int
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.w.size }
+
+func (c *comm) Isend(dst, tag int, data []float64) (core.Request, error) {
+	if err := c.w.send(c.rank, dst, tag, false, data); err != nil {
+		return nil, err
+	}
+	return doneRequest{}, nil
+}
+
+func (c *comm) Irecv(src, tag int, buf []float64) (core.Request, error) {
+	req, err := c.w.post(c.rank, src, tag, false, buf)
+	if req == nil {
+		return nil, err
+	}
+	return req, err
+}
+
+// Waitall delegates to the shared implementation — core.Request aliases
+// the chanmpi interface, so the wait-all-then-first-error discipline is
+// written once for every transport.
+func (c *comm) Waitall(reqs ...core.Request) error {
+	return chanmpi.Waitall(reqs...)
+}
+
+// Interface satisfaction checks.
+var (
+	_ core.Comm    = (*comm)(nil)
+	_ core.World   = (*world)(nil)
+	_ core.Request = (*request)(nil)
+	_ core.Request = doneRequest{}
+)
