@@ -77,6 +77,7 @@ func reportSpmv(b *testing.B, nnz int64) {
 // ---- node-level kernels (host-real, Fig. 3 companions) ----------------
 
 func BenchmarkSpMVSerialHMeP(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -88,6 +89,7 @@ func BenchmarkSpMVSerialHMeP(b *testing.B) {
 }
 
 func BenchmarkSpMVSerialSAMG(b *testing.B) {
+	b.ReportAllocs()
 	a := poissonSmall(b)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -99,11 +101,13 @@ func BenchmarkSpMVSerialSAMG(b *testing.B) {
 }
 
 func BenchmarkSpMVParallel(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			team := spmv.NewTeam(workers)
 			defer team.Close()
 			p := spmv.NewParallel(a, workers)
@@ -120,6 +124,7 @@ func BenchmarkSpMVParallel(b *testing.B) {
 // (local+remote) kernel writes the result twice and runs measurably slower
 // than the monolithic kernel (Eq. 2 vs Eq. 1 predicts 8–15%).
 func BenchmarkSplitPenalty(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -129,6 +134,7 @@ func BenchmarkSplitPenalty(b *testing.B) {
 	localChunks := split.LocalChunks(4)
 	remoteChunks := split.RemoteChunks(4)
 	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
 		p := spmv.NewParallel(a, 4)
 		for i := 0; i < b.N; i++ {
 			p.MulVec(team, y, x)
@@ -136,6 +142,7 @@ func BenchmarkSplitPenalty(b *testing.B) {
 		reportSpmv(b, a.Nnz())
 	})
 	b.Run("split", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			split.MulVecLocal(team, localChunks, y, x)
 			split.MulVecRemoteAdd(team, remoteChunks, y, x)
@@ -148,16 +155,19 @@ func BenchmarkSplitPenalty(b *testing.B) {
 // matrix — substantiating §1.2's choice of CRS as "the most efficient
 // format for general sparse matrices on cache-based microprocessors".
 func BenchmarkFormats(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
 	b.Run("CRS", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			spmv.Serial(y, a, x)
 		}
 		reportSpmv(b, a.Nnz())
 	})
 	b.Run("ELLPACK", func(b *testing.B) {
+		b.ReportAllocs()
 		e, err := formats.NewELLPACK(a, 10)
 		if err != nil {
 			b.Fatal(err)
@@ -170,6 +180,7 @@ func BenchmarkFormats(b *testing.B) {
 		reportSpmv(b, a.Nnz())
 	})
 	b.Run("JDS", func(b *testing.B) {
+		b.ReportAllocs()
 		j := formats.NewJDS(a)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -178,6 +189,7 @@ func BenchmarkFormats(b *testing.B) {
 		reportSpmv(b, a.Nnz())
 	})
 	b.Run("SELL-32-256", func(b *testing.B) {
+		b.ReportAllocs()
 		s, err := formats.NewSELLCSigma(a, 32, 256)
 		if err != nil {
 			b.Fatal(err)
@@ -195,6 +207,7 @@ func BenchmarkFormats(b *testing.B) {
 // fixture for several chunk heights, serial and on the team, verifying the
 // result stays bit-identical to the serial CRS kernel.
 func BenchmarkSellCSigma(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	want := make([]float64, a.NumRows)
@@ -212,6 +225,7 @@ func BenchmarkSellCSigma(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("C=%d/sigma=%d/serial", cfg.c, cfg.sigma), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(s.PaddingRatio(), "padding-ratio")
 			for i := 0; i < b.N; i++ {
 				s.MulVec(y, x)
@@ -219,6 +233,7 @@ func BenchmarkSellCSigma(b *testing.B) {
 			reportSpmv(b, a.Nnz())
 		})
 		b.Run(fmt.Sprintf("C=%d/sigma=%d/workers=4", cfg.c, cfg.sigma), func(b *testing.B) {
+			b.ReportAllocs()
 			team := spmv.NewTeam(4)
 			defer team.Close()
 			p := spmv.NewParallelFormat(s, 4)
@@ -233,16 +248,31 @@ func BenchmarkSellCSigma(b *testing.B) {
 
 // BenchmarkTeamBarrier isolates the per-parallel-region dispatch overhead of
 // the worker team — the cost the sense-reversing barrier attacks. The body
-// is empty, so ns/op is pure fork/join latency.
+// is empty, so ns/op is pure fork/join latency. The ad-hoc Run path
+// allocates one region descriptor + closure per region; the compiled path
+// (what the resident distributed workers use) restarts a precompiled
+// region and allocates nothing.
 func BenchmarkTeamBarrier(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			team := spmv.NewTeam(workers)
 			defer team.Close()
 			noop := func(int) {}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				team.Run(noop)
+			}
+		})
+		b.Run(fmt.Sprintf("workers=%d/compiled", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			team := spmv.NewTeam(workers)
+			defer team.Close()
+			region := team.Compile(workers, func(int) {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				team.Exec(region)
 			}
 		})
 	}
@@ -253,6 +283,7 @@ func BenchmarkTeamBarrier(b *testing.B) {
 // of the scatter-reduction — the routine the paper said was missing for
 // shared memory.
 func BenchmarkSymmetricKernel(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -262,6 +293,7 @@ func BenchmarkSymmetricKernel(b *testing.B) {
 	}
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("full/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			team := spmv.NewTeam(workers)
 			defer team.Close()
 			p := spmv.NewParallel(a, workers)
@@ -271,6 +303,7 @@ func BenchmarkSymmetricKernel(b *testing.B) {
 			reportSpmv(b, a.Nnz())
 		})
 		b.Run(fmt.Sprintf("symmetric/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			team := spmv.NewTeam(workers)
 			defer team.Close()
 			sp := spmv.NewSymmetricParallel(s, workers)
@@ -287,6 +320,7 @@ func BenchmarkSymmetricKernel(b *testing.B) {
 // BenchmarkAblationTorusFragmentation quantifies the paper's "job topology
 // and machine load" observation: the same XE6 job, compact vs scattered.
 func BenchmarkAblationTorusFragmentation(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -317,8 +351,10 @@ func BenchmarkAblationTorusFragmentation(b *testing.B) {
 }
 
 func BenchmarkSTREAMTriad(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var r stream.Result
 			for i := 0; i < b.N; i++ {
 				r = stream.Triad(1<<22, 1, workers)
@@ -331,6 +367,7 @@ func BenchmarkSTREAMTriad(b *testing.B) {
 // ---- distributed kernels on the real message-passing runtime ----------
 
 func BenchmarkDistributedModes(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -346,6 +383,7 @@ func BenchmarkDistributedModes(b *testing.B) {
 	defer cl.Close()
 	for _, mode := range core.Modes {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			if err := cl.SetMode(mode); err != nil {
 				b.Fatal(err)
 			}
@@ -366,6 +404,7 @@ func BenchmarkDistributedModes(b *testing.B) {
 // CSR. CI's benchmark smoke runs the overlap-mode cases so the
 // format-generic split pipeline is exercised on every push.
 func BenchmarkDistributedModesSELL(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	x := randomX(a.NumCols)
 	y := make([]float64, a.NumRows)
@@ -382,6 +421,7 @@ func BenchmarkDistributedModesSELL(b *testing.B) {
 	defer cl.Close()
 	for _, mode := range core.Modes {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			if err := cl.SetMode(mode); err != nil {
 				b.Fatal(err)
 			}
@@ -403,6 +443,7 @@ func BenchmarkDistributedModesSELL(b *testing.B) {
 // so setup dominates — the shape of a solver iteration, where the
 // multiplication itself is cheap and the runtime must already be there.
 func BenchmarkClusterReuse(b *testing.B) {
+	b.ReportAllocs()
 	const n, ranks, threads = 2000, 4, 2
 	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
 		N: n, Bandwidth: 60, PerRow: 5, Seed: 7, Symmetric: true,
@@ -418,6 +459,7 @@ func BenchmarkClusterReuse(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("resident-cluster", func(b *testing.B) {
+		b.ReportAllocs()
 		cl, err := core.NewCluster(plan, core.WithMode(core.TaskMode), core.WithThreads(threads))
 		if err != nil {
 			b.Fatal(err)
@@ -432,6 +474,7 @@ func BenchmarkClusterReuse(b *testing.B) {
 		reportSpmv(b, a.Nnz())
 	})
 	b.Run("per-call-world", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.MulDistributed(plan, x, core.TaskMode, threads, 1)
 		}
@@ -442,6 +485,7 @@ func BenchmarkClusterReuse(b *testing.B) {
 // ---- Fig. 1: sparsity pattern extraction ------------------------------
 
 func BenchmarkFig1Occupancy(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -454,6 +498,7 @@ func BenchmarkFig1Occupancy(b *testing.B) {
 // ---- Fig. 3: node-level model ------------------------------------------
 
 func BenchmarkFig3aModel(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.Fig3Row
 	for i := 0; i < b.N; i++ {
 		rows = expt.Fig3(machine.NehalemEP(), 15, 2.5)
@@ -463,6 +508,7 @@ func BenchmarkFig3aModel(b *testing.B) {
 }
 
 func BenchmarkFig3bModel(b *testing.B) {
+	b.ReportAllocs()
 	var wsm, amd []expt.Fig3Row
 	for i := 0; i < b.N; i++ {
 		wsm = expt.Fig3(machine.WestmereEP(), 15, 2.5)
@@ -475,6 +521,7 @@ func BenchmarkFig3bModel(b *testing.B) {
 // ---- §2: κ via cache simulation ----------------------------------------
 
 func BenchmarkKappaHMePvsHMEp(b *testing.B) {
+	b.ReportAllocs()
 	cache := cachesim.Config{SizeBytes: 128 << 10, Ways: 16, LineBytes: 64}
 	aGood := holsteinSmall(b, genmat.HMeP)
 	aBad := holsteinSmall(b, genmat.HMEp)
@@ -534,6 +581,7 @@ func scalingBench(b *testing.B, name string, kappa float64, src matrix.PatternSo
 }
 
 func BenchmarkFig5ScalingHMeP(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -542,6 +590,7 @@ func BenchmarkFig5ScalingHMeP(b *testing.B) {
 }
 
 func BenchmarkFig6ScalingSAMG(b *testing.B) {
+	b.ReportAllocs()
 	p, err := expt.PoissonSource(expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -552,6 +601,7 @@ func BenchmarkFig6ScalingSAMG(b *testing.B) {
 // BenchmarkCrayReference simulates the XE6 best-variant sweep (the "best
 // Cray" line of Figs. 5/6).
 func BenchmarkCrayReference(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -579,6 +629,7 @@ func BenchmarkCrayReference(b *testing.B) {
 // BenchmarkAblationAsyncProgress quantifies the §5 outlook: an MPI library
 // with a progress thread rescues naive overlap.
 func BenchmarkAblationAsyncProgress(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -613,6 +664,7 @@ func BenchmarkAblationAsyncProgress(b *testing.B) {
 // BenchmarkAblationPartitioning compares nonzero-balanced against naive
 // row-balanced partitioning (§3.1 footnote 2).
 func BenchmarkAblationPartitioning(b *testing.B) {
+	b.ReportAllocs()
 	h, err := expt.HolsteinSource(genmat.HMeP, expt.Small)
 	if err != nil {
 		b.Fatal(err)
@@ -631,6 +683,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 // ---- §1.3.1: RCM -----------------------------------------------------
 
 func BenchmarkRCM(b *testing.B) {
+	b.ReportAllocs()
 	a := poissonSmall(b)
 	var p *rcm.Permutation
 	b.ResetTimer()
@@ -645,6 +698,7 @@ func BenchmarkRCM(b *testing.B) {
 // ---- application solvers ------------------------------------------------
 
 func BenchmarkLanczosGroundState(b *testing.B) {
+	b.ReportAllocs()
 	a := holsteinSmall(b, genmat.HMeP)
 	op := solver.CSROperator{A: a}
 	var e0 float64
@@ -660,6 +714,7 @@ func BenchmarkLanczosGroundState(b *testing.B) {
 }
 
 func BenchmarkCGPoisson(b *testing.B) {
+	b.ReportAllocs()
 	a := poissonSmall(b)
 	n := a.NumRows
 	rhs := make([]float64, n)
@@ -679,6 +734,7 @@ func BenchmarkCGPoisson(b *testing.B) {
 // ---- model sanity anchor -------------------------------------------------
 
 func BenchmarkModelAnchors(b *testing.B) {
+	b.ReportAllocs()
 	var kappa float64
 	for i := 0; i < b.N; i++ {
 		kappa = perfmodel.KappaFromMeasurement(18.1e9, 2.25e9, 15)

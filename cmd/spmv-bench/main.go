@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -24,19 +25,49 @@ import (
 
 func main() {
 	var (
-		topology = flag.Bool("topology", false, "print the benchmark node topologies (Fig. 2)")
-		fig3a    = flag.Bool("fig3a", false, "print the Nehalem EP node-level analysis (Fig. 3a)")
-		fig3b    = flag.Bool("fig3b", false, "print the Westmere / Magny Cours analysis (Fig. 3b)")
-		host     = flag.Bool("host", false, "measure STREAM and spMVM on this machine")
-		scale    = flag.String("scale", "small", "matrix scale for -host: small|medium|full")
-		kappa    = flag.Float64("kappa", 2.5, "κ (extra B(:) bytes per nonzero) for the model")
-		workers  = flag.Int("workers", runtime.NumCPU(), "max workers for -host")
-		reps     = flag.Int("reps", 5, "repetitions for -host measurements")
-		snapshot = flag.String("snapshot", "", "write a kernel GFlop/s snapshot (JSON) to this path and exit")
-		modeFlag = flag.String("mode", "", "with -snapshot: restrict the distributed sweep to one kernel mode (vector-no-overlap, vector-naive-overlap, task-mode); default all")
-		fmtFlag  = flag.String("format", "", "with -snapshot: restrict the distributed sweep to one storage format (crs or sell-<C>-<sigma>); default both crs and sell-32-256")
+		topology   = flag.Bool("topology", false, "print the benchmark node topologies (Fig. 2)")
+		fig3a      = flag.Bool("fig3a", false, "print the Nehalem EP node-level analysis (Fig. 3a)")
+		fig3b      = flag.Bool("fig3b", false, "print the Westmere / Magny Cours analysis (Fig. 3b)")
+		host       = flag.Bool("host", false, "measure STREAM and spMVM on this machine")
+		scale      = flag.String("scale", "small", "matrix scale for -host: small|medium|full")
+		kappa      = flag.Float64("kappa", 2.5, "κ (extra B(:) bytes per nonzero) for the model")
+		workers    = flag.Int("workers", runtime.NumCPU(), "max workers for -host")
+		reps       = flag.Int("reps", 5, "repetitions for -host measurements")
+		snapshot   = flag.String("snapshot", "", "write a kernel GFlop/s snapshot (JSON) to this path and exit")
+		modeFlag   = flag.String("mode", "", "with -snapshot: restrict the distributed sweep to one kernel mode (vector-no-overlap, vector-naive-overlap, task-mode); default all")
+		fmtFlag    = flag.String("format", "", "with -snapshot: restrict the distributed sweep to one storage format (crs or sell-<C>-<sigma>); default both crs and sell-32-256")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Registered with fatal too: an error exit must still flush the
+		// profile collected so far (os.Exit skips defers).
+		atExit(pprof.StopCPUProfile)
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		atExit(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spmv-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-object stats before the heap dump
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "spmv-bench: memprofile:", err)
+			}
+		})
+	}
+	defer runExitHooks()
 	modes := core.Modes
 	if *modeFlag != "" {
 		if *snapshot == "" {
@@ -114,17 +145,36 @@ func main() {
 	}
 }
 
+// exitHooks are flush actions (profile writers) that must run on BOTH the
+// normal return path (deferred in main) and the fatal error path, where
+// os.Exit would skip defers. Hooks run once, latest first.
+var exitHooks []func()
+
+func atExit(f func()) { exitHooks = append(exitHooks, f) }
+
+func runExitHooks() {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spmv-bench:", err)
+	runExitHooks()
 	os.Exit(1)
 }
 
-// kernelPoint is one (fixture, kernel) GFlop/s measurement in the snapshot.
+// kernelPoint is one (fixture, kernel) measurement in the snapshot:
+// throughput plus the steady-state overhead metrics the zero-allocation
+// work targets — wall time and heap allocations per multiplication.
 type kernelPoint struct {
-	Matrix  string  `json:"matrix"`
-	Kernel  string  `json:"kernel"`
-	Workers int     `json:"workers"`
-	GFlops  float64 `json:"gflops"`
+	Matrix        string  `json:"matrix"`
+	Kernel        string  `json:"kernel"`
+	Workers       int     `json:"workers"`
+	GFlops        float64 `json:"gflops"`
+	NsPerIter     float64 `json:"ns_per_iter"`
+	AllocsPerIter float64 `json:"allocs_per_iter"`
 }
 
 // benchSnapshot is the perf-trajectory record emitted by -snapshot; one file
@@ -137,23 +187,42 @@ type benchSnapshot struct {
 	Kernels   []kernelPoint `json:"kernels"`
 }
 
-// measureGFlops times fn (which performs one y = A·x) and converts to
-// GFlop/s at 2 flops per nonzero, keeping the best of reps repetitions.
-func measureGFlops(nnz int64, reps int, fn func()) float64 {
+// measure times fn (which performs one y = A·x) and returns the point:
+// GFlop/s at 2 flops per nonzero (best of reps repetitions), mean ns per
+// iteration, and heap allocations per iteration from the runtime's malloc
+// counter. A forced GC runs between kernels — after the warm-up, before
+// the counters are read — so one kernel's garbage does not bleed into the
+// next measurement's timing or allocation numbers.
+func measure(matrixName, kernel string, workers int, nnz int64, reps int, fn func()) kernelPoint {
 	fn() // warm up
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	best := 0.0
+	totalIters := 0
+	totalSecs := 0.0
 	for r := 0; r < reps; r++ {
 		iters := 10
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			fn()
 		}
-		secs := time.Since(start).Seconds() / float64(iters)
-		if g := 2 * float64(nnz) / secs / 1e9; g > best {
+		secs := time.Since(start).Seconds()
+		totalIters += iters
+		totalSecs += secs
+		if g := 2 * float64(nnz) / (secs / float64(iters)) / 1e9; g > best {
 			best = g
 		}
 	}
-	return best
+	runtime.ReadMemStats(&after)
+	return kernelPoint{
+		Matrix:        matrixName,
+		Kernel:        kernel,
+		Workers:       workers,
+		GFlops:        best,
+		NsPerIter:     totalSecs / float64(totalIters) * 1e9,
+		AllocsPerIter: float64(after.Mallocs-before.Mallocs) / float64(totalIters),
+	}
 }
 
 // writeSnapshot measures the serial CRS, parallel CRS and SELL-C-σ node
@@ -206,14 +275,10 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		par := spmv.NewParallel(a, workers)
 		parSell := spmv.NewParallelFormat(sell, workers)
 		snap.Kernels = append(snap.Kernels,
-			kernelPoint{fx.name, "crs-serial", 1,
-				measureGFlops(a.Nnz(), reps, func() { spmv.Serial(y, a, x) })},
-			kernelPoint{fx.name, "crs-parallel", workers,
-				measureGFlops(a.Nnz(), reps, func() { par.MulVec(team, y, x) })},
-			kernelPoint{fx.name, "sell-32-256-serial", 1,
-				measureGFlops(a.Nnz(), reps, func() { sell.MulVec(y, x) })},
-			kernelPoint{fx.name, "sell-32-256-parallel", workers,
-				measureGFlops(a.Nnz(), reps, func() { parSell.MulVec(team, y, x) })},
+			measure(fx.name, "crs-serial", 1, a.Nnz(), reps, func() { spmv.Serial(y, a, x) }),
+			measure(fx.name, "crs-parallel", workers, a.Nnz(), reps, func() { par.MulVec(team, y, x) }),
+			measure(fx.name, "sell-32-256-serial", 1, a.Nnz(), reps, func() { sell.MulVec(y, x) }),
+			measure(fx.name, "sell-32-256-parallel", workers, a.Nnz(), reps, func() { parSell.MulVec(team, y, x) }),
 		)
 		team.Close()
 
@@ -241,16 +306,17 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 					if err := cluster.SetMode(mode); err != nil {
 						return err
 					}
-					snap.Kernels = append(snap.Kernels, kernelPoint{
+					snap.Kernels = append(snap.Kernels, measure(
 						fx.name,
 						fmt.Sprintf("dist-%s-%s", mode, fmtName),
-						distRanks * distThreads,
-						measureGFlops(a.Nnz(), reps, func() {
+						distRanks*distThreads,
+						a.Nnz(), reps,
+						func() {
 							if err := cluster.Mul(yd, x, 1); err != nil {
 								panic(err)
 							}
-						}),
-					})
+						},
+					))
 				}
 				return nil
 			}
@@ -258,12 +324,13 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 			// multiplication through the deprecated per-call shim, paying
 			// world + team spawn each call. The gap to the resident
 			// dist-…-crs numbers is the session API's reuse win.
-			snap.Kernels = append(snap.Kernels, kernelPoint{
+			snap.Kernels = append(snap.Kernels, measure(
 				fx.name,
 				fmt.Sprintf("dist-%s-crs-percall", modes[0]),
-				distRanks * distThreads,
-				measureGFlops(a.Nnz(), reps, func() { core.MulDistributed(plan, x, modes[0], distThreads, 1) }),
-			})
+				distRanks*distThreads,
+				a.Nnz(), reps,
+				func() { core.MulDistributed(plan, x, modes[0], distThreads, 1) },
+			))
 			for _, b := range sweepFormats {
 				if err := cluster.Convert(b); err != nil {
 					return err

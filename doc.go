@@ -90,6 +90,47 @@
 //	solver.DistLanczos(plan, mode, t, m, seed)   → solver.DistLanczos(cluster, m, seed)
 //	solver.DistOperator{Plan, Mode, Threads}     → solver.DistOperator{Cluster: cluster}
 //
+// # Steady-state performance contract
+//
+// The paper's workloads run thousands of back-to-back spMVM iterations,
+// so the runtime guarantees that the RESIDENT iteration path is
+// allocation-free: once a Cluster is warm, the following perform zero heap
+// allocations per iteration on the chan transport (enforced by the
+// TestAllocGate… tests, run as a dedicated CI step):
+//
+//   - Cluster.Mul in all three kernel modes (hence Worker.Step — halo
+//     exchange, kernel passes, and the task-mode rendezvous);
+//   - a chanmpi halo exchange over persistent channels, in either
+//     post-first or send-first order;
+//   - scalar reductions (Comm.AllreduceScalar), i.e. the per-iteration dot
+//     products of the solvers;
+//   - a solver.DistCG iteration (all per-solve state is preallocated; the
+//     same discipline holds for DistLanczos' basis and coefficients).
+//
+// The machinery behind the guarantee maps onto MPI's persistent
+// communication requests: Comm.SendInit/RecvInit bind a (peer, tag,
+// buffer) triple once and return a core.PersistentRequest — the analogue
+// of MPI_Send_init/MPI_Recv_init — whose Start/Wait cycle reuses one
+// resident request object (token-based completion, no per-message channel
+// or request allocation). Workers compile their whole halo schedule into
+// persistent channels at construction, and compile each kernel pass into a
+// restartable spmv.Team region (spmv.Team.Compile/Exec), so a step is pure
+// restart loops. Task mode launches the compiled local-pass region
+// asynchronously (Team.Start) and Joins after the halo wait — the rank
+// goroutine is the resident communication thread; no goroutine is spawned
+// per step. On the wire transport, tcpmpi's reader goroutine decodes
+// arriving frames DIRECTLY into a posted receive's user buffer (no
+// intermediate slice; unposted arrivals go through recycled carriers), and
+// the tree collectives run on resident per-communicator scratch.
+//
+// Two contract changes pay for this: Allreduce/AllgatherInt64 results are
+// resident buffers, read-only and valid only until the rank's NEXT
+// collective (copy them to retain); and a PersistentRequest requires one
+// Wait per Start. cmd/spmv-bench records allocs_per_iter and ns_per_iter
+// per kernel in its snapshots (BENCH_5.json onward) and takes
+// -cpuprofile/-memprofile flags, so a regression shows up in both the
+// alloc gates and the perf trajectory.
+//
 // # Storage formats and kernels
 //
 // The kernel engine is format-generic end to end: every storage scheme —

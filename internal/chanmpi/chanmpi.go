@@ -1,7 +1,10 @@
 // Package chanmpi is an in-process message-passing runtime with MPI-like
 // semantics: a fixed set of ranks (goroutines), nonblocking point-to-point
-// sends and receives matched by (source, tag) in posting order, and the
-// collectives the distributed SpMV needs (Barrier, Allreduce, Allgather).
+// sends and receives matched by (source, tag) in posting order, persistent
+// communication channels (SendInit/RecvInit, the MPI_Send_init/Recv_init
+// analogue — see persistent.go) whose steady-state Start/Wait cycle
+// allocates nothing, and the collectives the distributed SpMV needs
+// (Barrier, Allreduce, Allgather) on resident buffers.
 //
 // It is the functional substitute for MPI in this reproduction: the
 // distributed kernels in internal/core run unchanged on top of it and are
@@ -164,6 +167,11 @@ func (w *World) Run(body func(c *Comm) error) error {
 type Comm struct {
 	world *World
 	rank  int
+	// scalarBuf is the resident one-element vector AllreduceScalar
+	// contributes through, so the scalar reductions on every solver
+	// iteration's hot path allocate nothing. A Comm handle belongs to one
+	// rank goroutine; collectives on it are never concurrent.
+	scalarBuf [1]float64
 }
 
 // Rank returns this rank's id.
@@ -198,9 +206,28 @@ type request struct {
 	src, tag int
 	buf      []float64
 	matched  bool
+	// queued marks a persistent receive as having been Started at least
+	// once; with matched it distinguishes "still in flight" (queued, not
+	// matched) from "restartable" (guarded by the mailbox lock).
+	queued bool
+	// persistent marks a restartable request (RecvInit): completion sends a
+	// token on the buffered done channel instead of closing it, so the same
+	// request object restarts forever without reallocating.
+	persistent bool
 	// err records a delivery error (truncation); Wait returns it so both
 	// endpoints observe the failure, as an MPI error would abort both.
 	err error
+}
+
+// signalDone completes the request: one token for a persistent request
+// (consumed by its single Wait, making the channel reusable), a close for
+// a one-shot one.
+func (r *request) signalDone() {
+	if r.persistent {
+		r.done <- struct{}{}
+	} else {
+		close(r.done)
+	}
 }
 
 func (r *request) Wait() error {
@@ -263,9 +290,48 @@ type mailbox struct {
 	sends []*inflight
 }
 
+// deliverToPostedLocked delivers data to the earliest posted receive with
+// the same (src, tag) — the single matching rule shared by one-shot Isend
+// and persistent psend.Start. Returns whether a receive matched and the
+// delivery error; callers hold the mailbox lock and must release it before
+// failing the world on the error.
+func (b *mailbox) deliverToPostedLocked(src, tag int, data []float64) (bool, error) {
+	for _, rr := range b.recvs {
+		if rr.matched || rr.src != src || rr.tag != tag {
+			continue
+		}
+		err := deliver(rr, data)
+		b.compactLocked()
+		return true, err
+	}
+	return false, nil
+}
+
+// takeBufferedLocked consumes the earliest buffered message with req's
+// (src, tag) and delivers it — the single matching rule shared by one-shot
+// Irecv and persistent precv.Start. Returns whether a message matched and
+// the delivery error; same locking contract as deliverToPostedLocked.
+func (b *mailbox) takeBufferedLocked(req *request) (bool, error) {
+	for i, m := range b.sends {
+		if m == nil || m.src != req.src || m.tag != req.tag {
+			continue
+		}
+		b.sends[i] = nil
+		m.pending = false
+		err := deliver(req, m.data)
+		b.compactLocked()
+		return true, err
+	}
+	return false, nil
+}
+
 type inflight struct {
 	src, tag int
 	data     []float64
+	// pending marks a persistent send's resident staging copy as still
+	// buffered in a mailbox; cleared (under the mailbox lock) when the
+	// message is consumed, so the owning SendInit request can reuse it.
+	pending bool
 }
 
 // Isend starts a nonblocking send of data to rank dst with the given tag.
@@ -284,13 +350,7 @@ func (c *Comm) Isend(dst, tag int, data []float64) (Request, error) {
 	req := &request{done: make(chan struct{}), fail: c.world.failure}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
-	// Match the earliest posted receive with the same (src, tag).
-	for _, rr := range box.recvs {
-		if rr.matched || rr.src != c.rank || rr.tag != tag {
-			continue
-		}
-		err := deliver(rr, data)
-		box.compactLocked()
+	if ok, err := box.deliverToPostedLocked(c.rank, tag, data); ok {
 		box.mu.Unlock()
 		req.err = err
 		close(req.done)
@@ -324,14 +384,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) (Request, error) {
 	req := &request{done: make(chan struct{}), fail: c.world.failure, src: src, tag: tag, buf: buf}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
-	// Match the earliest buffered message with the same (src, tag).
-	for i, m := range box.sends {
-		if m == nil || m.src != src || m.tag != tag {
-			continue
-		}
-		box.sends[i] = nil
-		err := deliver(req, m.data)
-		box.compactLocked()
+	if ok, err := box.takeBufferedLocked(req); ok {
 		box.mu.Unlock()
 		if err != nil {
 			c.world.Fail(err)
@@ -351,13 +404,13 @@ func deliver(r *request, data []float64) error {
 		err := &TruncationError{Len: len(data), Cap: len(r.buf), Src: r.src, Tag: r.tag}
 		r.err = err
 		r.matched = true
-		close(r.done)
+		r.signalDone()
 		return err
 	}
 	copy(r.buf, data)
 	r.n = len(data)
 	r.matched = true
-	close(r.done)
+	r.signalDone()
 	return nil
 }
 
@@ -438,13 +491,15 @@ func (op ReduceOp) Combine(a, b float64) float64 {
 
 // Allreduce combines in-vectors elementwise across all ranks and returns
 // the combined vector (the same backing array is returned to every rank;
-// callers must treat it as read-only). The combine runs in canonical rank
-// order 0,1,…,Size-1 once every rank has contributed, so the result is
-// bit-deterministic across runs — and bit-identical to any other transport
-// using the same canonical order (tcpmpi's tree reduction does). Ranks
-// must agree on the vector length: a mismatch returns a *MismatchError to
-// the offending rank and fails the world, so peers blocked in the round
-// observe a *WorldError.
+// callers must treat it as read-only, and it stays valid only until this
+// rank's next collective operation — the rounds reuse one resident result
+// buffer, so the steady-state reduction path allocates nothing). The
+// combine runs in canonical rank order 0,1,…,Size-1 once every rank has
+// contributed, so the result is bit-deterministic across runs — and
+// bit-identical to any other transport using the same canonical order
+// (tcpmpi's tree reduction does). Ranks must agree on the vector length: a
+// mismatch returns a *MismatchError to the offending rank and fails the
+// world, so peers blocked in the round observe a *WorldError.
 func (c *Comm) Allreduce(op ReduceOp, in []float64) ([]float64, error) {
 	res, err := c.world.reducer.allreduce(op, in, c.rank, c.world.failure)
 	if err != nil {
@@ -457,9 +512,12 @@ func (c *Comm) Allreduce(op ReduceOp, in []float64) ([]float64, error) {
 	return res, nil
 }
 
-// AllreduceScalar combines a single value across all ranks.
+// AllreduceScalar combines a single value across all ranks. It contributes
+// through the communicator's resident one-element buffer, so the scalar
+// reductions riding every solver iteration allocate nothing.
 func (c *Comm) AllreduceScalar(op ReduceOp, v float64) (float64, error) {
-	res, err := c.Allreduce(op, []float64{v})
+	c.scalarBuf[0] = v
+	res, err := c.Allreduce(op, c.scalarBuf[:])
 	if err != nil {
 		return 0, err
 	}
@@ -467,7 +525,8 @@ func (c *Comm) AllreduceScalar(op ReduceOp, v float64) (float64, error) {
 }
 
 // AllgatherInt64 gathers one int64 from every rank; the result is indexed
-// by rank and shared read-only across ranks.
+// by rank, shared read-only across ranks, and valid until this rank's next
+// collective (the rounds alternate between two resident buffers).
 func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
 	return c.world.gatherer.gather(c.rank, v, c.world.failure)
 }
@@ -514,10 +573,13 @@ func (b *barrier) await(f *failure) error {
 // combining them in canonical rank order when the round completes, so the
 // floating-point result is bit-deterministic regardless of arrival order.
 // A round cannot overlap the next because every rank participates exactly
-// once per round. The per-rank collection buffers persist across rounds
-// (reductions sit on every solver iteration's hot path); only the result
-// is freshly allocated, because it escapes to the callers as a shared
-// read-only slice.
+// once per round. Both the per-rank collection buffers AND the result
+// buffer persist across rounds (reductions sit on every solver iteration's
+// hot path), so a steady-state round allocates nothing. Reusing the result
+// is safe because every rank must contribute to round k+1 before its
+// combine can overwrite the buffer, and a rank can only do so after it has
+// consumed round k's result — hence the contract that the returned slice
+// is valid only until the rank's next collective.
 type reducer struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -563,9 +625,13 @@ func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]
 	r.vecs[rank] = buf
 	r.count++
 	if r.count == r.size {
-		// Canonical rank-order combine: 0 ⊕ 1 ⊕ … ⊕ size-1. The result
-		// must not alias the reusable collection buffers.
-		acc := append([]float64(nil), r.vecs[0]...)
+		// Canonical rank-order combine: 0 ⊕ 1 ⊕ … ⊕ size-1, into the
+		// resident result buffer (distinct from the collection buffers).
+		if cap(r.res) < len(in) {
+			r.res = make([]float64, len(in))
+		}
+		acc := r.res[:len(in)]
+		copy(acc, r.vecs[0])
 		for q := 1; q < r.size; q++ {
 			for i, v := range r.vecs[q] {
 				acc[i] = op.Combine(acc[i], v)
@@ -610,15 +676,17 @@ func (g *gatherer) gather(rank int, v int64, f *failure) ([]int64, error) {
 	if err := f.Err(); err != nil {
 		return nil, &WorldError{Cause: err}
 	}
-	if g.count == 0 {
+	if g.count == 0 && g.acc == nil {
 		g.acc = make([]int64, g.size)
 	}
 	g.acc[rank] = v
 	g.count++
 	if g.count == g.size {
 		g.count = 0
-		g.res = g.acc
-		g.acc = nil
+		// Swap the accumulator and the previous result: callers may still
+		// read the last round's slice until their next collective, while
+		// the next round collects into the other buffer.
+		g.res, g.acc = g.acc, g.res
 		g.gen++
 		g.cond.Broadcast()
 		return g.res, nil

@@ -1,0 +1,167 @@
+package chanmpi
+
+import "fmt"
+
+// Persistent communication channels, the in-process analogue of
+// MPI_Send_init / MPI_Recv_init: the (peer, tag, buffer) triple of a
+// recurring exchange is bound ONCE, and each iteration merely restarts the
+// resident request with Start and completes it with Wait. All per-message
+// bookkeeping — the request object, its completion channel, the send-side
+// staging copy — is allocated at init time and reused forever, so a
+// steady-state halo exchange performs zero allocations per iteration
+// (TestAllocGateHaloExchangePersistent pins this down).
+//
+// Matching is the ordinary posting-order (source, tag) discipline;
+// persistent and one-shot operations interleave freely on the same tag.
+
+// PersistentRequest is a restartable communication channel bound to a
+// fixed peer, tag and buffer (MPI persistent request semantics). Start
+// initiates one transfer; Wait blocks until it completes and returns its
+// error. Each Start must be matched by a Wait before the next Start; for
+// sends, Wait is trivially immediate under the runtime's buffered
+// semantics. Start after a world failure returns a *WorldError.
+type PersistentRequest interface {
+	// Start initiates one transfer over the channel. For a receive it
+	// (re)posts the resident request; for a send it delivers or stages the
+	// current buffer contents. An error detectable at initiation time
+	// (world failure, truncation on an immediate match) is returned here.
+	Start() error
+	// Wait blocks until the transfer initiated by the last Start completes
+	// and returns its error. One Wait per Start.
+	Wait() error
+}
+
+// precv is a persistent receive channel: one resident request, restarted
+// into the owner's mailbox by each Start.
+type precv struct {
+	c   *Comm
+	req *request
+}
+
+// RecvInit creates a persistent receive channel for messages from rank src
+// with the given tag, delivering into buf (MPI_Recv_init). The channel is
+// inert until its first Start.
+func (c *Comm) RecvInit(src, tag int, buf []float64) (PersistentRequest, error) {
+	if src < 0 || src >= c.world.size {
+		return nil, &RankError{Op: "RecvInit", Rank: src, Size: c.world.size}
+	}
+	return &precv{
+		c: c,
+		req: &request{
+			done:       make(chan struct{}, 1),
+			fail:       c.world.failure,
+			src:        src,
+			tag:        tag,
+			buf:        buf,
+			persistent: true,
+		},
+	}, nil
+}
+
+func (p *precv) Start() error {
+	c := p.c
+	r := p.req
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	if err := c.world.failure.Err(); err != nil {
+		box.mu.Unlock()
+		return &WorldError{Cause: err}
+	}
+	if r.queued && !r.matched {
+		box.mu.Unlock()
+		return fmt.Errorf("chanmpi: Start on a persistent receive still in flight (Wait it first)")
+	}
+	// Drain a completion token the caller never waited for: restarting
+	// abandons the previous round's completion.
+	select {
+	case <-r.done:
+	default:
+	}
+	r.matched, r.err, r.n, r.queued = false, nil, 0, true
+	// Same matching rule as Irecv, through the shared helper.
+	if ok, err := box.takeBufferedLocked(r); ok {
+		box.mu.Unlock()
+		if err != nil {
+			c.world.Fail(err)
+		}
+		return err
+	}
+	box.recvs = append(box.recvs, r)
+	box.mu.Unlock()
+	return nil
+}
+
+func (p *precv) Wait() error { return p.req.Wait() }
+
+// psend is a persistent send channel. It owns a resident staging copy
+// (stage) used when no matching receive is posted yet, so the unmatched
+// path buffers without allocating; when the receive is already posted —
+// the steady-state order of the halo exchange, which posts all receives
+// before gathering — delivery goes straight from the bound buffer into the
+// receiver's.
+type psend struct {
+	c        *Comm
+	dst, tag int
+	buf      []float64
+	stage    *inflight // pending flag guarded by the destination mailbox lock
+	lastErr  error
+}
+
+// SendInit creates a persistent send channel to rank dst with the given
+// tag, transmitting the CURRENT contents of buf on each Start
+// (MPI_Send_init — the caller refills buf between Starts).
+func (c *Comm) SendInit(dst, tag int, buf []float64) (PersistentRequest, error) {
+	if dst < 0 || dst >= c.world.size {
+		return nil, &RankError{Op: "SendInit", Rank: dst, Size: c.world.size}
+	}
+	return &psend{
+		c:     c,
+		dst:   dst,
+		tag:   tag,
+		buf:   buf,
+		stage: &inflight{src: c.rank, tag: tag},
+	}, nil
+}
+
+func (p *psend) Start() error {
+	c := p.c
+	if err := c.world.failure.Err(); err != nil {
+		p.lastErr = &WorldError{Cause: err}
+		return p.lastErr
+	}
+	box := c.world.boxes[p.dst]
+	box.mu.Lock()
+	// Same matching rule as Isend, through the shared helper: deliver
+	// directly from the bound buffer, no staging copy.
+	if ok, err := box.deliverToPostedLocked(c.rank, p.tag, p.buf); ok {
+		box.mu.Unlock()
+		p.lastErr = err
+		if err != nil {
+			c.world.Fail(err)
+		}
+		return err
+	}
+	// No receive posted yet: buffer through the resident staging copy. If
+	// the previous round's message is somehow still unconsumed (a pattern
+	// the lock-stepped halo exchange cannot produce), fall back to a fresh
+	// copy rather than corrupting it.
+	st := p.stage
+	if st.pending {
+		box.sends = append(box.sends, &inflight{src: c.rank, tag: p.tag, data: append([]float64(nil), p.buf...)})
+	} else {
+		if cap(st.data) < len(p.buf) {
+			st.data = make([]float64, len(p.buf))
+		}
+		st.data = st.data[:len(p.buf)]
+		copy(st.data, p.buf)
+		st.pending = true
+		box.sends = append(box.sends, st)
+	}
+	box.mu.Unlock()
+	p.lastErr = nil
+	return nil
+}
+
+// Wait reports the outcome of the last Start. Sends are buffered, so a
+// successfully started transfer is already complete.
+func (p *psend) Wait() error { return p.lastErr }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+)
+
+// The AllocGate tests pin the zero-allocation steady state of the resident
+// distributed iteration (doc.go "Steady-state performance contract"): on a
+// warm cluster over the chan transport, a whole Cluster.Mul — job
+// submission, halo exchange over persistent channels, compiled kernel
+// regions in every mode — performs zero allocations. CI runs these as a
+// dedicated step (go test -run AllocGate ./...).
+
+// TestAllocGateClusterMulModes asserts zero allocations per steady-state
+// multiplication in all three kernel modes, which covers Worker.Step's
+// no-overlap, naive-overlap and resident task-mode paths.
+func TestAllocGateClusterMulModes(t *testing.T) {
+	_, cl := newTestCluster(t, 55, 300, 100, 5, 4, WithThreads(2))
+	x := randVec(56, 300)
+	y := make([]float64, 300)
+	for _, mode := range Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			if err := cl.SetMode(mode); err != nil {
+				t.Fatal(err)
+			}
+			mul := func() {
+				if err := cl.Mul(y, x, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mul() // steady the mailbox and queue capacities
+			mul()
+			if allocs := testing.AllocsPerRun(30, mul); allocs != 0 {
+				t.Fatalf("%v: Mul allocates %.1f objects per multiplication, want 0", mode, allocs)
+			}
+		})
+	}
+}
+
+// TestAllocGateClusterMulIterated asserts the per-iteration cost inside
+// one Mul call is also allocation-free: a 33-iteration multiplication
+// allocates exactly as much as a 1-iteration one (namely, nothing).
+func TestAllocGateClusterMulIterated(t *testing.T) {
+	_, cl := newTestCluster(t, 57, 240, 80, 4, 3, WithThreads(2), WithMode(TaskMode))
+	x := randVec(58, 240)
+	y := make([]float64, 240)
+	for _, iters := range []int{1, 33} {
+		f := func() {
+			if err := cl.Mul(y, x, iters); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f()
+		if allocs := testing.AllocsPerRun(10, f); allocs != 0 {
+			t.Fatalf("Mul with %d iterations allocates %.1f objects per call, want 0", iters, allocs)
+		}
+	}
+}
+
+// TestClusterTaskModeRepeatedStepsStress hammers the resident task-mode
+// executor — the compiled local-pass region launched asynchronously while
+// the rank goroutine waits out the halo — across many back-to-back steps.
+// Run under -race (CI does), it guards the Start/Join rendezvous that
+// replaced the per-step goroutine + channel.
+func TestClusterTaskModeRepeatedStepsStress(t *testing.T) {
+	a, cl := newTestCluster(t, 59, 180, 60, 4, 3, WithThreads(3), WithMode(TaskMode))
+	x := randVec(60, 180)
+	serial := make([]float64, 180)
+	a.MulVec(serial, x)
+	want := make([]float64, 180)
+	if err := cl.Mul(want, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(serial, want); d > 1e-12 {
+		t.Fatalf("task-mode result off by %g from the serial kernel", d)
+	}
+	y := make([]float64, 180)
+	steps := 400
+	if testing.Short() {
+		steps = 50
+	}
+	for i := 0; i < steps; i++ {
+		if err := cl.Mul(y, x, 1); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(want, y); d != 0 {
+			t.Fatalf("step %d: task-mode result not bit-stable across steps (drift %g)", i, d)
+		}
+	}
+	// Interleave mode switches mid-stream: the compiled regions of all
+	// three passes share one team and must hand over cleanly.
+	for i := 0; i < 60; i++ {
+		if err := cl.SetMode(Modes[i%len(Modes)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Mul(y, x, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

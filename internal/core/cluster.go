@@ -50,6 +50,18 @@ type Cluster struct {
 	mu     sync.Mutex // serializes submissions and reconfiguration
 	closed bool
 	failed error // first job failure; the world is poisoned, rebuild to recover
+
+	// The resident Mul job: one reusable job whose body reads mulArgs, so a
+	// steady-state Mul on a warm cluster allocates nothing — no per-call
+	// closure, job object or error slice. mulArgs is written under mu before
+	// submission and read by the rank goroutines during the job (the job
+	// queue's channel handoff orders the accesses).
+	mulJob  *job
+	mulArgs struct {
+		y, x  []float64
+		iters int
+		mode  Mode
+	}
 }
 
 // job is one SPMD submission: every local rank runs body on its resident
@@ -164,6 +176,22 @@ func NewCluster(plan *Plan, opts ...Option) (*Cluster, error) {
 		c.workers[i] = w
 		c.jobs[i] = make(chan *job)
 	}
+	c.mulJob = &job{errs: make([]error, len(local)), body: func(w *Worker) error {
+		a := &c.mulArgs
+		rp := w.Plan
+		copy(w.X[:rp.NLocal], a.x[rp.Rows.Lo:rp.Rows.Hi])
+		for it := 0; it < a.iters; it++ {
+			if err := w.Step(a.mode); err != nil {
+				return err
+			}
+			if it < a.iters-1 {
+				// Next iteration multiplies the previous result.
+				copy(w.X[:rp.NLocal], w.Y)
+			}
+		}
+		copy(a.y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
+		return nil
+	}}
 	for i := range local {
 		c.done.Add(1)
 		go c.rankLoop(i)
@@ -291,16 +319,22 @@ func (c *Cluster) Run(body func(w *Worker) error) error {
 	return c.submitLocked(body)
 }
 
-// submitLocked broadcasts one job to every local rank queue and waits for
-// it to drain. It returns the job's primary failure — the first rank error
-// in rank order that is not a secondary *WorldError report of a failure
-// that originated elsewhere — and marks the cluster failed, since the
-// world is poisoned. Caller holds c.mu.
+// submitLocked broadcasts one ephemeral job body to every local rank queue
+// and waits for it to drain. Caller holds c.mu.
 func (c *Cluster) submitLocked(body func(w *Worker) error) error {
+	return c.submitJobLocked(&job{body: body, errs: make([]error, len(c.workers))})
+}
+
+// submitJobLocked runs one (possibly reused) job on every local rank —
+// refusing outright on a cluster a previous job already failed — and
+// returns its primary failure: the first rank error in rank order that is
+// not a secondary *WorldError report of a failure that originated
+// elsewhere. A failure marks the cluster failed, since the world is
+// poisoned. Caller holds c.mu and guarantees j.errs is clean.
+func (c *Cluster) submitJobLocked(j *job) error {
 	if c.failed != nil {
 		return fmt.Errorf("core: cluster failed by an earlier job (%v); close and rebuild", c.failed)
 	}
-	j := &job{body: body, errs: make([]error, len(c.workers))}
 	j.wg.Add(len(c.workers))
 	for _, q := range c.jobs {
 		q <- j
@@ -345,22 +379,15 @@ func (c *Cluster) Mul(y, x []float64, iters int) error {
 	if c.closed {
 		return fmt.Errorf("core: Mul on closed cluster")
 	}
-	mode := c.Mode()
-	return c.submitLocked(func(w *Worker) error {
-		rp := w.Plan
-		copy(w.X[:rp.NLocal], x[rp.Rows.Lo:rp.Rows.Hi])
-		for it := 0; it < iters; it++ {
-			if err := w.Step(mode); err != nil {
-				return err
-			}
-			if it < iters-1 {
-				// Next iteration multiplies the previous result.
-				copy(w.X[:rp.NLocal], w.Y)
-			}
-		}
-		copy(y[rp.Rows.Lo:rp.Rows.Hi], w.Y)
-		return nil
-	})
+	// Steady-state path: the resident Mul job is reused across calls, so a
+	// multiplication on a warm cluster performs zero allocations.
+	c.mulArgs.y, c.mulArgs.x, c.mulArgs.iters, c.mulArgs.mode = y, x, iters, c.Mode()
+	for i := range c.mulJob.errs {
+		c.mulJob.errs[i] = nil
+	}
+	err := c.submitJobLocked(c.mulJob)
+	c.mulArgs.y, c.mulArgs.x = nil, nil // don't pin the caller's vectors
+	return err
 }
 
 // Close shuts the rank goroutines down, releases the compute teams, and

@@ -491,6 +491,27 @@ func (cc *countingComm) Isend(dst, tag int, data []float64) (Request, error) {
 	return cc.Comm.Isend(dst, tag, data)
 }
 
+// SendInit wraps the persistent send channel so every restarted halo send
+// is counted too — the workers compile their schedule into persistent
+// channels, so steady-state traffic flows through Start, not Isend.
+func (cc *countingComm) SendInit(dst, tag int, buf []float64) (PersistentRequest, error) {
+	pr, err := cc.Comm.SendInit(dst, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &countingPersistent{PersistentRequest: pr, sends: cc.sends}, nil
+}
+
+type countingPersistent struct {
+	PersistentRequest
+	sends *atomic.Int64
+}
+
+func (cp *countingPersistent) Start() error {
+	cp.sends.Add(1)
+	return cp.PersistentRequest.Start()
+}
+
 func TestClusterRunBodyErrorSurfaces(t *testing.T) {
 	// Comm v2's error-first contract end to end: a body error (not a panic)
 	// comes back from Run tagged with its rank.

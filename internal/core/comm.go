@@ -14,6 +14,14 @@ import (
 // have to implement two tiny methods per request handle.
 type Request = chanmpi.Request
 
+// PersistentRequest is a restartable communication channel bound to a
+// fixed (peer, tag, buffer) triple — the MPI_Send_init / MPI_Recv_init
+// persistent-request idea. Compile a recurring exchange into persistent
+// channels once, then each iteration is Start + Wait with zero per-message
+// allocation; the resident Workers compile their whole halo schedule this
+// way at construction time.
+type PersistentRequest = chanmpi.PersistentRequest
+
 // ReduceOp selects the combining operation of Allreduce.
 type ReduceOp = chanmpi.ReduceOp
 
@@ -59,6 +67,13 @@ type Comm interface {
 	// Irecv posts a nonblocking receive into buf for a message from rank
 	// src with the given tag.
 	Irecv(src, tag int, buf []float64) (Request, error)
+	// SendInit creates a persistent send channel to rank dst: each Start
+	// transmits the CURRENT contents of buf (MPI_Send_init). The channel
+	// is inert until its first Start.
+	SendInit(dst, tag int, buf []float64) (PersistentRequest, error)
+	// RecvInit creates a persistent receive channel for messages from rank
+	// src, delivering into buf on each Start/Wait cycle (MPI_Recv_init).
+	RecvInit(src, tag int, buf []float64) (PersistentRequest, error)
 	// Waitall blocks until every request has completed (MPI_Waitall) and
 	// returns the first error observed.
 	Waitall(reqs ...Request) error

@@ -93,7 +93,21 @@ type Worker struct {
 	fullChunks   []spmv.Range
 
 	sendBufs [][]float64
-	reqs     []Request
+
+	// The halo schedule compiled into persistent channels (MPI_Send_init /
+	// MPI_Recv_init): one restartable receive per halo segment, delivering
+	// straight into X's halo region, and one restartable send per peer,
+	// bound to its gather buffer. postRecvs/gatherAndSend are then pure
+	// restart loops — the steady-state exchange allocates nothing.
+	recvReqs []PersistentRequest
+	sendReqs []PersistentRequest
+
+	// The kernel passes compiled into restartable team regions, one per
+	// pass; their bodies read the chunking through w, so refresh only has
+	// to rebalance the chunk slices.
+	fullRegion   *spmv.Region
+	localRegion  *spmv.Region
+	remoteRegion *spmv.Region
 }
 
 // newWorker prepares the execution state of one rank. threads is the size
@@ -125,6 +139,45 @@ func newWorker(rp *RankPlan, comm Comm, threads int) (*Worker, error) {
 	for i, tx := range rp.SendTo {
 		w.sendBufs[i] = make([]float64, tx.Count)
 	}
+
+	// Compile the halo schedule into persistent channels: receives bound to
+	// the contiguous halo segments of X, sends bound to the gather buffers.
+	w.recvReqs = make([]PersistentRequest, len(rp.RecvFrom))
+	for i, rx := range rp.RecvFrom {
+		seg := w.X[rp.NLocal+rx.Offset : rp.NLocal+rx.Offset+rx.Count]
+		req, err := comm.RecvInit(rx.Peer, haloTag, seg)
+		if err != nil {
+			w.Team.Close()
+			return nil, err
+		}
+		w.recvReqs[i] = req
+	}
+	w.sendReqs = make([]PersistentRequest, len(rp.SendTo))
+	for i, tx := range rp.SendTo {
+		req, err := comm.SendInit(tx.Peer, haloTag, w.sendBufs[i])
+		if err != nil {
+			w.Team.Close()
+			return nil, err
+		}
+		w.sendReqs[i] = req
+	}
+
+	// Compile the kernel passes into restartable team regions. Each pass is
+	// chunked to exactly `threads` ranges, and the bodies read the current
+	// chunking and storage format through w, so a refresh (live format
+	// conversion) needs no recompilation.
+	w.fullRegion = w.Team.Compile(threads, func(t int) {
+		r := w.fullChunks[t]
+		w.local.MulVecBlocks(w.Y, w.X, r.Lo, r.Hi)
+	})
+	w.localRegion = w.Team.Compile(threads, func(t int) {
+		r := w.localChunks[t]
+		w.split.Local.MulVecBlocks(w.Y, w.X, r.Lo, r.Hi)
+	})
+	w.remoteRegion = w.Team.Compile(threads, func(t int) {
+		r := w.remoteChunks[t]
+		w.split.Remote.MulStoredRowsAdd(w.Y, w.X, r.Lo, r.Hi)
+	})
 	return w, nil
 }
 
@@ -148,40 +201,53 @@ func (w *Worker) refresh() {
 // Close releases the worker's compute team.
 func (w *Worker) Close() { w.Team.Close() }
 
-// postRecvs posts one nonblocking receive per halo segment, directly into
-// the halo region of X (segments are contiguous by construction).
+// postRecvs restarts the persistent receive of every halo segment — the
+// compiled equivalent of posting one Irecv per peer, with no per-step
+// request allocation (segments deliver directly into X's halo region).
 func (w *Worker) postRecvs() error {
-	w.reqs = w.reqs[:0]
-	for _, rx := range w.Plan.RecvFrom {
-		seg := w.X[w.Plan.NLocal+rx.Offset : w.Plan.NLocal+rx.Offset+rx.Count]
-		req, err := w.Comm.Irecv(rx.Peer, haloTag, seg)
-		if err != nil {
+	for _, r := range w.recvReqs {
+		if err := r.Start(); err != nil {
 			return err
 		}
-		w.reqs = append(w.reqs, req)
 	}
 	return nil
 }
 
-// gatherAndSend copies the owned elements each peer needs into contiguous
-// send buffers and posts the sends. The local gather may be done after the
-// receives are initiated, potentially hiding the copy cost (§3.1).
+// gatherAndSend copies the owned elements each peer needs into the bound
+// send buffers and restarts the persistent sends. The local gather may be
+// done after the receives are initiated, potentially hiding the copy cost
+// (§3.1).
 func (w *Worker) gatherAndSend() error {
 	for i, tx := range w.Plan.SendTo {
 		buf := w.sendBufs[i]
 		for j, idx := range tx.Indices {
 			buf[j] = w.X[idx]
 		}
-		if _, err := w.Comm.Isend(tx.Peer, haloTag, buf); err != nil {
+		if err := w.sendReqs[i].Start(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// waitHalo blocks until every halo segment has arrived.
+// waitHalo blocks until every halo segment has arrived, waiting out every
+// persistent receive AND send (the MPI_Waitall discipline: all requests
+// are waited even after a failure; the send waits also discharge the
+// one-Wait-per-Start contract, so the next step may legally refill the
+// bound send buffers) and returns the first error observed.
 func (w *Worker) waitHalo() error {
-	return w.Comm.Waitall(w.reqs...)
+	var first error
+	for _, r := range w.recvReqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, r := range w.sendReqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Step performs one distributed multiplication Y = A·X in the given mode.
@@ -213,11 +279,7 @@ func (w *Worker) stepNoOverlap() error {
 	}
 	// Full kernel: one pass, result written once (code balance Eq. 1). Runs
 	// on whatever storage format the plan carries (CSR by default).
-	f := w.local
-	w.Team.RunSubteam(len(w.fullChunks), func(t int) {
-		r := w.fullChunks[t]
-		f.MulVecBlocks(w.Y, w.X, r.Lo, r.Hi)
-	})
+	w.Team.Exec(w.fullRegion)
 	return nil
 }
 
@@ -225,14 +287,14 @@ func (w *Worker) stepNoOverlap() error {
 // whatever storage format the plan carries (CSR by default, the converted
 // format after Plan.ConvertFormat).
 func (w *Worker) localPass() {
-	w.split.MulVecLocal(w.Team, w.localChunks, w.Y, w.X)
+	w.Team.Exec(w.localRegion)
 }
 
 // remotePass computes Y += A_remote·X on the compacted remote matrix: only
 // halo-coupled rows are touched, so the Eq. (2) write-twice penalty scales
 // with the halo.
 func (w *Worker) remotePass() {
-	w.split.MulVecRemoteAdd(w.Team, w.remoteChunks, w.Y, w.X)
+	w.Team.Exec(w.remoteRegion)
 }
 
 func (w *Worker) stepNaiveOverlap() error {
@@ -259,16 +321,14 @@ func (w *Worker) stepTaskMode() error {
 	if err := w.gatherAndSend(); err != nil {
 		return err
 	}
-	// Functional decomposition: this goroutine is the communication thread
-	// (it sits inside Waitall, driving progress) while the team computes
-	// the local part concurrently.
-	computeDone := make(chan struct{})
-	go func() {
-		w.localPass()
-		close(computeDone)
-	}()
+	// Functional decomposition on the resident executor: the compiled
+	// local-pass region is launched asynchronously on the team while this
+	// goroutine — the dedicated communication thread — sits inside the halo
+	// wait, driving progress. No per-step goroutine or channel: the
+	// rendezvous is the team's own sense-reversing barrier, restarted.
+	w.Team.Start(w.localRegion)
 	err := w.waitHalo()
-	<-computeDone // the omp_barrier of Fig. 4c
+	w.Team.Join() // the omp_barrier of Fig. 4c
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,63 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+// TestAllocGateDistCGIteration pins the zero-allocation steady state of a
+// DistCG iteration on the chan transport. Per-solve setup (local vector
+// copies, the preallocated History, the Run closure) allocates a CONSTANT
+// amount regardless of the iteration count, so a long solve must allocate
+// exactly as much as a short one — i.e. the iteration loop itself
+// (multiplication over persistent halo channels, axpys, scalar reductions
+// on resident buffers) allocates nothing.
+func TestAllocGateDistCGIteration(t *testing.T) {
+	const n, ranks, threads = 300, 4, 2
+	g, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: n, Bandwidth: 40, PerRow: 5, Seed: 11, Symmetric: true, SPD: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(g)
+	plan, err := core.BuildPlan(a, core.PartitionByNnz(a, ranks), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(plan, core.WithThreads(threads), core.WithMode(core.TaskMode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 / float64(i+1)
+	}
+	x := make([]float64, n)
+	// tol unreachable: every solve runs its full maxIter iterations, so the
+	// two measurements differ ONLY in iteration count.
+	solve := func(maxIter int) func() {
+		return func() {
+			for i := range x {
+				x[i] = 0
+			}
+			if _, err := DistCG(cl, b, x, 1e-300, maxIter); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short, long := solve(2), solve(34)
+	short()
+	long()
+	allocsShort := testing.AllocsPerRun(10, short)
+	allocsLong := testing.AllocsPerRun(10, long)
+	if allocsLong > allocsShort {
+		t.Fatalf("DistCG allocates per iteration: %d-iter solve = %.1f allocs, %d-iter solve = %.1f allocs (want equal)",
+			2, allocsShort, 34, allocsLong)
+	}
+}

@@ -30,6 +30,12 @@ import (
 // its CSR counterpart, and reductions combine in canonical rank order on
 // every transport, so whole solves are bit-reproducible across runs and
 // across transports (the tcpmpi acceptance tests rely on this).
+//
+// Both solvers preallocate every per-iteration vector and coefficient
+// buffer up front (History to maxIter, the Lanczos basis to m vectors), so
+// a steady-state iteration — multiplication, axpys, scalar reductions —
+// performs zero allocations on the chan transport
+// (TestAllocGateDistCGIteration pins this down).
 
 // distDot computes the global dot product of two distributed vectors.
 func distDot(c core.Comm, a, b []float64) (float64, error) {
@@ -66,6 +72,9 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 		bl := append([]float64(nil), b[lo:hi]...)
 		xl := append([]float64(nil), x[lo:hi]...)
 		res := &results[rank]
+		// The convergence history grows to at most maxIter entries;
+		// reserving them here keeps the iteration loop allocation-free.
+		res.History = make([]float64, 0, maxIter)
 
 		bNorm2, err := distDot(c, bl, bl)
 		if err != nil {
@@ -201,8 +210,15 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 		}
 		Scale(1/math.Sqrt(vv), v)
 
-		var la, lb []float64
-		basis := [][]float64{append([]float64(nil), v...)}
+		// All m basis vectors live in one backing array reserved up front,
+		// and the tridiagonal coefficients get their full capacity — the
+		// iteration loop then allocates nothing.
+		la := make([]float64, 0, m)
+		lb := make([]float64, 0, m)
+		basisBuf := make([]float64, m*nl)
+		basis := make([][]float64, 0, m)
+		copy(basisBuf[:nl], v)
+		basis = append(basis, basisBuf[:nl])
 		wv := make([]float64, nl)
 		apply := func(dst, src []float64) error {
 			copy(w.X[:nl], src)
@@ -244,7 +260,8 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 				break
 			}
 			lb = append(lb, beta)
-			next := append([]float64(nil), wv...)
+			next := basisBuf[len(basis)*nl : (len(basis)+1)*nl]
+			copy(next, wv)
 			Scale(1/beta, next)
 			basis = append(basis, next)
 		}

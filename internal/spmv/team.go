@@ -20,13 +20,22 @@ import (
 // teams park and cost nothing.
 const spinRounds = 128
 
-// region is one published parallel region. It is immutable after
-// publication (except the pending countdown), so a worker that lags behind
-// — an idler excluded from several subteam regions in a row — always acts
-// on a consistent (epoch, n, fn) snapshot rather than on half-updated
-// shared fields.
-type region struct {
-	epoch   uint32
+// Region is one parallel region: a participant count and a body, fixed at
+// Compile time, plus the per-execution state (epoch, outstanding-worker
+// countdown). A compiled Region is restartable — Exec/Start republish the
+// SAME descriptor under a fresh epoch, so steady-state loops (the resident
+// distributed workers re-running their halo and kernel passes thousands of
+// times) allocate nothing per region.
+//
+// Safety of reuse: n and fn never change after Compile, and epoch is
+// atomic, so a worker still holding a stale pointer to a republished
+// region reads a consistent descriptor. A lagging worker can only lag past
+// regions it does not participate in (the caller cannot advance past a
+// region before all its participants finish), so when it observes a fresh
+// epoch on a stale pointer, that pointer IS the current region again and
+// participation is correct.
+type Region struct {
+	epoch   atomic.Uint32
 	n       int
 	fn      func(worker int)
 	closed  bool
@@ -44,11 +53,16 @@ type region struct {
 // participant decrements the outstanding-worker count to zero. Per-region
 // overhead is therefore O(1) channel operations instead of O(workers),
 // which is what dominates small-chunk regions like the split remote pass.
+//
+// Run, Exec, Start, Join and Close form the caller-side surface and must
+// all be invoked from one goroutine at a time (no concurrent regions on
+// one team).
 type Team struct {
-	size  int
-	epoch uint32 // last published epoch; touched only by the caller
-	cur   atomic.Pointer[region]
-	done  chan struct{} // completion token from the last participant
+	size     int
+	epoch    uint32 // last published epoch; touched only by the caller
+	cur      atomic.Pointer[Region]
+	done     chan struct{} // completion token from the last participant
+	inflight bool          // a Start awaits its Join; caller-side only
 
 	mu     sync.Mutex // parking lot; region publication happens under it
 	cond   *sync.Cond
@@ -74,17 +88,17 @@ func (t *Team) worker(w int) {
 	seen := uint32(0)
 	for {
 		d := t.cur.Load()
-		if d == nil || d.epoch == seen {
+		if d == nil || d.epoch.Load() == seen {
 			for spun := 0; spun < spinRounds; spun++ {
 				runtime.Gosched()
-				if d = t.cur.Load(); d != nil && d.epoch != seen {
+				if d = t.cur.Load(); d != nil && d.epoch.Load() != seen {
 					break
 				}
 			}
-			if d == nil || d.epoch == seen {
+			if d == nil || d.epoch.Load() == seen {
 				t.mu.Lock()
 				for {
-					if d = t.cur.Load(); d != nil && d.epoch != seen {
+					if d = t.cur.Load(); d != nil && d.epoch.Load() != seen {
 						break
 					}
 					t.cond.Wait()
@@ -96,7 +110,7 @@ func (t *Team) worker(w int) {
 		// regions must not replay them. The caller cannot advance past a
 		// region this worker participates in, so participants always
 		// observe their region's exact descriptor.
-		seen = d.epoch
+		seen = d.epoch.Load()
 		if d.closed {
 			return
 		}
@@ -132,17 +146,68 @@ func (t *Team) run(n int, f func(worker int)) {
 	if n == 0 {
 		return
 	}
+	t.Exec(t.Compile(n, f))
+}
+
+// Compile prepares a restartable region: f will run on workers [0, n) each
+// time the region is executed. The descriptor is allocated once; Exec and
+// Start republish it with no further allocation, which is what makes the
+// resident distributed workers' steady-state iteration allocation-free.
+// The chunk data f reads may change between executions (it is read at run
+// time), but n and f themselves are fixed.
+func (t *Team) Compile(n int, f func(worker int)) *Region {
+	if n < 0 || n > t.size {
+		panic(fmt.Sprintf("spmv: region size %d outside [0,%d]", n, t.size))
+	}
+	return &Region{n: n, fn: f}
+}
+
+// Exec runs a compiled region to completion: Start + Join, the restartable
+// equivalent of RunSubteam(r.n, r.fn).
+func (t *Team) Exec(r *Region) {
+	t.Start(r)
+	t.Join()
+}
+
+// Start launches a compiled region asynchronously and returns immediately:
+// the workers compute while the caller does something else — in the
+// paper's task mode, the caller is the communication thread and sits
+// inside the halo wait. Every Start must be matched by a Join before the
+// next region (Run/Exec/Start/Close) on this team.
+func (t *Team) Start(r *Region) {
+	if r.closed {
+		panic("spmv: Start on a closed-team sentinel region")
+	}
+	if t.inflight {
+		panic("spmv: Start while a started region is still unjoined")
+	}
+	if r.n == 0 {
+		return
+	}
+	t.inflight = true
 	t.epoch++
-	d := &region{epoch: t.epoch, n: n, fn: f}
-	d.pending.Store(int32(n))
-	t.publish(d)
+	// pending is stored before the epoch: a worker that observes the new
+	// epoch on a stale pointer must also observe the reset countdown.
+	r.pending.Store(int32(r.n))
+	r.epoch.Store(t.epoch)
+	t.publish(r)
+}
+
+// Join blocks until the region launched by the last Start has completed —
+// the implied barrier of the parallel region. Join after a zero-sized or
+// absent Start returns immediately.
+func (t *Team) Join() {
+	if !t.inflight {
+		return
+	}
+	t.inflight = false
 	<-t.done
 }
 
 // publish makes d the current region and wakes any parked workers. The
 // store happens under the parking mutex so a worker checking for a new
 // region before cond.Wait cannot miss the broadcast.
-func (t *Team) publish(d *region) {
+func (t *Team) publish(d *Region) {
 	t.mu.Lock()
 	if t.closed && !d.closed {
 		t.mu.Unlock()
@@ -163,7 +228,9 @@ func (t *Team) Close() {
 		return
 	}
 	t.epoch++
-	t.publish(&region{epoch: t.epoch, closed: true})
+	d := &Region{closed: true}
+	d.epoch.Store(t.epoch)
+	t.publish(d)
 }
 
 // Range is a half-open row interval [Lo, Hi).

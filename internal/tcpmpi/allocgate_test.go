@@ -1,0 +1,163 @@
+package tcpmpi_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpmpi"
+)
+
+// TestAllocGatePostedReceiveFastPath pins the posted-receive fast path of
+// the wire transport on a two-process loopback world (both endpoints in
+// this test process, real TCP in between): once a persistent receive is
+// posted, an arriving frame is decoded by the reader goroutine DIRECTLY
+// into the bound user buffer — no intermediate []float64, no per-message
+// request or carrier — so a steady-state ping round allocates nothing on
+// either endpoint. testing.AllocsPerRun counts mallocs process-wide, so
+// the sender's frame path and the receiver's reader goroutine are both
+// inside the measurement.
+func TestAllocGatePostedReceiveFastPath(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var worlds [2]core.World
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := &tcpmpi.Transport{Addr: addr, Coordinate: i == 0, RankLo: i, RankHi: i + 1}
+			worlds[i], errs[i] = tr.Dial(ctx, 2)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, w := range worlds {
+			w.Close()
+		}
+	}()
+	c0, err := worlds[0].Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := worlds[1].Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n, tag = 256, 9
+	out := make([]float64, n)
+	in := make([]float64, n)
+	ack := make([]float64, 1)
+	for i := range out {
+		out[i] = float64(i) * 0.5
+	}
+	recv, err := c1.RecvInit(0, tag, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := c0.SendInit(1, tag, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackRecv, err := c0.RecvInit(1, tag+1, ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackSend, err := c1.SendInit(0, tag+1, ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One round: rank 1 posts, rank 0 sends, rank 1 waits the payload and
+	// acks, rank 0 waits the ack — so by the end of the measured function
+	// every frame of the round has been fully processed by both readers.
+	round := func() {
+		if err := ackRecv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := recv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := send.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := recv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ackSend.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ackRecv.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the socket buffers, bufio scratch and mailbox capacities.
+	for i := 0; i < 5; i++ {
+		round()
+	}
+	if in[100] != out[100] {
+		t.Fatal("payload not delivered")
+	}
+	allocs := testing.AllocsPerRun(50, round)
+	if allocs != 0 {
+		t.Fatalf("posted-receive round allocates %.2f objects per message round, want 0", allocs)
+	}
+
+	// The tree collectives ride the same machinery — persistent channels
+	// on the static tree edges plus resident per-comm scratch — so a
+	// steady-state scalar reduction round must be allocation-free too.
+	redDone := make(chan float64, 1)
+	redStart := make(chan struct{})
+	redStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-redStop:
+				return
+			case <-redStart:
+			}
+			v, err := c1.AllreduceScalar(core.OpSum, 2)
+			if err != nil {
+				v = -1
+			}
+			redDone <- v
+		}
+	}()
+	defer close(redStop)
+	reduceRound := func() {
+		redStart <- struct{}{}
+		v, err := c0.AllreduceScalar(core.OpSum, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 3 {
+			t.Fatalf("allreduce sum = %g, want 3", v)
+		}
+		if got := <-redDone; got != 3 {
+			t.Fatalf("peer allreduce sum = %g, want 3", got)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		reduceRound()
+	}
+	if allocs := testing.AllocsPerRun(50, reduceRound); allocs != 0 {
+		t.Fatalf("scalar allreduce round allocates %.2f objects per round, want 0", allocs)
+	}
+}

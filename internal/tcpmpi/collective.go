@@ -1,7 +1,6 @@
 package tcpmpi
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -25,37 +24,81 @@ import (
 // participate in collectives in one global order (an SPMD requirement, as
 // in MPI), so the per-(src,tag) FIFO matching keeps successive rounds
 // separated.
+//
+// Everything a round needs is resident on the communicator and reused
+// across rounds (collectives on one rank are never concurrent), mirroring
+// the in-process reducer's resident collection buffers: the gather
+// payload, the child receive buffers, the result, the root's rank-indexed
+// vector table and the int64 conversion scratch — and the receives
+// themselves, which run over one persistent channel per static tree edge
+// (parent and children never change), restarted with the round's buffer.
+// A steady-state round therefore allocates nothing. The returned slices
+// stay valid only until the rank's next collective.
 const (
 	tagGather = 0
 	tagBcast  = 1
 )
 
+// collScratch is a communicator's resident collective workspace.
+type collScratch struct {
+	payload  []float64    // own + child subtree vectors, DFS order
+	child    [2][]float64 // per-child gather receive buffers
+	res      []float64    // transform output / broadcast receive buffer
+	vecs     [][]float64  // root only: rank-indexed views into payload
+	gathered []int64      // AllgatherInt64 conversion output
+
+	// Persistent receive channels on the static tree edges, created on
+	// first use: one per child for the gather, one toward the parent for
+	// the broadcast.
+	gatherRecv [2]*precv
+	bcastRecv  *precv
+}
+
+// grow returns buf resized to n elements, reallocating only on capacity
+// growth — the steady-state rounds of a solver reuse the same backing
+// arrays forever.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // recvExact receives a collective payload of exactly want elements from
-// src; any other length is a protocol-level mismatch that fails the world.
-func (w *world) recvExact(rank, src, tag, want int) ([]float64, error) {
-	buf := make([]float64, want)
-	req, err := w.post(rank, src, tag, true, buf)
-	if err != nil {
-		return nil, err
+// src into buf (grown as needed) over the resident persistent channel in
+// *slot (created on first use — the tree edges are static, so the channel
+// is restarted forever after); any other length is a protocol-level
+// mismatch that fails the world.
+func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]float64, error) {
+	buf = grow(buf, want)
+	if *slot == nil {
+		*slot = c.newPrecv(src, tag, true)
 	}
-	if err := req.Wait(); err != nil {
-		return nil, err
+	p := *slot
+	if err := p.startInto(buf[:want]); err != nil {
+		return buf, err
 	}
-	if req.n != want {
-		err := &core.MismatchError{Got: req.n, Want: want}
-		w.failWorld(err)
-		return nil, err
+	if err := p.Wait(); err != nil {
+		return buf, err
+	}
+	if p.req.n != want {
+		err := &core.MismatchError{Got: p.req.n, Want: want}
+		c.w.failWorld(err)
+		return buf, err
 	}
 	return buf, nil
 }
 
 // gatherTransformBcast runs one tree collective for local rank `rank`:
 // contribute the ln-element vector in, let root transform the full
-// per-rank set (indexed by rank), and return the resLen-element result
-// every rank receives. Ranks must agree on ln and resLen per round; a
-// disagreement surfaces as a *core.MismatchError (or a truncation) and
-// fails the world rather than wedging the tree.
-func (w *world) gatherTransformBcast(rank int, in []float64, resLen int, transform func(vecs [][]float64) ([]float64, error)) ([]float64, error) {
+// per-rank set (indexed by rank) into an out vector of resLen elements,
+// and return the result every rank receives. Ranks must agree on ln and
+// resLen per round; a disagreement surfaces as a *core.MismatchError (or a
+// truncation) and fails the world rather than wedging the tree. The
+// returned slice aliases the communicator's resident scratch: read-only,
+// valid until the rank's next collective.
+func (c *comm) gatherTransformBcast(in []float64, resLen int, transform func(vecs [][]float64, out []float64) error) ([]float64, error) {
+	w, rank, cs := c.w, c.rank, &c.cs
 	if err := w.failure.Err(); err != nil {
 		return nil, &core.WorldError{Cause: err}
 	}
@@ -63,30 +106,33 @@ func (w *world) gatherTransformBcast(rank int, in []float64, resLen int, transfo
 	size := w.size
 
 	// Gather: own vector first, then each child subtree's DFS payload.
-	payload := make([]float64, 0, w.subSize[rank]*ln)
-	payload = append(payload, in...)
-	for _, child := range []int{2*rank + 1, 2*rank + 2} {
+	cs.payload = grow(cs.payload, w.subSize[rank]*ln)[:0]
+	cs.payload = append(cs.payload, in...)
+	for ci, child := range [2]int{2*rank + 1, 2*rank + 2} {
 		if child >= size {
 			continue
 		}
-		sub, err := w.recvExact(rank, child, tagGather, w.subSize[child]*ln)
+		sub, err := c.recvExact(&cs.gatherRecv[ci], child, tagGather, w.subSize[child]*ln, cs.child[ci])
+		cs.child[ci] = sub
 		if err != nil {
 			return nil, err
 		}
-		payload = append(payload, sub...)
+		cs.payload = append(cs.payload, sub...)
 	}
 
+	cs.res = grow(cs.res, resLen)
 	if rank != 0 {
-		if err := w.send(rank, (rank-1)/2, tagGather, true, payload); err != nil {
+		if err := w.send(rank, (rank-1)/2, tagGather, true, cs.payload, nil); err != nil {
 			return nil, err
 		}
-		res, err := w.recvExact(rank, (rank-1)/2, tagBcast, resLen)
+		res, err := c.recvExact(&cs.bcastRecv, (rank-1)/2, tagBcast, resLen, cs.res)
+		cs.res = res
 		if err != nil {
 			return nil, err
 		}
-		for _, child := range []int{2*rank + 1, 2*rank + 2} {
+		for _, child := range [2]int{2*rank + 1, 2*rank + 2} {
 			if child < size {
-				if err := w.send(rank, child, tagBcast, true, res); err != nil {
+				if err := w.send(rank, child, tagBcast, true, res, nil); err != nil {
 					return nil, err
 				}
 			}
@@ -95,59 +141,59 @@ func (w *world) gatherTransformBcast(rank int, in []float64, resLen int, transfo
 	}
 
 	// Root: reorder the depth-first payload into rank-indexed vectors.
-	vecs := make([][]float64, size)
+	if cap(cs.vecs) < size {
+		cs.vecs = make([][]float64, size)
+	}
+	vecs := cs.vecs[:size]
 	for i, r := range w.dfsOrder {
-		vecs[r] = payload[i*ln : (i+1)*ln]
+		vecs[r] = cs.payload[i*ln : (i+1)*ln]
 	}
-	res, err := transform(vecs)
-	if err != nil {
+	if err := transform(vecs, cs.res); err != nil {
 		w.failWorld(err)
 		return nil, err
 	}
-	if len(res) != resLen {
-		err := fmt.Errorf("tcpmpi: collective transform produced %d elements, want %d", len(res), resLen)
-		w.failWorld(err)
-		return nil, err
-	}
-	for _, child := range []int{1, 2} {
+	for _, child := range [2]int{1, 2} {
 		if child < size {
-			if err := w.send(rank, child, tagBcast, true, res); err != nil {
+			if err := w.send(rank, child, tagBcast, true, cs.res, nil); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return res, nil
+	return cs.res, nil
 }
 
 // Barrier is the empty-payload tree collective: it completes only after
 // every rank's (empty) contribution has reached the root and the (empty)
 // release has travelled back down.
 func (c *comm) Barrier() error {
-	_, err := c.w.gatherTransformBcast(c.rank, nil, 0, func([][]float64) ([]float64, error) {
-		return nil, nil
+	_, err := c.gatherTransformBcast(nil, 0, func([][]float64, []float64) error {
+		return nil
 	})
 	return err
 }
 
 // Allreduce combines in-vectors elementwise across all ranks. The root
-// combines in canonical rank order with the shared ReduceOp.Combine
-// table, so results are bit-identical to the in-process runtime's. The
-// returned slice is freshly allocated per rank.
+// combines in canonical rank order with the shared ReduceOp.Combine table,
+// so results are bit-identical to the in-process runtime's. The returned
+// slice is the communicator's resident result buffer: read-only, valid
+// until this rank's next collective.
 func (c *comm) Allreduce(op core.ReduceOp, in []float64) ([]float64, error) {
-	return c.w.gatherTransformBcast(c.rank, in, len(in), func(vecs [][]float64) ([]float64, error) {
-		acc := append([]float64(nil), vecs[0]...)
+	return c.gatherTransformBcast(in, len(in), func(vecs [][]float64, out []float64) error {
+		copy(out, vecs[0])
 		for q := 1; q < len(vecs); q++ {
 			for i, v := range vecs[q] {
-				acc[i] = op.Combine(acc[i], v)
+				out[i] = op.Combine(out[i], v)
 			}
 		}
-		return acc, nil
+		return nil
 	})
 }
 
-// AllreduceScalar combines a single value across all ranks.
+// AllreduceScalar combines a single value across all ranks, contributing
+// through the communicator's resident one-element buffer.
 func (c *comm) AllreduceScalar(op core.ReduceOp, v float64) (float64, error) {
-	res, err := c.Allreduce(op, []float64{v})
+	c.scalarBuf[0] = v
+	res, err := c.Allreduce(op, c.scalarBuf[:])
 	if err != nil {
 		return 0, err
 	}
@@ -156,21 +202,26 @@ func (c *comm) AllreduceScalar(op core.ReduceOp, v float64) (float64, error) {
 
 // AllgatherInt64 gathers one int64 from every rank, indexed by rank. The
 // values ride the float64 frames bit-cast (exact for the full int64
-// range), and the root's transform is pure placement — no arithmetic —
-// so the round trip is lossless.
+// range), and the root's transform is pure placement — no arithmetic — so
+// the round trip is lossless. The returned slice is resident scratch:
+// read-only, valid until the rank's next collective.
 func (c *comm) AllgatherInt64(v int64) ([]int64, error) {
-	res, err := c.w.gatherTransformBcast(c.rank, []float64{math.Float64frombits(uint64(v))}, c.w.size,
-		func(vecs [][]float64) ([]float64, error) {
-			out := make([]float64, len(vecs))
+	c.scalarBuf[0] = math.Float64frombits(uint64(v))
+	res, err := c.gatherTransformBcast(c.scalarBuf[:], c.w.size,
+		func(vecs [][]float64, out []float64) error {
 			for r, vec := range vecs {
 				out[r] = vec[0]
 			}
-			return out, nil
+			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, len(res))
+	cs := &c.cs
+	if cap(cs.gathered) < len(res) {
+		cs.gathered = make([]int64, len(res))
+	}
+	out := cs.gathered[:len(res)]
 	for i, f := range res {
 		out[i] = int64(math.Float64bits(f))
 	}

@@ -45,10 +45,13 @@ const maxFrameElems = 1 << 27
 type peerConn struct {
 	c  net.Conn
 	br *bufio.Reader
-	// rscratch is the decode buffer, owned by the single reader goroutine
-	// and reused across frames (only the decoded float64 slice escapes,
-	// into the mailbox).
+	// rscratch is the raw payload buffer and rhdr the header buffer, owned
+	// by the single reader goroutine and reused across frames; the mailbox
+	// decodes out of rscratch (into a posted receive's buffer or a
+	// recycled carrier) before the next frame is read, so nothing escapes
+	// and the steady-state read path allocates nothing.
 	rscratch []byte
+	rhdr     [frameHeaderLen]byte
 
 	wmu     sync.Mutex
 	bw      *bufio.Writer
@@ -90,14 +93,16 @@ func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) erro
 	return p.bw.Flush()
 }
 
-// readFrame reads one frame from the peer. It validates the length prefix
-// and kind before allocating the payload; the raw byte buffer is reused
-// across frames (readFrame is only called from the connection's single
-// reader goroutine), so one allocation per message remains — the decoded
-// float64 slice the mailbox takes ownership of.
-func (p *peerConn) readFrame() (kind byte, src, dst, tag int, data []float64, err error) {
-	var hdr [frameHeaderLen]byte
-	if _, err = io.ReadFull(p.br, hdr[:]); err != nil {
+// readFrame reads one frame from the peer into the connection's resident
+// raw byte buffer and returns it UNDECODED. The reader goroutine passes
+// the raw payload to the mailbox, which decodes it directly into a posted
+// receive's user buffer when one is waiting (the posted-receive fast path
+// — zero allocations per frame) or into a recycled buffered-arrival
+// carrier otherwise. raw is valid until the next readFrame (readFrame is
+// only called from the connection's single reader goroutine).
+func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err error) {
+	hdr := p.rhdr[:]
+	if _, err = io.ReadFull(p.br, hdr); err != nil {
 		return
 	}
 	count := binary.LittleEndian.Uint32(hdr[0:])
@@ -119,13 +124,15 @@ func (p *peerConn) readFrame() (kind byte, src, dst, tag int, data []float64, er
 	if cap(p.rscratch) < int(8*count) {
 		p.rscratch = make([]byte, 8*count)
 	}
-	raw := p.rscratch[:8*count]
-	if _, err = io.ReadFull(p.br, raw); err != nil {
-		return
-	}
-	data = make([]float64, count)
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
-	}
+	raw = p.rscratch[:8*count]
+	_, err = io.ReadFull(p.br, raw)
 	return
+}
+
+// decodeInto decodes a raw little-endian float64 payload into dst, which
+// must hold exactly len(raw)/8 elements.
+func decodeInto(dst []float64, raw []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
 }

@@ -221,10 +221,13 @@ func (w *world) departedErr(src int) error {
 // readLoop drains one peer connection, delivering each frame into the
 // destination rank's mailbox. A BYE frame marks the peer gracefully
 // departed (the connection's EOF is then expected); any other read error
-// fails the world — unless this endpoint is itself closing.
+// fails the world — unless this endpoint is itself closing. Payloads are
+// decoded straight out of the connection's raw buffer: into a posted
+// receive's user buffer when one is waiting (zero allocations per frame),
+// into a recycled carrier otherwise.
 func (w *world) readLoop(proc int, p *peerConn) {
 	for {
-		kind, src, dst, tag, data, err := p.readFrame()
+		kind, src, dst, tag, raw, err := p.readFrame()
 		if err != nil {
 			if !w.closing.Load() && !w.departed[proc].Load() {
 				w.failWorld(fmt.Errorf("tcpmpi: peer connection lost: %w", err))
@@ -239,7 +242,7 @@ func (w *world) readLoop(proc int, p *peerConn) {
 			w.failWorld(fmt.Errorf("tcpmpi: frame addressed %d→%d outside this process's ranks [%d,%d)", src, dst, w.lo, w.hi))
 			return
 		}
-		if err := w.deliverArrival(kind == kindColl, src, dst, tag, data); err != nil {
+		if err := w.deliverRaw(kind == kindColl, src, dst, tag, raw); err != nil {
 			w.failWorld(err)
 			return
 		}
@@ -249,16 +252,59 @@ func (w *world) readLoop(proc int, p *peerConn) {
 // mailbox holds the unmatched arrivals and posted receives of one local
 // rank, in the same posting-order matching discipline as the in-process
 // runtime: earliest posted receive with equal (src, tag, coll) wins.
+// Consumed buffered-arrival carriers are recycled on a small free ring
+// (payload buffer included), so the buffered path stops allocating once
+// the steady-state exchange sizes have been seen.
 type mailbox struct {
 	mu    sync.Mutex
 	recvs []*request
 	sends []*inflight
+	free  []*inflight // recycled carriers, most recently freed last
+}
+
+// maxFreeCarriers bounds the recycle ring per mailbox; halo exchanges have
+// a handful of peers, so a short ring captures the steady state without
+// pinning memory after a burst.
+const maxFreeCarriers = 16
+
+// getCarrierLocked returns a recycled carrier whose payload buffer holds n
+// elements, growing or allocating only when the ring has nothing suitable.
+func (b *mailbox) getCarrierLocked(n int) *inflight {
+	for i := len(b.free) - 1; i >= 0; i-- {
+		if cap(b.free[i].data) >= n {
+			m := b.free[i]
+			b.free = append(b.free[:i], b.free[i+1:]...)
+			m.data = m.data[:n]
+			return m
+		}
+	}
+	if len(b.free) > 0 {
+		// Reuse the struct, grow its buffer.
+		m := b.free[len(b.free)-1]
+		b.free = b.free[:len(b.free)-1]
+		m.data = make([]float64, n)
+		return m
+	}
+	return &inflight{data: make([]float64, n)}
+}
+
+// putCarrierLocked returns a consumed carrier to the ring.
+func (b *mailbox) putCarrierLocked(m *inflight) {
+	if m == nil || m.owned || len(b.free) >= maxFreeCarriers {
+		return
+	}
+	b.free = append(b.free, m)
 }
 
 type inflight struct {
 	src, tag int
 	coll     bool
 	data     []float64
+	// owned marks a persistent send's resident staging copy: it belongs to
+	// the SendInit request (pending tracks whether it is buffered here) and
+	// must never enter the recycle ring.
+	owned   bool
+	pending bool
 }
 
 // request is the tcpmpi-backed core.Request implementation for receives.
@@ -271,7 +317,20 @@ type request struct {
 	coll     bool
 	buf      []float64
 	matched  bool
-	err      error
+	// queued/persistent: restartable RecvInit request state — completion
+	// sends a token on the buffered done channel instead of closing it,
+	// so the resident request restarts without reallocating.
+	queued     bool
+	persistent bool
+	err        error
+}
+
+func (r *request) signalDone() {
+	if r.persistent {
+		r.done <- struct{}{}
+	} else {
+		close(r.done)
+	}
 }
 
 func (r *request) Wait() error {
@@ -314,11 +373,11 @@ func (doneRequest) Done() bool  { return true }
 func (r *request) failWith(err error) {
 	r.err = err
 	r.matched = true
-	close(r.done)
+	r.signalDone()
 }
 
-// complete copies data into the request buffer and closes it, recording a
-// truncation error if the message does not fit. Callers hold the mailbox
+// complete copies data into the request buffer and completes it, recording
+// a truncation error if the message does not fit. Callers hold the mailbox
 // lock and must release it before failing the world on the returned error.
 func (r *request) complete(data []float64) error {
 	if len(data) > len(r.buf) {
@@ -329,7 +388,24 @@ func (r *request) complete(data []float64) error {
 	copy(r.buf, data)
 	r.n = len(data)
 	r.matched = true
-	close(r.done)
+	r.signalDone()
+	return nil
+}
+
+// completeRaw decodes a raw wire payload directly into the request buffer
+// — the posted-receive fast path: no intermediate []float64 exists at any
+// point. Callers hold the mailbox lock.
+func (r *request) completeRaw(raw []byte) error {
+	n := len(raw) / 8
+	if n > len(r.buf) {
+		err := &core.TruncationError{Len: n, Cap: len(r.buf), Src: r.src, Tag: r.tag}
+		r.failWith(err)
+		return err
+	}
+	decodeInto(r.buf[:n], raw)
+	r.n = n
+	r.matched = true
+	r.signalDone()
 	return nil
 }
 
@@ -350,10 +426,36 @@ func (b *mailbox) compactLocked() {
 	b.sends = sends
 }
 
-// deliverArrival files a frame that arrived from the wire (or a local
-// send's copied payload): match the earliest posted receive or buffer it.
-// The data slice is owned by the mailbox afterwards.
-func (w *world) deliverArrival(coll bool, src, dst, tag int, data []float64) error {
+// deliverRaw files a frame payload straight off the wire: decoded into the
+// earliest matching posted receive's user buffer when one is waiting (the
+// fast path — the frame never materializes as a separate slice), decoded
+// into a recycled carrier and buffered otherwise. raw is only borrowed;
+// ownership stays with the reader goroutine.
+func (w *world) deliverRaw(coll bool, src, dst, tag int, raw []byte) error {
+	box := w.boxes[dst-w.lo]
+	box.mu.Lock()
+	for _, rr := range box.recvs {
+		if rr.matched || rr.src != src || rr.tag != tag || rr.coll != coll {
+			continue
+		}
+		err := rr.completeRaw(raw)
+		box.compactLocked()
+		box.mu.Unlock()
+		return err
+	}
+	m := box.getCarrierLocked(len(raw) / 8)
+	m.src, m.tag, m.coll = src, tag, coll
+	decodeInto(m.data, raw)
+	box.sends = append(box.sends, m)
+	box.mu.Unlock()
+	return nil
+}
+
+// deliverLocal files a local rank-to-rank send: copied into the earliest
+// matching posted receive directly, or buffered through a recycled carrier
+// (or the persistent send's resident staging copy when stage is non-nil
+// and free). Buffered semantics — data may be reused on return.
+func (w *world) deliverLocal(coll bool, src, dst, tag int, data []float64, stage *inflight) error {
 	box := w.boxes[dst-w.lo]
 	box.mu.Lock()
 	for _, rr := range box.recvs {
@@ -365,7 +467,19 @@ func (w *world) deliverArrival(coll bool, src, dst, tag int, data []float64) err
 		box.mu.Unlock()
 		return err
 	}
-	box.sends = append(box.sends, &inflight{src: src, tag: tag, coll: coll, data: data})
+	m := stage
+	if m == nil || m.pending {
+		m = box.getCarrierLocked(len(data))
+	} else {
+		if cap(m.data) < len(data) {
+			m.data = make([]float64, len(data))
+		}
+		m.data = m.data[:len(data)]
+		m.pending = true
+	}
+	m.src, m.tag, m.coll = src, tag, coll
+	copy(m.data, data)
+	box.sends = append(box.sends, m)
 	box.mu.Unlock()
 	return nil
 }
@@ -373,8 +487,9 @@ func (w *world) deliverArrival(coll bool, src, dst, tag int, data []float64) err
 // send transmits data from local rank src to rank dst: a direct mailbox
 // delivery when dst is local, one frame on the owning process's connection
 // otherwise. Buffered semantics either way — the caller may reuse data as
-// soon as send returns.
-func (w *world) send(src, dst, tag int, coll bool, data []float64) error {
+// soon as send returns. stage, when non-nil, is a persistent send's
+// resident staging carrier for the local unmatched case.
+func (w *world) send(src, dst, tag int, coll bool, data []float64, stage *inflight) error {
 	if dst < 0 || dst >= w.size {
 		return &core.RankError{Op: "Isend", Rank: dst, Size: w.size}
 	}
@@ -382,7 +497,7 @@ func (w *world) send(src, dst, tag int, coll bool, data []float64) error {
 		return &core.WorldError{Cause: err}
 	}
 	if dst >= w.lo && dst < w.hi {
-		if err := w.deliverArrival(coll, src, dst, tag, append([]float64(nil), data...)); err != nil {
+		if err := w.deliverLocal(coll, src, dst, tag, data, stage); err != nil {
 			w.failWorld(err)
 			return err
 		}
@@ -407,15 +522,32 @@ func (w *world) send(src, dst, tag int, coll bool, data []float64) error {
 }
 
 // post registers a nonblocking receive for local rank dst, matching any
-// already-buffered arrival first. The buffered-arrival scan runs BEFORE
-// the failure check: a message that reached this process before the world
-// failed is still deliverable (a lagging rank must be able to consume the
-// final frames of a completed exchange after a peer has departed).
+// already-buffered arrival first.
 func (w *world) post(dst, src, tag int, coll bool, buf []float64) (*request, error) {
 	if src < 0 || src >= w.size {
 		return nil, &core.RankError{Op: "Irecv", Rank: src, Size: w.size}
 	}
 	req := &request{done: make(chan struct{}), fail: w.failure, src: src, tag: tag, coll: coll, buf: buf}
+	if err := w.postReq(dst, req); err != nil {
+		if req.matched {
+			// Completed with a delivery error (truncation): the request
+			// carries the error for both endpoints.
+			return req, err
+		}
+		return nil, err // refused: failed world or departed peer
+	}
+	return req, nil
+}
+
+// postReq files a (new or restarted) receive request into dst's mailbox,
+// matching any already-buffered arrival first. The buffered-arrival scan
+// runs BEFORE the failure check: a message that reached this process
+// before the world failed is still deliverable (a lagging rank must be
+// able to consume the final frames of a completed exchange after a peer
+// has departed). The caller distinguishes "completed with error" from
+// "never posted" by req.matched.
+func (w *world) postReq(dst int, req *request) error {
+	src, tag, coll := req.src, req.tag, req.coll
 	box := w.boxes[dst-w.lo]
 	box.mu.Lock()
 	for i, m := range box.sends {
@@ -423,41 +555,51 @@ func (w *world) post(dst, src, tag int, coll bool, buf []float64) (*request, err
 			continue
 		}
 		box.sends[i] = nil
+		m.pending = false
 		err := req.complete(m.data)
+		box.putCarrierLocked(m)
 		box.compactLocked()
 		box.mu.Unlock()
 		if err != nil {
 			w.failWorld(err)
 		}
-		return req, err
+		return err
 	}
 	if err := w.failure.Err(); err != nil {
 		box.mu.Unlock()
-		return nil, &core.WorldError{Cause: err}
+		return &core.WorldError{Cause: err}
 	}
 	if w.departed[w.rankProc[src]].Load() {
 		// Checked under the box lock, after the buffered scan: anything
 		// the departed peer sent before its BYE was already consumable
 		// above; what remains can never be matched.
 		box.mu.Unlock()
-		return nil, w.departedErr(src)
+		return w.departedErr(src)
 	}
+	req.queued = true
 	box.recvs = append(box.recvs, req)
 	box.mu.Unlock()
-	return req, nil
+	return nil
 }
 
-// comm is one local rank's communicator handle, satisfying core.Comm.
+// comm is one local rank's communicator handle, satisfying core.Comm. It
+// carries the rank's resident collective scratch (see collective.go), so
+// a handle belongs to one rank goroutine; the Cluster obtains one per
+// local rank and keeps it.
 type comm struct {
 	w    *world
 	rank int
+	// scalarBuf is the resident one-element contribution vector of the
+	// scalar collectives.
+	scalarBuf [1]float64
+	cs        collScratch
 }
 
 func (c *comm) Rank() int { return c.rank }
 func (c *comm) Size() int { return c.w.size }
 
 func (c *comm) Isend(dst, tag int, data []float64) (core.Request, error) {
-	if err := c.w.send(c.rank, dst, tag, false, data); err != nil {
+	if err := c.w.send(c.rank, dst, tag, false, data, nil); err != nil {
 		return nil, err
 	}
 	return doneRequest{}, nil
@@ -470,6 +612,123 @@ func (c *comm) Irecv(src, tag int, buf []float64) (core.Request, error) {
 	}
 	return req, err
 }
+
+// precv is a persistent receive channel (MPI_Recv_init): one resident
+// request — token-completed, so restartable — re-posted into the rank's
+// mailbox by each Start. Combined with the reader goroutine's
+// posted-receive fast path, a started persistent receive means an arriving
+// frame decodes straight into the bound user buffer: zero allocations per
+// message on either side.
+type precv struct {
+	w    *world
+	rank int
+	req  *request
+}
+
+// newPrecv builds the resident request of a persistent receive; the
+// collectives use coll=true channels on the static tree edges.
+func (c *comm) newPrecv(src, tag int, coll bool) *precv {
+	return &precv{
+		w:    c.w,
+		rank: c.rank,
+		req: &request{
+			done:       make(chan struct{}, 1),
+			fail:       c.w.failure,
+			src:        src,
+			tag:        tag,
+			coll:       coll,
+			persistent: true,
+		},
+	}
+}
+
+// RecvInit creates a persistent receive channel for messages from rank src
+// with the given tag, delivering into buf. The channel is inert until its
+// first Start; each Start must be Waited before the next.
+func (c *comm) RecvInit(src, tag int, buf []float64) (core.PersistentRequest, error) {
+	if src < 0 || src >= c.w.size {
+		return nil, &core.RankError{Op: "RecvInit", Rank: src, Size: c.w.size}
+	}
+	p := c.newPrecv(src, tag, false)
+	p.req.buf = buf
+	return p, nil
+}
+
+func (p *precv) Start() error { return p.startInto(p.req.buf) }
+
+// startInto restarts the resident request delivering into buf — the
+// rebind happens under the mailbox lock, inside the not-in-flight guard,
+// so it can never race a delivery. The collectives use it to reuse one
+// persistent channel per static tree edge across rounds of varying
+// payload length.
+func (p *precv) startInto(buf []float64) error {
+	r := p.req
+	box := p.w.boxes[p.rank-p.w.lo]
+	box.mu.Lock()
+	if r.queued && !r.matched {
+		// A request left queued by a world failure is restartable once the
+		// failure is the reported cause; only a healthy in-flight restart
+		// is a usage error.
+		if err := p.w.failure.Err(); err != nil {
+			box.mu.Unlock()
+			return &core.WorldError{Cause: err}
+		}
+		box.mu.Unlock()
+		return fmt.Errorf("tcpmpi: Start on a persistent receive still in flight (Wait it first)")
+	}
+	// Drain a completion token the caller never waited for: restarting
+	// abandons the previous round's completion.
+	select {
+	case <-r.done:
+	default:
+	}
+	r.buf = buf
+	r.matched, r.err, r.n, r.queued = false, nil, 0, false
+	box.mu.Unlock()
+	return p.w.postReq(p.rank, r)
+}
+
+func (p *precv) Wait() error { return p.req.Wait() }
+
+// psend is a persistent send channel (MPI_Send_init): each Start transmits
+// the current contents of the bound buffer. Remote destinations go through
+// the connection's resident frame scratch; a local destination delivers
+// directly into a posted receive or buffers through the request's resident
+// staging carrier — no per-message allocation on any path.
+type psend struct {
+	w        *world
+	src      int
+	dst, tag int
+	buf      []float64
+	stage    *inflight
+	lastErr  error
+}
+
+// SendInit creates a persistent send channel to rank dst with the given
+// tag, transmitting the CURRENT contents of buf on each Start (the caller
+// refills buf between Starts).
+func (c *comm) SendInit(dst, tag int, buf []float64) (core.PersistentRequest, error) {
+	if dst < 0 || dst >= c.w.size {
+		return nil, &core.RankError{Op: "SendInit", Rank: dst, Size: c.w.size}
+	}
+	return &psend{
+		w:     c.w,
+		src:   c.rank,
+		dst:   dst,
+		tag:   tag,
+		buf:   buf,
+		stage: &inflight{owned: true},
+	}, nil
+}
+
+func (p *psend) Start() error {
+	p.lastErr = p.w.send(p.src, p.dst, p.tag, false, p.buf, p.stage)
+	return p.lastErr
+}
+
+// Wait reports the outcome of the last Start; sends are buffered, so a
+// successfully started transfer is already complete.
+func (p *psend) Wait() error { return p.lastErr }
 
 // Waitall delegates to the shared implementation — core.Request aliases
 // the chanmpi interface, so the wait-all-then-first-error discipline is
