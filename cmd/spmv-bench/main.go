@@ -180,11 +180,12 @@ type kernelPoint struct {
 // benchSnapshot is the perf-trajectory record emitted by -snapshot; one file
 // per PR (BENCH_<n>.json) lets successive sessions compare kernels.
 type benchSnapshot struct {
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	NumCPU    int           `json:"num_cpu"`
-	Scale     string        `json:"scale"`
-	Kernels   []kernelPoint `json:"kernels"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	NumCPU     int               `json:"num_cpu"`
+	Scale      string            `json:"scale"`
+	Kernels    []kernelPoint     `json:"kernels"`
+	Resilience []resiliencePoint `json:"resilience"`
 }
 
 // measure times fn (which performs one y = A·x) and returns the point:
@@ -345,6 +346,21 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 			return err
 		}
 	}
+
+	// Resilience experiments need an SPD system for CG (HMeP is symmetric
+	// but indefinite), so they run on the same deterministic SPD fixture
+	// cmd/spmv-worker and examples/tcp solve: heartbeat + checkpoint
+	// steady-state overhead on a loopback tcpmpi pair and time-to-recover
+	// from an injected kill. See resilience.go.
+	resReps := reps
+	if resReps > 3 {
+		resReps = 3 // whole-solve repetitions, not single iterations
+	}
+	rp, err := measureSPDResilience(resReps)
+	if err != nil {
+		return err
+	}
+	snap.Resilience = append(snap.Resilience, rp)
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmpi"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+	"repro/internal/solver"
+	"repro/internal/tcpmpi"
+)
+
+// Resilience measurement for the snapshot: what the fault-tolerance
+// machinery costs when nothing fails (heartbeat overhead on the wire
+// transport, checkpointing overhead in the solver) and what a failure
+// costs when one happens (time to detect, re-dial, restore, and re-earn
+// the lost iterations). The acceptance bar is <5% steady-state overhead
+// with heartbeats and checkpoints enabled, recovery bit-identical.
+
+// resiliencePoint is the snapshot record of one resilience experiment.
+type resiliencePoint struct {
+	Matrix string `json:"matrix"`
+	// Steady-state cost on a two-world tcpmpi loopback pair: DistCG ns
+	// per iteration without any resilience features vs with heartbeats
+	// (25ms interval) AND checkpoints every CheckpointEvery iterations.
+	BaselineNsPerIter  float64 `json:"baseline_ns_per_iter"`
+	ResilientNsPerIter float64 `json:"resilient_ns_per_iter"`
+	HeartbeatOverhead  float64 `json:"heartbeat_overhead_pct"`
+	CheckpointEvery    int     `json:"checkpoint_every"`
+	// Recovery cost under an injected mid-solve rank kill with an
+	// in-memory checkpoint: extra wall time of the supervised
+	// killed-and-recovered solve over the uninterrupted one (detection +
+	// re-dial + restore + re-executed iterations), and whether the
+	// recovered answer matched the uninterrupted run bit for bit.
+	TimeToRecoverMs       float64 `json:"time_to_recover_ms"`
+	RecoveredBitIdentical bool    `json:"recovered_bit_identical"`
+}
+
+const resilienceEvery = 10
+
+// measureSPDResilience builds the deterministic SPD fixture shared with
+// cmd/spmv-worker (CG needs positive definiteness; the snapshot's HMeP
+// fixture is symmetric but indefinite) and runs the resilience
+// experiments on a 4-rank plan.
+func measureSPDResilience(reps int) (resiliencePoint, error) {
+	const n, ranks = 2000, 4
+	gen, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: n, Bandwidth: n / 4, PerRow: 5, Seed: 12345, Symmetric: true, SPD: true,
+	})
+	if err != nil {
+		return resiliencePoint{}, err
+	}
+	a := matrix.Materialize(gen)
+	plan, err := core.BuildPlan(a, core.PartitionByNnz(a, ranks), true)
+	if err != nil {
+		return resiliencePoint{}, err
+	}
+	return measureResilience(fmt.Sprintf("randband-spd-%d", n), plan, n, reps)
+}
+
+// measureResilience runs both resilience experiments for one fixture
+// plan and returns the point.
+func measureResilience(name string, plan *core.Plan, n int, reps int) (resiliencePoint, error) {
+	pt := resiliencePoint{Matrix: name, CheckpointEvery: resilienceEvery}
+	b := make([]float64, n)
+	rng := rand.New(rand.NewSource(63))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	// Steady-state overhead: the same DistCG on a two-world loopback
+	// tcpmpi pair, plain vs heartbeats + checkpoints. The two variants
+	// alternate within one loop and each takes its best wall time per
+	// iteration, so machine-load drift hits both sides alike instead of
+	// masquerading as heartbeat cost.
+	plainPair, err := dialLoopbackPair(plan, 0)
+	if err != nil {
+		return pt, err
+	}
+	defer plainPair.close()
+	resilPair, err := dialLoopbackPair(plan, 25*time.Millisecond)
+	if err != nil {
+		return pt, err
+	}
+	defer resilPair.close()
+	plain, resilient := math.Inf(1), math.Inf(1)
+	for r := 0; r < reps; r++ {
+		p, err := plainPair.timeDistCG(b, n, 0)
+		if err != nil {
+			return pt, err
+		}
+		if p < plain {
+			plain = p
+		}
+		q, err := resilPair.timeDistCG(b, n, resilienceEvery)
+		if err != nil {
+			return pt, err
+		}
+		if q < resilient {
+			resilient = q
+		}
+	}
+	pt.BaselineNsPerIter = plain
+	pt.ResilientNsPerIter = resilient
+	pt.HeartbeatOverhead = (resilient - plain) / plain * 100
+
+	// Recovery cost: supervised in-process solve with an injected rank
+	// kill mid-solve, recovering from an in-memory checkpoint.
+	ttr, identical, err := timeToRecover(plan, b, n)
+	if err != nil {
+		return pt, err
+	}
+	pt.TimeToRecoverMs = ttr
+	pt.RecoveredBitIdentical = identical
+	return pt, nil
+}
+
+// loopbackPair is a two-process-shaped tcpmpi world assembled WITHIN this
+// process: coordinator ranks [0,mid), worker ranks [mid,size) on a
+// loopback rendezvous, one resident Cluster per half.
+type loopbackPair struct {
+	cls [2]*core.Cluster
+}
+
+// dialLoopbackPair brings the pair up; hb > 0 enables heartbeats on both
+// halves.
+func dialLoopbackPair(plan *core.Plan, hb time.Duration) (*loopbackPair, error) {
+	size := len(plan.Ranks)
+	mid := size / 2
+	addr, err := freeLoopbackAddr()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	p := &loopbackPair{}
+	errs := [2]error{}
+	var wg sync.WaitGroup
+	for i, rr := range [2][2]int{{0, mid}, {mid, size}} {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			tr := &tcpmpi.Transport{
+				Addr: addr, Coordinate: lo == 0, RankLo: lo, RankHi: hi,
+				HeartbeatInterval: hb,
+			}
+			p.cls[i], errs[i] = core.NewCluster(plan,
+				core.WithTransport(tr), core.WithDialContext(ctx), core.WithThreads(2))
+		}(i, rr[0], rr[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *loopbackPair) close() {
+	for _, cl := range p.cls {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// solveBatch is how many back-to-back solves one timing sample covers: a
+// single solve converges in ~10ms of wall time, far too short to measure
+// a sub-percent overhead against scheduler noise, so each sample times a
+// batch spanning several heartbeat intervals.
+const solveBatch = 8
+
+// timeDistCG runs a batch of DistCG solves on both halves concurrently
+// (checkpointing every `every` iterations when positive) and returns the
+// wall-clock ns per iteration.
+func (p *loopbackPair) timeDistCG(b []float64, n, every int) (float64, error) {
+	solve := func(cl *core.Cluster, runs int) (solver.CGResult, error) {
+		x := make([]float64, n)
+		opt := solver.CGOptions{Tol: 1e-10, MaxIter: 2000}
+		if every > 0 {
+			opt.CheckpointEvery = every
+			opt.Checkpoint = solver.NewCGCheckpoint(cl, 2000)
+		}
+		var res solver.CGResult
+		var err error
+		for r := 0; r < runs; r++ {
+			if res, err = solver.DistCGOpt(cl, b, x, opt); err != nil {
+				return res, err
+			}
+			for i := range x {
+				x[i] = 0
+			}
+		}
+		return res, err
+	}
+	var wres solver.CGResult
+	var werr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wres, werr = solve(p.cls[1], solveBatch)
+	}()
+	start := time.Now()
+	res, err := solve(p.cls[0], solveBatch)
+	wall := time.Since(start)
+	wg.Wait()
+	if err != nil {
+		return 0, err
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	if !res.Converged || res.Iterations == 0 || res.Iterations != wres.Iterations {
+		return 0, fmt.Errorf("loopback solve diverged between halves: %d vs %d iterations", res.Iterations, wres.Iterations)
+	}
+	return float64(wall.Nanoseconds()) / float64(solveBatch*res.Iterations), nil
+}
+
+// timeToRecover runs an uninterrupted supervised DistCG and then one with
+// an injected rank kill mid-solve (recovering from an in-memory
+// checkpoint), and returns the extra wall time the failure cost plus
+// whether the recovered solution was bit-identical.
+func timeToRecover(plan *core.Plan, b []float64, n int) (ms float64, identical bool, err error) {
+	supervised := func(sched faultmpi.Schedule, x []float64) (time.Duration, error) {
+		tr := &faultmpi.Transport{Sched: sched}
+		s := &core.Supervisor{
+			Transport: func(epoch int) core.Transport { return tr },
+			Options:   []core.Option{core.WithThreads(2)},
+			Backoff:   time.Millisecond,
+		}
+		var ck *solver.CGCheckpoint
+		start := time.Now()
+		err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+			if ck == nil {
+				ck = solver.NewCGCheckpoint(cl, 2000)
+			}
+			opt := solver.CGOptions{
+				Tol: 1e-10, MaxIter: 2000,
+				CheckpointEvery: resilienceEvery, Checkpoint: ck,
+			}
+			if ck.Valid() {
+				opt.Restore = ck
+			}
+			_, serr := solver.DistCGOpt(cl, b, x, opt)
+			return serr
+		})
+		return time.Since(start), err
+	}
+
+	xRef := make([]float64, n)
+	clean, err := supervised(faultmpi.Schedule{}, xRef)
+	if err != nil {
+		return 0, false, err
+	}
+	xRec := make([]float64, n)
+	// Kill rank 1 at its 120th communication op: past the first snapshot
+	// (a CG iteration is a handful of ops), well before convergence.
+	killed, err := supervised(faultmpi.Schedule{Kills: []faultmpi.Kill{{Rank: 1, AtOp: 120}}}, xRec)
+	if err != nil {
+		return 0, false, err
+	}
+	identical = true
+	for i := range xRef {
+		if math.Float64bits(xRef[i]) != math.Float64bits(xRec[i]) {
+			identical = false
+			break
+		}
+	}
+	return float64((killed - clean).Nanoseconds()) / 1e6, identical, nil
+}
+
+// freeLoopbackAddr reserves an ephemeral rendezvous address; the tiny
+// close-to-listen window is covered by the worker's dial retry.
+func freeLoopbackAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

@@ -13,17 +13,33 @@
 // the in-process chan transport and checks its own solution rows bit for
 // bit — the acceptance proof that the wire transport does not change
 // numerics.
+//
+// The worker is fault tolerant. Peer liveness is tracked by heartbeats
+// (-heartbeat, -heartbeat-timeout) and an optional per-collective deadline
+// (-coll-timeout); when a peer dies, the world fails and the worker's
+// supervisor re-dials a fresh world up to -rejoin times, restores the
+// newest checkpoint ALL processes hold (-ckpt-every, -ckpt-dir; agreement
+// via a min-reduction), and resumes — the restored trajectory is
+// bit-identical to an uninterrupted run. SIGINT/SIGTERM cancel the run and
+// depart gracefully (the BYE frame is flushed, so peers do not mistake the
+// departure for a crash). -kill-at-ckpt hard-kills this process (SIGKILL,
+// no BYE, no cleanup) right after it seals its Nth checkpoint — the chaos
+// hook the recovery tests are built on.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/genmat"
 	"repro/internal/matrix"
@@ -44,8 +60,16 @@ func main() {
 		formatFlag = flag.String("format", "", "storage format (crs or sell-<C>-<sigma>); default plan CSR")
 		tol        = flag.Float64("tol", 1e-10, "CG convergence tolerance")
 		maxIter    = flag.Int("maxiter", 5000, "CG iteration cap")
-		timeout    = flag.Duration("timeout", 60*time.Second, "world bring-up (rendezvous + mesh) deadline; the solve itself is bounded by -maxiter, not wall clock")
+		timeout    = flag.Duration("timeout", 60*time.Second, "world bring-up (rendezvous + mesh) deadline per attempt; the solve itself is bounded by -maxiter, not wall clock")
 		verify     = flag.Bool("verify", false, "re-run the solve in-process on the chan transport and bit-compare the local rows")
+
+		heartbeat = flag.Duration("heartbeat", time.Second, "ping idle peer links this often; 0 disables liveness tracking")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "declare a silent peer dead after this much silence (default 4x -heartbeat)")
+		collTO    = flag.Duration("coll-timeout", 0, "per-collective deadline naming the rank that never showed up; 0 disables")
+		rejoin    = flag.Int("rejoin", 3, "rejoin a fresh world up to this many times after a world failure; 0 disables recovery")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint the solve every k iterations; 0 disables")
+		ckptDir   = flag.String("ckpt-dir", "", "persist checkpoints here (atomic files); empty keeps them in memory only")
+		killAt    = flag.Int("kill-at-ckpt", 0, "SIGKILL this process right after sealing its Nth checkpoint (chaos testing); 0 disables")
 	)
 	flag.Parse()
 
@@ -63,6 +87,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *killAt > 0 && (*ckptEvery <= 0 || *ckptDir == "") {
+		fatal(fmt.Errorf("-kill-at-ckpt needs -ckpt-every and -ckpt-dir (a kill without a durable checkpoint proves nothing)"))
+	}
 
 	// Every process derives the identical fixture, RHS and plan from the
 	// shared flags, then drives only its own rank range.
@@ -74,46 +101,143 @@ func main() {
 	}
 	a := matrix.Materialize(gen)
 	b := rhs(a)
-	newCluster := func(opts ...core.Option) (*core.Cluster, error) {
-		plan, err := core.BuildPlan(a, core.PartitionByNnz(a, *worldRanks), true)
-		if err != nil {
-			return nil, err
-		}
-		if builder != nil {
-			opts = append(opts, core.WithFormat(builder))
-		}
-		return core.NewCluster(plan, append(opts, core.WithThreads(*threads), core.WithMode(mode))...)
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-	transport := &tcpmpi.Transport{Addr: *addr, Coordinate: *coordinate, RankLo: lo, RankHi: hi}
-	cl, err := newCluster(core.WithTransport(transport), core.WithDialContext(ctx))
+	plan, err := core.BuildPlan(a, core.PartitionByNnz(a, *worldRanks), true)
 	if err != nil {
-		fatal(fmt.Errorf("joining world at %s: %w", *addr, err))
+		fatal(err)
 	}
-	defer cl.Close()
+	var opts []core.Option
+	if builder != nil {
+		opts = append(opts, core.WithFormat(builder))
+	}
+	opts = append(opts, core.WithThreads(*threads), core.WithMode(mode))
+
+	// SIGINT/SIGTERM cancel the run context; the supervisor's interrupt
+	// hook closes the world, which flushes BYE — a graceful departure that
+	// peers distinguish from a crash.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	role := "worker"
 	if *coordinate {
 		role = "coordinator"
 	}
-	fmt.Printf("spmv-worker: joined world size=%d as ranks [%d,%d) (%s), n=%d nnz=%d mode=%s\n",
-		cl.Ranks(), lo, hi, role, *n, a.Nnz(), mode)
+	var (
+		ck        *solver.CGCheckpoint
+		res       solver.CGResult
+		x         = make([]float64, *n)
+		sealed    = 0
+		lastEpoch = 0
+	)
+	body := func(epoch int, cl *core.Cluster) error {
+		lastEpoch = epoch
+		fmt.Printf("spmv-worker: epoch %d: joined world size=%d as ranks [%d,%d) (%s), n=%d nnz=%d mode=%s\n",
+			epoch, cl.Ranks(), lo, hi, role, *n, a.Nnz(), mode)
+		if ck == nil {
+			ck = solver.NewCGCheckpoint(cl, *maxIter)
+		}
+		opt := solver.CGOptions{Tol: *tol, MaxIter: *maxIter}
+		if *ckptEvery > 0 {
+			opt.CheckpointEvery = *ckptEvery
+			opt.Checkpoint = ck
+			opt.OnCheckpoint = func(c *solver.CGCheckpoint) error {
+				if *ckptDir != "" {
+					if _, err := ckpt.SaveCG(*ckptDir, c); err != nil {
+						return err
+					}
+				}
+				sealed++
+				if *killAt > 0 && sealed >= *killAt {
+					// Hard crash: the snapshot above is durable, nothing
+					// else survives. Kill delivers SIGKILL — no BYE, no
+					// deferred cleanup, peers find out the hard way.
+					p, _ := os.FindProcess(os.Getpid())
+					p.Kill()
+					select {} // unreachable once the signal lands
+				}
+				return nil
+			}
 
-	x := make([]float64, *n)
-	start := time.Now()
-	res, err := solver.DistCG(cl, b, x, *tol, *maxIter)
-	if err != nil {
-		fatal(fmt.Errorf("DistCG over tcpmpi: %w", err))
+			// Restore point: the newest snapshot available locally —
+			// in memory from a previous epoch, or on disk from a previous
+			// life of this process — capped by what ALL processes hold.
+			latest := -1
+			if ck.Valid() {
+				latest = ck.Iter
+			}
+			if *ckptDir != "" {
+				if it, _, err := ckpt.LatestCG(*ckptDir, ck.Lo, ck.Hi); err != nil {
+					return err
+				} else if it > latest {
+					latest = it
+				}
+			}
+			agreed, err := ckpt.Agree(cl, latest)
+			if err != nil {
+				return err
+			}
+			switch {
+			case agreed < 0:
+				// Someone has nothing (first run, or a memory-only peer was
+				// restarted): everyone starts from scratch.
+			case ck.Valid() && ck.Iter == agreed:
+				opt.Restore = ck
+			case *ckptDir != "":
+				if err := ckpt.LoadCG(ckpt.CGPath(*ckptDir, ck.Lo, ck.Hi, agreed), ck); err != nil {
+					return err
+				}
+				opt.Restore = ck
+			}
+			if opt.Restore != nil {
+				fmt.Printf("spmv-worker: epoch %d: resuming from checkpoint at iteration %d\n", epoch, agreed)
+			}
+		}
+		var err error
+		start := time.Now()
+		res, err = solver.DistCGOpt(cl, b, x, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spmv-worker: DistCG converged=%v iterations=%d residual=%.3e mvms=%d in %v\n",
+			res.Converged, res.Iterations, res.Residual, res.MVMs, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
-	fmt.Printf("spmv-worker: DistCG converged=%v iterations=%d residual=%.3e mvms=%d in %v\n",
-		res.Converged, res.Iterations, res.Residual, res.MVMs, time.Since(start).Round(time.Millisecond))
+
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport {
+			return &tcpmpi.Transport{
+				Addr: *addr, Coordinate: *coordinate, RankLo: lo, RankHi: hi,
+				HeartbeatInterval: *heartbeat, HeartbeatTimeout: *hbTimeout, CollectiveTimeout: *collTO,
+			}
+		},
+		Options:     opts,
+		MaxRestarts: *rejoin,
+		DialTimeout: *timeout,
+		OnRetry: func(epoch int, cause error, delay time.Duration) {
+			fmt.Fprintf(os.Stderr, "spmv-worker: epoch %d failed: %v; rejoining in %v\n", epoch, cause, delay)
+		},
+	}
+	if *rejoin <= 0 {
+		s.MaxRestarts = -1 // Supervisor would default 0 to 3; runOnce below bypasses it.
+		err = runOnce(ctx, plan, s, body)
+	} else {
+		err = s.Run(ctx, plan, body)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("spmv-worker: interrupted; departed gracefully")
+			os.Exit(130)
+		}
+		fatal(fmt.Errorf("world at %s: %w", *addr, err))
+	}
 	if !res.Converged {
 		fatal(fmt.Errorf("solve did not converge within %d iterations", *maxIter))
 	}
+	if lastEpoch > 0 {
+		fmt.Printf("spmv-worker: recovered after %d restart(s)\n", lastEpoch)
+	}
 
 	if *verify {
-		refCl, err := newCluster()
+		refCl, err := core.NewCluster(plan, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,8 +252,8 @@ func main() {
 				res.Iterations, res.Residual, resRef.Iterations, resRef.Residual))
 		}
 		rows := 0
-		for _, r := range cl.LocalRanks() {
-			rg := cl.Plan().Ranks[r].Rows
+		for r := lo; r < hi; r++ {
+			rg := plan.Ranks[r].Rows
 			for row := rg.Lo; row < rg.Hi; row++ {
 				if x[row] != xRef[row] {
 					fatal(fmt.Errorf("row %d differs from in-process solve: %v != %v", row, x[row], xRef[row]))
@@ -139,6 +263,29 @@ func main() {
 		}
 		fmt.Printf("spmv-worker: verify OK — %d local solution rows bit-identical to the in-process chan-transport solve\n", rows)
 	}
+}
+
+// runOnce is the -rejoin=0 path: one world, one epoch, no recovery — but
+// the same graceful-interrupt plumbing as the supervised path.
+func runOnce(ctx context.Context, plan *core.Plan, s *core.Supervisor, body core.EpochFunc) error {
+	dialCtx, cancel := context.WithTimeout(ctx, s.DialTimeout)
+	defer cancel()
+	opts := append(append([]core.Option(nil), s.Options...),
+		core.WithTransport(s.Transport(0)), core.WithDialContext(dialCtx))
+	cl, err := core.NewCluster(plan, opts...)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	stopInt := context.AfterFunc(ctx, cl.Interrupt)
+	defer stopInt()
+	if err := body(0, cl); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
 }
 
 // rhs builds the deterministic right-hand side b = A·xTrue.

@@ -131,6 +131,66 @@
 // -cpuprofile/-memprofile flags, so a regression shows up in both the
 // alloc gates and the perf trajectory.
 //
+// # Fault tolerance: heartbeats, checkpoints, epoch restarts
+//
+// The failure model is fail-stop per world, mirroring an MPI job abort:
+// the first failure poisons the world, blocked ranks unwedge with a
+// *core.WorldError, and the cause chain carries a *core.PeerError naming
+// the suspect rank range and the phase that implicated it (handshake,
+// frame read, heartbeat, collective, send). Detection is layered on the
+// wire transport: a peer that dies visibly (connection reset, EOF without
+// the BYE departure frame) is named immediately by its reader goroutine;
+// a peer that falls SILENT — powered off, partitioned, frozen — is caught
+// by heartbeats (tcpmpi.Transport.HeartbeatInterval/HeartbeatTimeout:
+// idle links carry kindPing frames, and silence past the timeout fails
+// the world within a bounded interval); a live process whose rank never
+// enters a collective is caught by the per-edge collective deadline
+// (CollectiveTimeout), which names the tree edge that never delivered.
+// internal/faultmpi is the matching test instrument: a transport
+// decorator that injects deterministic, seeded faults (kill rank r at
+// its k-th operation, drop/delay/duplicate matched frames, fail dials)
+// so every detection and recovery path is exercised hermetically in-process.
+//
+// Recovery is epoch-structured. core.Supervisor.Run dials a fresh world
+// per epoch, rebuilds the Cluster from the same plan, and hands the
+// epoch to the caller's body; when the body dies of a world-level error
+// (Recoverable — a WorldError/PeerError in the chain), it re-dials with
+// bounded, jittered exponential backoff and runs the next epoch, while
+// deterministic errors surface immediately. The solvers make epochs
+// resumable: DistCGOpt/DistLanczosOpt snapshot their complete iteration
+// state into a caller-owned checkpoint every k iterations at a collective
+// boundary, and a restore is BIT-IDENTICAL — the snapshot is taken at the
+// top-of-iteration boundary and restores the ITERATED residual rather
+// than recomputing b−A·x, and every derived scalar comes from the
+// canonical-rank-order reductions, so the resumed trajectory (iterates,
+// residual history, MVM count) is exactly the uninterrupted one.
+// internal/ckpt makes snapshots durable (atomic tmp+rename files with a
+// CRC, one per process row-span) and, after a crash, Agree picks the
+// newest iteration ALL processes hold via a min-reduction.
+// cmd/spmv-worker wires the whole stack behind flags (-heartbeat,
+// -coll-timeout, -rejoin, -ckpt-every, -ckpt-dir), departs gracefully on
+// SIGINT/SIGTERM (BYE flushed, so peers see a departure, not a crash),
+// and offers -kill-at-ckpt for chaos drills; examples/tcp -chaos and the
+// CI chaos job SIGKILL a real worker process mid-solve and require the
+// recovered two-process answer bit-identical to the uninterrupted one
+// (TestSIGKILLedWorkerRecoversBitIdentical).
+//
+// The checkpoint cadence k trades snapshot bandwidth against recovery
+// time, and both sides are bandwidth terms of the paper's cost model: a
+// CG snapshot streams three local vectors (x, r, p — pure local memory
+// and disk traffic, no communication), while recovery re-executes up to k
+// iterations, each paying the full spMVM data volume of Eq. 1 (matrix +
+// vector traffic, the memory-bandwidth bound) plus the halo transfer and
+// — in the overlap modes — the Eq. 2 write-twice penalty. Since the
+// snapshot moves O(3·N_local) doubles and a re-executed iteration moves
+// the whole matrix (N_nzr ≫ 3 nonzeros per row in the paper's matrices),
+// checkpointing every k ≳ 10 iterations keeps the steady-state overhead
+// marginal while bounding recovery to k iterations of re-execution;
+// BENCH_6.json records the measured heartbeat overhead and
+// time-to-recover next to the kernel numbers (the resilience machinery —
+// heartbeats enabled, checkpoints at that cadence — costs <5% steady
+// state, and the alloc gates still hold with heartbeats on).
+//
 // # Storage formats and kernels
 //
 // The kernel engine is format-generic end to end: every storage scheme —

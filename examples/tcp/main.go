@@ -8,6 +8,14 @@
 //
 //	go run ./examples/tcp
 //	go run ./examples/tcp -worker /path/to/spmv-worker   # prebuilt binary
+//	go run ./examples/tcp -chaos                         # SIGKILL + recovery drill
+//
+// With -chaos the run becomes a recovery drill: the worker process is
+// told to SIGKILL itself right after sealing its second on-disk
+// checkpoint (-kill-at-ckpt), the coordinator detects the death by
+// heartbeat/connection loss and re-dials, this launcher restarts the
+// worker — and both must still verify their solution rows bit-identical
+// to the in-process solve, now THROUGH a crash and a checkpoint restore.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"os/exec"
 	"sync"
 	"time"
@@ -29,6 +38,7 @@ func main() {
 		mode      = flag.String("mode", "task-mode", "kernel mode for both processes")
 		format    = flag.String("format", "", "storage format for both processes (crs or sell-<C>-<sigma>)")
 		timeout   = flag.Duration("timeout", 120*time.Second, "per-process deadline")
+		chaos     = flag.Bool("chaos", false, "SIGKILL the worker after its 2nd checkpoint and recover it")
 	)
 	flag.Parse()
 
@@ -47,6 +57,10 @@ func main() {
 	}
 	if *format != "" {
 		common = append(common, "-format", *format)
+	}
+	if *chaos {
+		runChaos(*workerBin, addr, common)
+		return
 	}
 	procs := []struct {
 		name string
@@ -91,6 +105,67 @@ func main() {
 		}
 	}
 	fmt.Println("examples/tcp: both processes verified their solution rows bit-identical to the in-process solve")
+}
+
+// runChaos is the -chaos drill: kill one worker mid-solve with SIGKILL,
+// restart it, and require both processes to verify bit-identical results
+// through the checkpoint restore.
+func runChaos(workerBin, addr string, common []string) {
+	dir, err := os.MkdirTemp("", "spmv-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	resilient := append([]string{
+		"-heartbeat", "50ms",
+		"-coll-timeout", "10s",
+		"-rejoin", "4",
+		"-ckpt-every", "10",
+		"-ckpt-dir", dir,
+	}, common...)
+
+	fmt.Printf("examples/tcp: chaos drill at %s — worker dies of SIGKILL after checkpoint 2, then recovers\n", addr)
+	coord := run(workerBin, "coordinator", append([]string{"-coordinate", "-ranks", "0:2"}, resilient...))
+
+	doomedArgs := append([]string{"-ranks", "2:4", "-kill-at-ckpt", "2"}, resilient...)
+	if err := <-run(workerBin, "worker", doomedArgs); err == nil {
+		log.Fatal("examples/tcp: the doomed worker exited cleanly; the SIGKILL never fired (solve converged before checkpoint 2?)")
+	}
+	fmt.Println("examples/tcp: worker killed; restarting it")
+	if err := <-run(workerBin, "worker*", append([]string{"-ranks", "2:4"}, resilient...)); err != nil {
+		log.Fatalf("examples/tcp: relaunched %v", err)
+	}
+	if err := <-coord; err != nil {
+		log.Fatalf("examples/tcp: %v", err)
+	}
+	fmt.Println("examples/tcp: recovered from SIGKILL — both processes verified bit-identical results through the checkpoint restore")
+}
+
+// run starts one spmv-worker, streams its prefixed output, and returns a
+// channel that yields its exit status.
+func run(bin, name string, args []string) <-chan error {
+	done := make(chan error, 1)
+	cmd := workerCommand(bin, args)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", name, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			fmt.Printf("[%s] %s\n", name, sc.Text())
+		}
+		if err := cmd.Wait(); err != nil {
+			done <- fmt.Errorf("%s: %w", name, err)
+			return
+		}
+		done <- nil
+	}()
+	return done
 }
 
 // workerCommand builds the spmv-worker invocation: the prebuilt binary if

@@ -390,6 +390,17 @@ func (c *Cluster) Mul(y, x []float64, iters int) error {
 	return err
 }
 
+// Interrupt aborts any in-flight job by closing the transport's world —
+// the graceful-departure path: on the TCP backend the BYE announcement is
+// flushed to every peer, then the local world fails with its closed-world
+// error, unwedging every rank blocked in a collective or receive so the
+// job returns with a *WorldError. Unlike Close it takes no lock and does
+// not wait for the rank goroutines, so it is safe to call concurrently
+// with a running job — it is how a SIGTERM handler or a supervisor's
+// context cancellation stops a resident solve. The cluster is failed
+// afterwards; Close it and rebuild to continue.
+func (c *Cluster) Interrupt() { c.world.Close() }
+
 // Close shuts the rank goroutines down, releases the compute teams, and
 // closes the transport's world (sockets, peer goroutines). Close is
 // idempotent and safe after partial use; jobs submitted after Close fail

@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// PeerError identifies the SUSPECT of a world failure: the rank (or the
+// contiguous rank range owned by one OS process) believed to have died or
+// hung, and the phase in which the suspicion arose. It typically appears
+// as the Cause of a *WorldError, so a chaos-run failure log pinpoints who
+// died instead of reporting an anonymous connection loss:
+//
+//	world failed: rank 2 suspected dead or hung during collective: ...
+//
+// The transports thread it through every detection path: tcpmpi's
+// EOF-without-BYE reader loop (PhaseFrameRead), its heartbeat monitor
+// (PhaseHeartbeat), the optional per-collective deadline (PhaseCollective),
+// the mesh bring-up (PhaseHandshake), and faultmpi's injected kills
+// (PhaseSend). The Supervisor treats any error chain containing a
+// PeerError or WorldError as recoverable.
+type PeerError struct {
+	// RankLo, RankHi delimit the suspect rank range [RankLo, RankHi) —
+	// a single rank when RankHi == RankLo+1, a whole process's range when
+	// the suspicion is connection-level (a dead process takes all its
+	// ranks with it).
+	RankLo, RankHi int
+	// Phase names the detection site: one of the Phase* constants.
+	Phase string
+	// Err is the underlying observation (EOF, deadline, injected fault).
+	Err error
+}
+
+// Detection phases of a PeerError.
+const (
+	PhaseHandshake  = "handshake"  // world bring-up: rendezvous or mesh
+	PhaseFrameRead  = "frame read" // a peer connection died mid-world (EOF without BYE)
+	PhaseHeartbeat  = "heartbeat"  // no traffic within the heartbeat timeout
+	PhaseCollective = "collective" // a rank missed a collective deadline
+	PhaseSend       = "send"       // an outbound operation failed (or was fault-injected)
+)
+
+func (e *PeerError) Error() string {
+	who := fmt.Sprintf("rank %d", e.RankLo)
+	if e.RankHi > e.RankLo+1 {
+		who = fmt.Sprintf("ranks [%d,%d)", e.RankLo, e.RankHi)
+	}
+	return fmt.Sprintf("core: %s suspected dead or hung during %s: %v", who, e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying observation.
+func (e *PeerError) Unwrap() error { return e.Err }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Supervisor is the recovery layer of the runtime: it runs epochs of work
+// on a resident Cluster and, when an epoch dies of a world failure — a
+// peer crashed (EOF without BYE), a heartbeat timeout, a missed
+// collective deadline, an injected fault — it dials a FRESH world,
+// rebuilds the cluster from the same plan, and hands the next epoch to
+// the body, which resumes from its latest checkpoint (the solver
+// checkpoints are designed so the resumed trajectory is bit-identical to
+// an uninterrupted run). Restarts are bounded and spaced by exponential
+// backoff with deterministic jitter, so a permanently dead peer does not
+// turn into a dial storm.
+type Supervisor struct {
+	// Transport returns the transport to dial for the given epoch. It is
+	// called once per attempt, so a tcpmpi transport can re-rendezvous
+	// with restarted peer processes; nil (or a nil return) means the
+	// in-process ChanTransport.
+	Transport func(epoch int) Transport
+	// Options configure each epoch's cluster (mode, threads, format) on
+	// top of the supervisor's own transport and dial-context options.
+	Options []Option
+	// MaxRestarts bounds recovery attempts across the Run (default 3).
+	// Failed dials and failed epochs both count; the counter never
+	// resets, so a world that keeps dying eventually surfaces its cause.
+	MaxRestarts int
+	// Backoff is the delay before the first restart (default 100ms),
+	// doubled per consecutive restart up to BackoffMax (default 5s),
+	// jittered ±25% deterministically from Seed.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	Seed       int64
+	// DialTimeout bounds each epoch's world bring-up (default 30s),
+	// inside whatever deadline the Run context already carries.
+	DialTimeout time.Duration
+	// OnRetry, when non-nil, observes each recovery decision before the
+	// backoff sleep — the hook for logging who died and when.
+	OnRetry func(epoch int, cause error, delay time.Duration)
+}
+
+// EpochFunc runs one epoch of supervised work on a freshly built cluster.
+// epoch counts from 0 and increments per attempt, so the body can tell a
+// first run from a resumption and restore its latest checkpoint.
+type EpochFunc func(epoch int, cl *Cluster) error
+
+// Recoverable reports whether an error is a world-level failure — a
+// *WorldError or *PeerError anywhere in its chain — i.e. the kind of
+// death a fresh world and a checkpoint can recover from, as opposed to a
+// deterministic error (bad dimensions, a solver breakdown) that would
+// just fail again.
+func Recoverable(err error) bool {
+	var we *WorldError
+	var pe *PeerError
+	return errors.As(err, &we) || errors.As(err, &pe)
+}
+
+// Run supervises body until it completes, fails unrecoverably, exhausts
+// MaxRestarts, or ctx is cancelled. Each attempt dials a fresh world and
+// builds a fresh cluster; ctx cancellation interrupts a running epoch
+// (Cluster.Interrupt — the graceful BYE path), and the cluster is always
+// closed before the next attempt.
+func (s *Supervisor) Run(ctx context.Context, plan *Plan, body EpochFunc) error {
+	maxRestarts := s.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 3
+	}
+	dialTimeout := s.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 30 * time.Second
+	}
+	jitter := uint64(s.Seed)*0x9e3779b97f4a7c15 + 0x1d8e4e27c47d124f
+
+	restarts := 0
+	for epoch := 0; ; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var tr Transport
+		if s.Transport != nil {
+			tr = s.Transport(epoch)
+		}
+		if tr == nil {
+			tr = ChanTransport{}
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, dialTimeout)
+		opts := make([]Option, 0, len(s.Options)+2)
+		opts = append(opts, s.Options...)
+		opts = append(opts, WithTransport(tr), WithDialContext(dialCtx))
+		cl, err := NewCluster(plan, opts...)
+		cancel()
+		if err == nil {
+			// The interrupt hook covers exactly the body's lifetime: a
+			// cancellation mid-epoch closes the world (BYE flushed), the
+			// blocked job returns a *WorldError, and the ctx check below
+			// turns it into the context's error instead of a restart.
+			stop := context.AfterFunc(ctx, cl.Interrupt)
+			err = body(epoch, cl)
+			stop()
+			cl.Close()
+			if err == nil {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !Recoverable(err) {
+				return err
+			}
+		}
+		// A dial failure is always worth retrying (rendezvous with peers
+		// that are themselves being restarted is inherently transient);
+		// a body failure only when it is world-level.
+		restarts++
+		if restarts > maxRestarts {
+			return fmt.Errorf("core: supervisor giving up after %d restarts: %w", restarts-1, err)
+		}
+		delay := s.Backoff
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		maxDelay := s.BackoffMax
+		if maxDelay <= 0 {
+			maxDelay = 5 * time.Second
+		}
+		for i := 1; i < restarts && delay < maxDelay; i++ {
+			delay *= 2
+		}
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		// ±25% deterministic jitter (splitmix64), so restarting processes
+		// with different seeds don't re-rendezvous in lockstep.
+		jitter += 0x9e3779b97f4a7c15
+		z := jitter
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		z ^= z >> 31
+		delay = delay*3/4 + time.Duration(z%uint64(delay/2+1))
+		if s.OnRetry != nil {
+			s.OnRetry(epoch, err, delay)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}

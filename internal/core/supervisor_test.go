@@ -1,0 +1,180 @@
+package core_test
+
+// The supervisor tests live in the external test package so they can
+// drive recovery with the faultmpi transport decorator (which imports
+// core — an in-package test would be an import cycle).
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmpi"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+func supervisorPlan(t *testing.T, ranks int) (*matrix.CSR, *core.Plan) {
+	t.Helper()
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{Nx: 8, Ny: 7, Nz: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(p)
+	part := core.PartitionByNnz(p, ranks)
+	plan, err := core.BuildPlan(p, part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, plan
+}
+
+// TestSupervisorRetriesDialFailures pins the backoff-and-redial loop: a
+// transport whose first dials fail transiently costs exactly that many
+// retries, and the epoch that finally comes up does real work.
+func TestSupervisorRetriesDialFailures(t *testing.T) {
+	a, plan := supervisorPlan(t, 3)
+	tr := &faultmpi.Transport{Sched: faultmpi.Schedule{DialFailures: 2}}
+	var retries int
+	s := &core.Supervisor{
+		Transport:   func(epoch int) core.Transport { return tr },
+		MaxRestarts: 5,
+		Backoff:     time.Millisecond,
+		OnRetry:     func(epoch int, cause error, delay time.Duration) { retries++ },
+	}
+	n := a.NumRows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		return cl.Mul(y, x, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Fatalf("took %d retries, want 2 (one per injected dial failure)", retries)
+	}
+	want := make([]float64, n)
+	a.MulVec(want, x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+// TestSupervisorRecoversFromInjectedKill pins the restart path: a rank
+// killed mid-job fails epoch 0 with a recoverable world failure, the
+// schedule is consumed, and epoch 1 runs clean on a fresh world.
+func TestSupervisorRecoversFromInjectedKill(t *testing.T) {
+	_, plan := supervisorPlan(t, 3)
+	tr := &faultmpi.Transport{Sched: faultmpi.Schedule{Kills: []faultmpi.Kill{{Rank: 1, AtOp: 4}}}}
+	var causes []error
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport { return tr },
+		Backoff:   time.Millisecond,
+		OnRetry:   func(epoch int, cause error, delay time.Duration) { causes = append(causes, cause) },
+	}
+	epochs := 0
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		epochs++
+		return cl.Run(func(w *core.Worker) error {
+			for i := 0; i < 10; i++ {
+				if err := w.Comm.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 2 {
+		t.Fatalf("ran %d epochs, want 2 (killed, then recovered)", epochs)
+	}
+	if len(causes) != 1 {
+		t.Fatalf("observed %d retries, want 1", len(causes))
+	}
+	var pe *core.PeerError
+	if !errors.As(causes[0], &pe) || pe.RankLo != 1 {
+		t.Fatalf("retry cause %v does not name the killed rank", causes[0])
+	}
+}
+
+// TestSupervisorDoesNotRetryDeterministicErrors pins the recoverability
+// policy: a body error that is not a world failure is final.
+func TestSupervisorDoesNotRetryDeterministicErrors(t *testing.T) {
+	_, plan := supervisorPlan(t, 2)
+	boom := errors.New("deterministic failure")
+	retried := false
+	s := &core.Supervisor{
+		Backoff: time.Millisecond,
+		OnRetry: func(int, error, time.Duration) { retried = true },
+	}
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the body's error", err)
+	}
+	if retried {
+		t.Fatal("a deterministic error was retried")
+	}
+}
+
+// TestSupervisorGivesUp pins the restart bound: MaxRestarts exhausted
+// surfaces the last cause instead of retrying forever.
+func TestSupervisorGivesUp(t *testing.T) {
+	_, plan := supervisorPlan(t, 2)
+	tr := &faultmpi.Transport{Sched: faultmpi.Schedule{DialFailures: 10}}
+	s := &core.Supervisor{
+		Transport:   func(epoch int) core.Transport { return tr },
+		MaxRestarts: 2,
+		Backoff:     time.Millisecond,
+	}
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("got %v, want a giving-up error", err)
+	}
+	if !strings.Contains(err.Error(), "injected dial failure") {
+		t.Fatalf("got %v, want the last dial cause preserved", err)
+	}
+}
+
+// TestSupervisorContextInterruptsEpoch pins the cancellation path: a
+// context expiring mid-epoch interrupts the cluster (world closed, the
+// blocked job unwedges) and Run returns the context's error — not a
+// restart, not a hang.
+func TestSupervisorContextInterruptsEpoch(t *testing.T) {
+	_, plan := supervisorPlan(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s := &core.Supervisor{Backoff: time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(ctx, plan, func(epoch int, cl *core.Cluster) error {
+			return cl.Run(func(w *core.Worker) error {
+				for { // spin until interrupted
+					if err := w.Comm.Barrier(); err != nil {
+						return err
+					}
+				}
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("got %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not interrupt the epoch")
+	}
+}

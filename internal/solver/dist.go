@@ -42,6 +42,30 @@ func distDot(c core.Comm, a, b []float64) (float64, error) {
 	return c.AllreduceScalar(core.OpSum, Dot(a, b))
 }
 
+// CGOptions configures DistCGOpt beyond the required tolerance and
+// iteration cap: checkpoint cadence and buffers, and a snapshot to
+// resume from.
+type CGOptions struct {
+	Tol     float64
+	MaxIter int
+	// CheckpointEvery snapshots the solve state into Checkpoint every k
+	// iterations (0 disables). Snapshots happen at the top-of-iteration
+	// boundary, overwriting the previous snapshot in place.
+	CheckpointEvery int
+	// Checkpoint receives the snapshots; required when CheckpointEvery is
+	// set, sized by NewCGCheckpoint on the same cluster.
+	Checkpoint *CGCheckpoint
+	// OnCheckpoint, when non-nil, runs once per completed snapshot —
+	// after the last local rank has copied its rows — e.g. to persist it
+	// to disk. It runs on a rank goroutine; an error fails the solve.
+	OnCheckpoint func(*CGCheckpoint) error
+	// Restore, when non-nil, resumes the solve from the snapshot instead
+	// of starting from x: the iterated state (x, r, p, rᵀr) is loaded
+	// verbatim and the loop continues at the snapshot's iteration,
+	// reproducing the uninterrupted run bit for bit.
+	Restore *CGCheckpoint
+}
+
 // DistCG solves A·x = b with conjugate gradients on the cluster's resident
 // distributed kernel. b and x are global vectors; the solve runs SPMD across
 // the cluster's ranks in its current mode and writes the solution rows of
@@ -49,6 +73,11 @@ func distDot(c core.Comm, a, b []float64) (float64, error) {
 // scalars, so the iteration count is deterministic (and identical across
 // the processes of a multi-process world).
 func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResult, error) {
+	return DistCGOpt(cl, b, x, CGOptions{Tol: tol, MaxIter: maxIter})
+}
+
+// DistCGOpt is DistCG with checkpointing and restore (see CGOptions).
+func DistCGOpt(cl *core.Cluster, b, x []float64, opt CGOptions) (CGResult, error) {
 	if cl == nil {
 		return CGResult{}, fmt.Errorf("solver: DistCG needs a cluster")
 	}
@@ -56,8 +85,27 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 	if len(b) != n || len(x) != n {
 		return CGResult{}, fmt.Errorf("solver: DistCG dimension mismatch (n=%d, b=%d, x=%d)", n, len(b), len(x))
 	}
+	tol, maxIter := opt.Tol, opt.MaxIter
 	if tol <= 0 || maxIter < 1 {
 		return CGResult{}, fmt.Errorf("solver: DistCG needs tol > 0 and maxIter ≥ 1")
+	}
+	numLocal := len(cl.LocalRanks())
+	if opt.CheckpointEvery > 0 {
+		if opt.Checkpoint == nil {
+			return CGResult{}, fmt.Errorf("solver: CheckpointEvery set without a Checkpoint buffer")
+		}
+		if err := checkSpan(cl, opt.Checkpoint, "CG checkpoint"); err != nil {
+			return CGResult{}, err
+		}
+		opt.Checkpoint.pending.Store(int32(numLocal))
+	}
+	if opt.Restore != nil {
+		if !opt.Restore.Valid() {
+			return CGResult{}, fmt.Errorf("solver: Restore from an empty CG checkpoint")
+		}
+		if err := checkSpan(cl, opt.Restore, "CG restore"); err != nil {
+			return CGResult{}, err
+		}
 	}
 	mode := cl.Mode()
 	results := make([]CGResult, cl.Ranks())
@@ -76,6 +124,9 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 		// reserving them here keeps the iteration loop allocation-free.
 		res.History = make([]float64, 0, maxIter)
 
+		// b's norm is re-derived even on a restore: it comes from the
+		// canonical-rank-order reduction, so the restored run sees the
+		// very same bits the original did.
 		bNorm2, err := distDot(c, bl, bl)
 		if err != nil {
 			return err
@@ -101,20 +152,41 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 		}
 
 		r := make([]float64, nl)
+		p := make([]float64, nl)
 		ap := make([]float64, nl)
-		if err := apply(ap, xl); err != nil {
-			return err
-		}
-		for i := range r {
-			r[i] = bl[i] - ap[i]
-		}
-		p := append([]float64(nil), r...)
-		rr, err := distDot(c, r, r)
-		if err != nil {
-			return err
+		var rr float64
+		startIter := 0
+		if rst := opt.Restore; rst != nil {
+			// Resume: load the iterated state verbatim. The residual is
+			// NOT recomputed as b − A·x — the recomputation differs from
+			// the iterated r in floating point, which would fork the
+			// trajectory from the uninterrupted run.
+			off := lo - rst.Lo
+			copy(xl, rst.X[off:off+nl])
+			copy(r, rst.R[off:off+nl])
+			copy(p, rst.P[off:off+nl])
+			rr = rst.RR
+			startIter = rst.Iter
+			res.MVMs = rst.MVMs
+			res.Iterations = rst.Iter
+			res.History = append(res.History, rst.History...)
+			if len(res.History) > 0 {
+				res.Residual = res.History[len(res.History)-1]
+			}
+		} else {
+			if err := apply(ap, xl); err != nil {
+				return err
+			}
+			for i := range r {
+				r[i] = bl[i] - ap[i]
+			}
+			copy(p, r)
+			if rr, err = distDot(c, r, r); err != nil {
+				return err
+			}
 		}
 
-		for k := 0; k < maxIter; k++ {
+		for k := startIter; k < maxIter; k++ {
 			if err := apply(ap, p); err != nil {
 				return err
 			}
@@ -152,6 +224,32 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 				p[i] = r[i] + beta*p[i]
 			}
 			rr = rrNew
+			if every := opt.CheckpointEvery; every > 0 && (k+1)%every == 0 && k+1 < maxIter {
+				// The state here — after the direction update, before the
+				// next multiplication — is exactly "top of iteration k+1".
+				// Every rank copies its own rows (disjoint), and the last
+				// one to arrive seals the scalars and runs the hook; the
+				// next snapshot is a full cadence of reductions away, so
+				// the sealing rank cannot be raced.
+				ck := opt.Checkpoint
+				off := lo - ck.Lo
+				copy(ck.X[off:off+nl], xl)
+				copy(ck.R[off:off+nl], r)
+				copy(ck.P[off:off+nl], p)
+				if ck.pending.Add(-1) == 0 {
+					ck.pending.Store(int32(numLocal))
+					ck.Iter = k + 1
+					ck.MVMs = res.MVMs
+					ck.RR = rr
+					ck.History = append(ck.History[:0], res.History...)
+					ck.valid = true
+					if opt.OnCheckpoint != nil {
+						if err := opt.OnCheckpoint(ck); err != nil {
+							return err
+						}
+					}
+				}
+			}
 		}
 		copy(x[lo:hi], xl)
 		return nil
@@ -168,11 +266,26 @@ func DistCG(cl *core.Cluster, b, x []float64, tol float64, maxIter int) (CGResul
 	return results[first], nil
 }
 
+// LanczosOptions configures DistLanczosOpt: checkpoint cadence and
+// buffers, and a snapshot to resume from (see CGOptions for the shared
+// semantics).
+type LanczosOptions struct {
+	CheckpointEvery int
+	Checkpoint      *LanczosCheckpoint
+	OnCheckpoint    func(*LanczosCheckpoint) error
+	Restore         *LanczosCheckpoint
+}
+
 // DistLanczos runs the symmetric Lanczos iteration SPMD across the
 // cluster's ranks with full reorthogonalization against the distributed
 // basis, and returns the Ritz values — the distributed version of the
 // paper's exact-diagonalization workload.
 func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
+	return DistLanczosOpt(cl, m, seed, LanczosOptions{})
+}
+
+// DistLanczosOpt is DistLanczos with checkpointing and restore.
+func DistLanczosOpt(cl *core.Cluster, m int, seed int64, opt LanczosOptions) (LanczosResult, error) {
 	if cl == nil {
 		return LanczosResult{}, fmt.Errorf("solver: DistLanczos needs a cluster")
 	}
@@ -185,6 +298,24 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 	}
 	if m > n {
 		m = n
+	}
+	numLocal := len(cl.LocalRanks())
+	if opt.CheckpointEvery > 0 {
+		if opt.Checkpoint == nil {
+			return LanczosResult{}, fmt.Errorf("solver: CheckpointEvery set without a Checkpoint buffer")
+		}
+		if err := checkSpan(cl, opt.Checkpoint, "Lanczos checkpoint"); err != nil {
+			return LanczosResult{}, err
+		}
+		opt.Checkpoint.pending.Store(int32(numLocal))
+	}
+	if opt.Restore != nil {
+		if !opt.Restore.Valid() {
+			return LanczosResult{}, fmt.Errorf("solver: Restore from an empty Lanczos checkpoint")
+		}
+		if err := checkSpan(cl, opt.Restore, "Lanczos restore"); err != nil {
+			return LanczosResult{}, err
+		}
 	}
 	mode := cl.Mode()
 	// The start vector is generated globally so results are independent of
@@ -203,13 +334,6 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 		nl := w.Plan.NLocal
 		res := &results[rank]
 
-		v := append([]float64(nil), start[lo:hi]...)
-		vv, err := distDot(c, v, v)
-		if err != nil {
-			return err
-		}
-		Scale(1/math.Sqrt(vv), v)
-
 		// All m basis vectors live in one backing array reserved up front,
 		// and the tridiagonal coefficients get their full capacity — the
 		// iteration loop then allocates nothing.
@@ -217,8 +341,6 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 		lb := make([]float64, 0, m)
 		basisBuf := make([]float64, m*nl)
 		basis := make([][]float64, 0, m)
-		copy(basisBuf[:nl], v)
-		basis = append(basis, basisBuf[:nl])
 		wv := make([]float64, nl)
 		apply := func(dst, src []float64) error {
 			copy(w.X[:nl], src)
@@ -230,7 +352,36 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 			return nil
 		}
 
-		for j := 0; j < m; j++ {
+		startStep := 0
+		if rst := opt.Restore; rst != nil {
+			// Resume: the basis and the tridiagonal coefficients are loaded
+			// verbatim (the start-vector normalization — a collective — is
+			// skipped on every rank alike). wv is not part of the state:
+			// the next step overwrites it before reading it.
+			off := lo - rst.Lo
+			span := rst.Hi - rst.Lo
+			la = append(la, rst.Alphas...)
+			lb = append(lb, rst.Betas...)
+			for vi := 0; vi <= rst.Step; vi++ {
+				dst := basisBuf[vi*nl : (vi+1)*nl]
+				copy(dst, rst.Basis[vi*span+off:vi*span+off+nl])
+				basis = append(basis, dst)
+			}
+			startStep = rst.Step
+			res.MVMs = rst.MVMs
+			res.Steps = rst.Step
+		} else {
+			v := append([]float64(nil), start[lo:hi]...)
+			vv, err := distDot(c, v, v)
+			if err != nil {
+				return err
+			}
+			Scale(1/math.Sqrt(vv), v)
+			copy(basisBuf[:nl], v)
+			basis = append(basis, basisBuf[:nl])
+		}
+
+		for j := startStep; j < m; j++ {
 			if err := apply(wv, basis[j]); err != nil {
 				return err
 			}
@@ -264,6 +415,30 @@ func DistLanczos(cl *core.Cluster, m int, seed int64) (LanczosResult, error) {
 			copy(next, wv)
 			Scale(1/beta, next)
 			basis = append(basis, next)
+			if every := opt.CheckpointEvery; every > 0 && (j+1)%every == 0 && j+1 < m {
+				// Top-of-step-j+1 state: the full basis and coefficient
+				// prefix. Same disjoint-rows + last-rank-seals discipline
+				// as the CG snapshot.
+				ck := opt.Checkpoint
+				off := lo - ck.Lo
+				span := ck.Hi - ck.Lo
+				for vi, u := range basis {
+					copy(ck.Basis[vi*span+off:vi*span+off+nl], u)
+				}
+				if ck.pending.Add(-1) == 0 {
+					ck.pending.Store(int32(numLocal))
+					ck.Step = j + 1
+					ck.MVMs = res.MVMs
+					ck.Alphas = append(ck.Alphas[:0], la...)
+					ck.Betas = append(ck.Betas[:0], lb...)
+					ck.valid = true
+					if opt.OnCheckpoint != nil {
+						if err := opt.OnCheckpoint(ck); err != nil {
+							return err
+						}
+					}
+				}
+			}
 		}
 		if rank == firstLocal {
 			// The tridiagonal coefficients come from global reductions, so

@@ -1,0 +1,92 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmpi"
+)
+
+// TestSupervisedCGRecoveryBitIdentical is the whole recovery stack in one
+// process: a CG solve checkpointing every 10 iterations is killed mid-run
+// by an injected rank death, the supervisor re-dials a fresh world,
+// rebuilds the cluster from the same plan, the body restores the latest
+// checkpoint — and the recovered solve converges to the bit-identical
+// solution, history, and MVM count of an uninterrupted reference run.
+// (The OS-process variant, with a real SIGKILL and on-disk checkpoints,
+// lives in internal/tcpmpi's recovery test.)
+func TestSupervisedCGRecoveryBitIdentical(t *testing.T) {
+	const tol, maxIter, every = 1e-10, 5000, 10
+	a, plan := poissonPlan(t, 4)
+	n := a.NumRows
+	rng := rand.New(rand.NewSource(21))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	// Uninterrupted reference.
+	refCl, err := core.NewCluster(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xRef := make([]float64, n)
+	ref, err := DistCG(refCl, b, xRef, tol, maxIter)
+	refCl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged || ref.Iterations < 5*every {
+		t.Fatalf("reference unusable: converged=%v in %d iterations", ref.Converged, ref.Iterations)
+	}
+
+	// Supervised run: rank 2 dies at its 200th communication operation —
+	// comfortably past the first snapshot, comfortably before convergence.
+	tr := &faultmpi.Transport{Sched: faultmpi.Schedule{Kills: []faultmpi.Kill{{Rank: 2, AtOp: 200}}}}
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport { return tr },
+		Backoff:   time.Millisecond,
+	}
+	var ck *CGCheckpoint
+	var rec CGResult
+	epochs := 0
+	xRec := make([]float64, n)
+	err = s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		epochs++
+		if ck == nil {
+			ck = NewCGCheckpoint(cl, maxIter)
+		}
+		opt := CGOptions{Tol: tol, MaxIter: maxIter, CheckpointEvery: every, Checkpoint: ck}
+		if ck.Valid() {
+			// Resuming a later epoch from the snapshot the previous one
+			// sealed; Restore and Checkpoint may be the same object (the
+			// restore copies happen before any new snapshot overwrites it).
+			opt.Restore = ck
+		}
+		var err error
+		rec, err = DistCGOpt(cl, b, xRec, opt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 2 {
+		t.Fatalf("ran %d epochs, want 2 (killed, then recovered from checkpoint)", epochs)
+	}
+	if !rec.Converged {
+		t.Fatal("recovered run did not converge")
+	}
+	if !bitsEqual(xRec, xRef) {
+		t.Fatal("recovered solution is not bit-identical to the uninterrupted run")
+	}
+	if rec.Iterations != ref.Iterations || rec.MVMs != ref.MVMs {
+		t.Fatalf("recovered run: %d iterations / %d MVMs, reference: %d / %d",
+			rec.Iterations, rec.MVMs, ref.Iterations, ref.MVMs)
+	}
+	if !bitsEqual(rec.History, ref.History) {
+		t.Fatal("recovered residual history is not bit-identical to the reference")
+	}
+}

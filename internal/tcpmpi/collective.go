@@ -1,7 +1,9 @@
 package tcpmpi
 
 import (
+	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 )
@@ -52,6 +54,13 @@ type collScratch struct {
 	// the broadcast.
 	gatherRecv [2]*precv
 	bcastRecv  *precv
+
+	// deadline is the resident timer of the optional per-collective
+	// deadline (Transport.CollectiveTimeout), created on first use and
+	// Reset per edge wait — Go's post-1.23 timer semantics guarantee a
+	// Reset discards any stale fire, so no drain dance is needed and the
+	// steady-state wait allocates nothing.
+	deadline *time.Timer
 }
 
 // grow returns buf resized to n elements, reallocating only on capacity
@@ -68,7 +77,11 @@ func grow(buf []float64, n int) []float64 {
 // src into buf (grown as needed) over the resident persistent channel in
 // *slot (created on first use — the tree edges are static, so the channel
 // is restarted forever after); any other length is a protocol-level
-// mismatch that fails the world.
+// mismatch that fails the world. With Transport.CollectiveTimeout set,
+// the wait is bounded: a tree edge that stays silent past the deadline
+// fails the world with a *core.PeerError naming src as the hung rank —
+// the detection path for a peer that is alive (its connection pings) but
+// stuck outside the collective.
 func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]float64, error) {
 	buf = grow(buf, want)
 	if *slot == nil {
@@ -78,7 +91,27 @@ func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]flo
 	if err := p.startInto(buf[:want]); err != nil {
 		return buf, err
 	}
-	if err := p.Wait(); err != nil {
+	if d := c.w.collTimeout; d > 0 {
+		cs := &c.cs
+		if cs.deadline == nil {
+			cs.deadline = time.NewTimer(d)
+		} else {
+			cs.deadline.Reset(d)
+		}
+		err, timedOut := p.req.waitTimer(cs.deadline.C)
+		if timedOut {
+			err = &core.PeerError{
+				RankLo: src, RankHi: src + 1, Phase: core.PhaseCollective,
+				Err: fmt.Errorf("tcpmpi: no contribution on tree edge %d→%d within %v", src, c.rank, d),
+			}
+			c.w.failWorld(err)
+			return buf, err
+		}
+		cs.deadline.Stop()
+		if err != nil {
+			return buf, err
+		}
+	} else if err := p.Wait(); err != nil {
 		return buf, err
 	}
 	if p.req.n != want {

@@ -8,6 +8,8 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Wire framing: every message between two processes is one length-prefixed
@@ -26,11 +28,16 @@ import (
 // with a colliding tag (or vice versa). kindBye is the graceful-shutdown
 // announcement: the last frame a closing process writes on each
 // connection, telling the peer its ranks have departed (src/dst/tag and
-// payload empty).
+// payload empty). kindPing is the heartbeat: an empty frame written on a
+// connection that has been send-idle for a heartbeat interval, proving
+// the writing process is alive; the reader consumes it silently (every
+// successfully read frame, ping or not, refreshes the connection's
+// last-heard clock).
 const (
 	kindUser byte = 0
 	kindColl byte = 1
 	kindBye  byte = 2
+	kindPing byte = 3
 )
 
 const frameHeaderLen = 17
@@ -56,13 +63,26 @@ type peerConn struct {
 	wmu     sync.Mutex
 	bw      *bufio.Writer
 	scratch []byte
+
+	// lastSent / lastHeard are UnixNano stamps of the most recent
+	// successful frame write / read on this connection, maintained
+	// unconditionally (the stores are two atomic ops per frame) so the
+	// optional heartbeat monitor needs no per-frame hooks: it pings a
+	// connection whose lastSent is stale and declares the peer suspect
+	// when lastHeard exceeds the timeout.
+	lastSent  atomic.Int64
+	lastHeard atomic.Int64
 }
 
 func newPeerConn(c net.Conn, br *bufio.Reader) *peerConn {
 	if br == nil {
 		br = bufio.NewReader(c)
 	}
-	return &peerConn{c: c, br: br, bw: bufio.NewWriter(c)}
+	p := &peerConn{c: c, br: br, bw: bufio.NewWriter(c)}
+	now := time.Now().UnixNano()
+	p.lastSent.Store(now)
+	p.lastHeard.Store(now)
+	return p
 }
 
 // writeFrame sends one frame, flushing it onto the wire before returning —
@@ -90,7 +110,11 @@ func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) erro
 	if _, err := p.bw.Write(b); err != nil {
 		return err
 	}
-	return p.bw.Flush()
+	if err := p.bw.Flush(); err != nil {
+		return err
+	}
+	p.lastSent.Store(time.Now().UnixNano())
+	return nil
 }
 
 // readFrame reads one frame from the peer into the connection's resident
@@ -114,7 +138,7 @@ func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err er
 		err = fmt.Errorf("tcpmpi: frame length prefix %d exceeds the %d-element cap", count, maxFrameElems)
 		return
 	}
-	if kind != kindUser && kind != kindColl && kind != kindBye {
+	if kind > kindPing {
 		err = fmt.Errorf("tcpmpi: unknown frame kind %d", kind)
 		return
 	}

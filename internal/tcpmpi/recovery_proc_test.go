@@ -1,0 +1,222 @@
+package tcpmpi_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/tcpmpi"
+)
+
+// The acceptance test of the fault-tolerance stack: a two-OS-process
+// DistCG solve in which the worker process is SIGKILLed — no BYE, no
+// cleanup, memory gone — right after sealing its second on-disk
+// checkpoint. The coordinator's supervisor detects the death (frame-read
+// EOF or heartbeat), re-dials; the test restarts the worker process; both
+// agree on the newest common checkpoint, restore it, and converge to a
+// solution BIT-IDENTICAL to an uninterrupted in-process reference run.
+
+const (
+	recoveryEvery  = 5 // checkpoint cadence (iterations)
+	recoveryKillAt = 2 // helper SIGKILLs itself after sealing this many
+)
+
+// supervisedSolve joins the world as ranks [lo,hi) under a supervisor
+// with durable checkpointing into dir, resuming from the newest snapshot
+// all processes hold. killAt > 0 makes the process SIGKILL itself right
+// after sealing its killAt-th checkpoint — the injected hard crash.
+func supervisedSolve(tb testing.TB, addr string, coordinate bool, lo, hi int, dir string, killAt int) (res solver.CGResult, epochs int, x []float64) {
+	tb.Helper()
+	a, plan := procPlan(tb)
+	b := procRHS(a)
+	var ck *solver.CGCheckpoint
+	sealed := 0
+	x = make([]float64, procN)
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport {
+			return &tcpmpi.Transport{
+				Addr: addr, Coordinate: coordinate, RankLo: lo, RankHi: hi,
+				HeartbeatInterval: 25 * time.Millisecond, CollectiveTimeout: 10 * time.Second,
+			}
+		},
+		Options:     []core.Option{core.WithThreads(2), core.WithMode(core.TaskMode)},
+		MaxRestarts: 4,
+		Backoff:     50 * time.Millisecond,
+		DialTimeout: 60 * time.Second,
+	}
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		epochs++
+		if ck == nil {
+			ck = solver.NewCGCheckpoint(cl, procIters)
+		}
+		opt := solver.CGOptions{
+			Tol: procTol, MaxIter: procIters,
+			CheckpointEvery: recoveryEvery, Checkpoint: ck,
+			OnCheckpoint: func(c *solver.CGCheckpoint) error {
+				if _, err := ckpt.SaveCG(dir, c); err != nil {
+					return err
+				}
+				if sealed++; killAt > 0 && sealed >= killAt {
+					p, _ := os.FindProcess(os.Getpid())
+					p.Kill() // SIGKILL: no BYE, no cleanup, memory gone
+					select {}
+				}
+				return nil
+			},
+		}
+		latest := -1
+		if ck.Valid() {
+			latest = ck.Iter
+		}
+		if it, _, err := ckpt.LatestCG(dir, ck.Lo, ck.Hi); err != nil {
+			return err
+		} else if it > latest {
+			latest = it
+		}
+		agreed, err := ckpt.Agree(cl, latest)
+		if err != nil {
+			return err
+		}
+		switch {
+		case agreed < 0: // fresh start
+		case ck.Valid() && ck.Iter == agreed:
+			opt.Restore = ck
+		default:
+			if err := ckpt.LoadCG(ckpt.CGPath(dir, ck.Lo, ck.Hi, agreed), ck); err != nil {
+				return err
+			}
+			opt.Restore = ck
+		}
+		var serr error
+		res, serr = solver.DistCGOpt(cl, b, x, opt)
+		return serr
+	})
+	if err != nil {
+		tb.Fatalf("supervised solve as ranks [%d,%d): %v", lo, hi, err)
+	}
+	return res, epochs, x
+}
+
+// TestHelperRecoveryWorkerProcess is not a test: it is the killable
+// worker half of TestSIGKILLedWorkerRecoversBitIdentical, run in child OS
+// processes (first launch dies by SIGKILL; the relaunch completes).
+func TestHelperRecoveryWorkerProcess(t *testing.T) {
+	addr := os.Getenv("TCPMPI_RECOVERY_ADDR")
+	if addr == "" {
+		t.Skip("helper half of TestSIGKILLedWorkerRecoversBitIdentical")
+	}
+	killAt := 0
+	if os.Getenv("TCPMPI_RECOVERY_KILL") == "1" {
+		killAt = recoveryKillAt
+	}
+	res, _, _ := supervisedSolve(t, addr, false, procRanks/2, procRanks,
+		os.Getenv("TCPMPI_RECOVERY_DIR"), killAt)
+	fmt.Printf("RECOVERY-HELPER-OK iterations=%d residual=%x\n", res.Iterations, res.Residual)
+}
+
+func TestSIGKILLedWorkerRecoversBitIdentical(t *testing.T) {
+	// Uninterrupted in-process reference: the ground truth the recovered
+	// two-process solve must match bit for bit.
+	a, plan := procPlan(t)
+	b := procRHS(a)
+	refCl, err := core.NewCluster(plan, core.WithThreads(2), core.WithMode(core.TaskMode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xRef := make([]float64, procN)
+	ref, err := solver.DistCG(refCl, b, xRef, procTol, procIters)
+	refCl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged || ref.Iterations < (recoveryKillAt+2)*recoveryEvery {
+		t.Fatalf("reference fixture unusable: converged=%v in %d iterations", ref.Converged, ref.Iterations)
+	}
+
+	addr := freeAddr(t)
+	dir := t.TempDir()
+	env := append(os.Environ(), "TCPMPI_RECOVERY_ADDR="+addr, "TCPMPI_RECOVERY_DIR="+dir)
+	helper := func(kill string) (*exec.Cmd, *strings.Builder) {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperRecoveryWorkerProcess$", "-test.v", "-test.timeout=120s")
+		cmd.Env = append(append([]string(nil), env...), "TCPMPI_RECOVERY_KILL="+kill)
+		var out strings.Builder
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		return cmd, &out
+	}
+
+	// First worker: dies of SIGKILL after sealing checkpoint #2. The test
+	// plays cluster manager: it observes the death and launches a
+	// replacement, the way a real scheduler restarts a failed job.
+	doomed, doomedOut := helper("1")
+	if err := doomed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	relaunched := make(chan struct{})
+	var healthy *exec.Cmd
+	var healthyOut *strings.Builder
+	var healthyErr error
+	go func() {
+		defer close(relaunched)
+		if err := doomed.Wait(); err == nil {
+			healthyErr = errors.New("doomed worker exited cleanly; the SIGKILL never fired")
+			return
+		}
+		healthy, healthyOut = helper("0")
+		healthyErr = healthy.Start()
+	}()
+
+	// This process coordinates ranks [0,2) and must survive the worker's
+	// death: epoch 0 dies with the world, epoch 1 resumes from the agreed
+	// checkpoint alongside the relaunched worker.
+	res, epochs, x := supervisedSolve(t, addr, true, 0, procRanks/2, dir, 0)
+
+	<-relaunched
+	if healthyErr != nil {
+		t.Fatalf("relaunching worker: %v\n%s", healthyErr, doomedOut.String())
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- healthy.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("relaunched worker failed: %v\n%s", err, healthyOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		healthy.Process.Kill()
+		t.Fatalf("relaunched worker hung\n%s", healthyOut.String())
+	}
+
+	if epochs != 2 {
+		t.Fatalf("coordinator ran %d epochs, want 2 (killed world, then recovery)", epochs)
+	}
+	if !res.Converged {
+		t.Fatal("recovered solve did not converge")
+	}
+	if res.Iterations != ref.Iterations || res.Residual != ref.Residual {
+		t.Fatalf("recovered trace (%d, %v) differs from uninterrupted reference (%d, %v)",
+			res.Iterations, res.Residual, ref.Iterations, ref.Residual)
+	}
+	for r := 0; r < procRanks/2; r++ {
+		rg := plan.Ranks[r].Rows
+		for row := rg.Lo; row < rg.Hi; row++ {
+			if x[row] != xRef[row] {
+				t.Fatalf("row %d: recovered %v != reference %v", row, x[row], xRef[row])
+			}
+		}
+	}
+	if !strings.Contains(healthyOut.String(), "RECOVERY-HELPER-OK") {
+		t.Fatalf("relaunched worker did not complete\n%s", healthyOut.String())
+	}
+	if want := fmt.Sprintf("iterations=%d residual=%x", res.Iterations, res.Residual); !strings.Contains(healthyOut.String(), want) {
+		t.Fatalf("relaunched worker converged differently (want %s)\n%s", want, healthyOut.String())
+	}
+}

@@ -28,7 +28,8 @@ import (
 )
 
 // protoVersion guards against mismatched binaries rendezvousing.
-const protoVersion = 1
+// Version 2 added the kindPing heartbeat frame.
+const protoVersion = 2
 
 // Transport joins (or coordinates) a multi-process world over TCP. It
 // implements core.Transport: Dial blocks until every process has joined
@@ -52,6 +53,27 @@ type Transport struct {
 	// RetryInterval paces a worker's rendezvous dial attempts while the
 	// coordinator is still coming up (default 50ms).
 	RetryInterval time.Duration
+	// HeartbeatInterval, when positive, enables the heartbeat monitor: an
+	// empty kindPing frame is written on every peer connection that has
+	// been send-idle for an interval, and a peer whose connection stays
+	// silent past HeartbeatTimeout fails the world with a
+	// *core.PeerError naming its rank range. All processes of a world
+	// should agree on the interval (the detector tolerates skew up to the
+	// timeout).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence span after which a peer is declared
+	// suspect (default 4 × HeartbeatInterval). It must comfortably exceed
+	// the interval, or healthy peers' ping cadence will trip it.
+	HeartbeatTimeout time.Duration
+	// CollectiveTimeout, when positive, bounds each tree-edge receive
+	// inside the collectives: a rank whose contribution does not arrive
+	// within the deadline is named hung in a *core.PeerError and the
+	// world fails, instead of the collective blocking forever. It is the
+	// complement of the heartbeat: heartbeats catch dead or frozen
+	// PROCESSES, the deadline catches a live process whose RANK never
+	// enters the collective. Set it above the slowest legitimate
+	// inter-collective compute span.
+	CollectiveTimeout time.Duration
 }
 
 var _ core.Transport = (*Transport)(nil)
@@ -137,6 +159,22 @@ func (t *Transport) Dial(ctx context.Context, size int) (core.World, error) {
 		return t.dialCoordinator(ctx, size)
 	}
 	return t.dialWorker(ctx, size)
+}
+
+// finishWorld applies the transport's detection options to a fully meshed
+// world and starts the heartbeat monitor if enabled. Both dial paths call
+// it last, after every connection's reader is running.
+func (t *Transport) finishWorld(w *world) *world {
+	w.collTimeout = t.CollectiveTimeout
+	if t.HeartbeatInterval > 0 {
+		w.hbInterval = t.HeartbeatInterval
+		w.hbTimeout = t.HeartbeatTimeout
+		if w.hbTimeout <= 0 {
+			w.hbTimeout = 4 * t.HeartbeatInterval
+		}
+		w.startHeartbeat()
+	}
+	return w
 }
 
 // dialCoordinator listens on Addr, collects joiners until their ranges
@@ -239,7 +277,7 @@ func (t *Transport) dialCoordinator(ctx context.Context, size int) (core.World, 
 		w.conns[idx] = pc
 		go w.readLoop(idx, pc)
 	}
-	return w, nil
+	return t.finishWorld(w), nil
 }
 
 // dialWorker opens a mesh listener, rendezvouses with the coordinator
@@ -323,13 +361,19 @@ func (t *Transport) dialWorker(ctx context.Context, size int) (core.World, error
 		mc, err := d.DialContext(ctx, "tcp", rm.Procs[p].Addr)
 		if err != nil {
 			w.Close()
-			return nil, fmt.Errorf("tcpmpi: meshing with process %d at %s: %w", p, rm.Procs[p].Addr, err)
+			return nil, &core.PeerError{
+				RankLo: rm.Procs[p].RankLo, RankHi: rm.Procs[p].RankHi, Phase: core.PhaseHandshake,
+				Err: fmt.Errorf("tcpmpi: meshing with process %d at %s: %w", p, rm.Procs[p].Addr, err),
+			}
 		}
 		applyDeadline(ctx, mc)
 		if err := writeJSONLine(mc, helloMsg{Proto: protoVersion, Proc: rm.You}); err != nil {
 			mc.Close()
 			w.Close()
-			return nil, fmt.Errorf("tcpmpi: hello to process %d: %w", p, err)
+			return nil, &core.PeerError{
+				RankLo: rm.Procs[p].RankLo, RankHi: rm.Procs[p].RankHi, Phase: core.PhaseHandshake,
+				Err: fmt.Errorf("tcpmpi: hello to process %d: %w", p, err),
+			}
 		}
 		clearDeadline(mc)
 		mpc := newPeerConn(mc, nil)
@@ -366,5 +410,5 @@ func (t *Transport) dialWorker(ctx context.Context, size int) (core.World, error
 		w.conns[hm.Proc] = mpc
 		go w.readLoop(hm.Proc, mpc)
 	}
-	return w, nil
+	return t.finishWorld(w), nil
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/chanmpi"
 	"repro/internal/core"
@@ -61,6 +62,13 @@ type world struct {
 	// gathered payloads), subSize[r] the size of r's subtree.
 	dfsOrder []int
 	subSize  []int
+
+	// hbInterval/hbTimeout configure the heartbeat monitor (zero interval:
+	// disabled); collTimeout bounds each collective-edge receive (zero:
+	// unbounded). All are fixed at bring-up by the Transport.
+	hbInterval  time.Duration
+	hbTimeout   time.Duration
+	collTimeout time.Duration
 
 	failure   *failure
 	closing   atomic.Bool
@@ -196,6 +204,50 @@ func (w *world) Close() error {
 	return nil
 }
 
+// startHeartbeat launches the world's heartbeat monitor: every hbInterval
+// it pings each peer connection that has been send-idle for an interval
+// (so a quiet but healthy world exchanges pings in both directions and
+// never trips the detector) and declares a peer suspect — failing the
+// world with a *core.PeerError naming the peer's rank range — when
+// nothing, ping or payload, has arrived on its connection within
+// hbTimeout. The monitor exits when the world fails (which includes
+// Close). A departed peer (BYE received) is exempt: its silence is
+// announced, not suspect. Steady-state cost is two time loads per tick
+// per peer and one empty frame per idle interval; nothing on the tick
+// path allocates, so the PR 5 alloc gates hold with heartbeats enabled.
+func (w *world) startHeartbeat() {
+	go func() {
+		ticker := time.NewTicker(w.hbInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.failure.ch:
+				return
+			case <-ticker.C:
+			}
+			now := time.Now().UnixNano()
+			for proc, p := range w.conns {
+				if p == nil || w.departed[proc].Load() {
+					continue
+				}
+				if now-p.lastHeard.Load() > int64(w.hbTimeout) {
+					pi := w.procs[proc]
+					w.failWorld(&core.PeerError{
+						RankLo: pi.RankLo, RankHi: pi.RankHi, Phase: core.PhaseHeartbeat,
+						Err: fmt.Errorf("tcpmpi: no traffic from process %d within %v", proc, w.hbTimeout),
+					})
+					return
+				}
+				if now-p.lastSent.Load() >= int64(w.hbInterval) {
+					// Best effort: a write error here means the connection is
+					// dying, which the reader loop reports with the real cause.
+					p.writeFrame(kindPing, 0, 0, 0, nil)
+				}
+			}
+		}
+	}()
+}
+
 // markDeparted records a peer process's graceful exit and fails every
 // posted receive that is still waiting on one of its ranks — those can
 // never be matched now. Buffered arrivals from the departed process stay
@@ -221,18 +273,29 @@ func (w *world) departedErr(src int) error {
 // readLoop drains one peer connection, delivering each frame into the
 // destination rank's mailbox. A BYE frame marks the peer gracefully
 // departed (the connection's EOF is then expected); any other read error
-// fails the world — unless this endpoint is itself closing. Payloads are
-// decoded straight out of the connection's raw buffer: into a posted
-// receive's user buffer when one is waiting (zero allocations per frame),
-// into a recycled carrier otherwise.
+// fails the world — unless this endpoint is itself closing — with a
+// *core.PeerError naming the peer's rank range as the suspect, so a
+// crashed process (EOF without BYE) is pinpointed rather than reported as
+// an anonymous connection loss. Payloads are decoded straight out of the
+// connection's raw buffer: into a posted receive's user buffer when one
+// is waiting (zero allocations per frame), into a recycled carrier
+// otherwise.
 func (w *world) readLoop(proc int, p *peerConn) {
 	for {
 		kind, src, dst, tag, raw, err := p.readFrame()
 		if err != nil {
 			if !w.closing.Load() && !w.departed[proc].Load() {
-				w.failWorld(fmt.Errorf("tcpmpi: peer connection lost: %w", err))
+				pi := w.procs[proc]
+				w.failWorld(&core.PeerError{
+					RankLo: pi.RankLo, RankHi: pi.RankHi, Phase: core.PhaseFrameRead,
+					Err: fmt.Errorf("tcpmpi: peer connection lost: %w", err),
+				})
 			}
 			return
+		}
+		p.lastHeard.Store(time.Now().UnixNano())
+		if kind == kindPing {
+			continue // liveness only; the stamp above is the payload
 		}
 		if kind == kindBye {
 			w.markDeparted(proc)
@@ -346,6 +409,31 @@ func (r *request) Wait() error {
 			return r.err
 		default:
 			return &core.WorldError{Cause: r.fail.Err()}
+		}
+	}
+}
+
+// waitTimer completes like Wait but gives up when the timer channel
+// fires first, reporting timedOut without consuming the request's
+// completion (the world is about to be failed anyway). The collectives
+// use it with the communicator's resident deadline timer.
+func (r *request) waitTimer(tc <-chan time.Time) (err error, timedOut bool) {
+	select {
+	case <-r.done:
+		return r.err, false
+	case <-r.fail.ch:
+		select {
+		case <-r.done:
+			return r.err, false
+		default:
+			return &core.WorldError{Cause: r.fail.Err()}, false
+		}
+	case <-tc:
+		select {
+		case <-r.done:
+			return r.err, false
+		default:
+			return nil, true
 		}
 	}
 }
@@ -504,19 +592,31 @@ func (w *world) send(src, dst, tag int, coll bool, data []float64, stage *inflig
 		return nil
 	}
 	proc := w.rankProc[dst]
+	pi := w.procs[proc]
 	if w.departed[proc].Load() {
 		// The peer closed gracefully; the send can never arrive, but the
-		// rest of the world is intact — report without failing it.
-		return fmt.Errorf("tcpmpi: send %d→%d: the owning process closed its world", src, dst)
+		// rest of the world is intact — report without failing it. Still a
+		// *core.PeerError: a supervisor may recover by re-dialing a world
+		// where a restarted replacement owns these ranks.
+		return &core.PeerError{
+			RankLo: pi.RankLo, RankHi: pi.RankHi, Phase: core.PhaseSend,
+			Err: fmt.Errorf("tcpmpi: send %d→%d: the owning process closed its world", src, dst),
+		}
 	}
 	kind := kindUser
 	if coll {
 		kind = kindColl
 	}
 	if err := w.conns[proc].writeFrame(kind, src, dst, tag, data); err != nil {
-		err = fmt.Errorf("tcpmpi: send %d→%d: %w", src, dst, err)
-		w.failWorld(err)
-		return err
+		// A write on a peer connection failing (reset, broken pipe) is the
+		// send-side face of a peer death: name the suspect so the failure
+		// is recognizably world-level (core.Supervisor restarts on it).
+		perr := &core.PeerError{
+			RankLo: pi.RankLo, RankHi: pi.RankHi, Phase: core.PhaseSend,
+			Err: fmt.Errorf("tcpmpi: send %d→%d: %w", src, dst, err),
+		}
+		w.failWorld(perr)
+		return perr
 	}
 	return nil
 }
