@@ -1,0 +1,199 @@
+// Command reprolint is the repository's multichecker: it runs the
+// internal/analysis suite — commerr, persistwait, hotalloc, rankorder,
+// clusterctx, the static encodings of the runtime's contracts — over Go
+// packages, plus (with -vet) a selected set of standard vet passes.
+//
+// Two modes:
+//
+//	reprolint [-checks list] [-vet] [packages]
+//	    Direct mode: load the packages (default ./...) via the local
+//	    toolchain's export data and report findings. Exit status 2 when
+//	    findings exist, matching cmd/vet.
+//
+//	go vet -vettool=$(which reprolint) ./...
+//	    Vettool mode: reprolint speaks the unitchecker protocol — the go
+//	    command hands it one .cfg per compilation unit (including test
+//	    files) and reprolint analyzes exactly that unit. This is the CI
+//	    chaos job's smoke path.
+//
+// The suite is part of the required CI gate; see doc.go ("Static
+// contracts") for the invariant each analyzer encodes.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// Vettool protocol, part 1: `go vet` first interrogates the tool's
+	// build identity with -V=full before handing it any work.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	// Vettool protocol, part 2: `go vet` asks the tool to enumerate its
+	// flags as JSON so it can split the command line between the build
+	// system and the tool. Per-analyzer enable flags let `go vet
+	// -vettool=reprolint -commerr ./...` select single checks.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlags()
+		return
+	}
+	// Vettool protocol, part 3: the final argument is a unitchecker config
+	// describing one compilation unit; any preceding arguments are the
+	// per-analyzer selection flags advertised by -flags.
+	if n := len(os.Args); n >= 2 && strings.HasSuffix(os.Args[n-1], ".cfg") {
+		os.Exit(unitcheck(os.Args[n-1], unitAnalyzers(os.Args[1:n-1])))
+	}
+
+	var (
+		checks    = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		listOnly  = flag.Bool("list", false, "list the analyzers and exit")
+		withVet   = flag.Bool("vet", false, "also run the selected standard vet passes (atomic, copylocks, printf, loopclosure, lostcancel)")
+		withTests = flag.Bool("tests", true, "analyze _test.go files too")
+	)
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		analyzers = selectAnalyzers(analyzers, *checks)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	status := 0
+	pkgs, err := analysis.Load("", *withTests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(1)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			status = 2
+		}
+	}
+
+	if *withVet {
+		// The selected standard passes: naming specific analyzer flags
+		// makes `go vet` run only those.
+		args := []string{"vet", "-atomic", "-copylocks", "-printf", "-loopclosure", "-lostcancel"}
+		args = append(args, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			status = 2
+		}
+	}
+	os.Exit(status)
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, list string) []*analysis.Analyzer {
+	want := make(map[string]bool)
+	for _, n := range strings.Split(list, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		fmt.Fprintf(os.Stderr, "reprolint: unknown analyzer %q\n", n)
+		os.Exit(1)
+	}
+	return out
+}
+
+// unitAnalyzers interprets the selection flags `go vet` forwards before
+// the .cfg path: "-name" / "-name=true" enables an analyzer. With no
+// selection flag present, every analyzer runs (plain
+// `go vet -vettool=reprolint ./...`).
+func unitAnalyzers(args []string) []*analysis.Analyzer {
+	enabled := make(map[string]bool)
+	any := false
+	for _, arg := range args {
+		arg = strings.TrimPrefix(arg, "-")
+		name, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			val = "true"
+		}
+		if val == "true" {
+			enabled[name] = true
+			any = true
+		}
+	}
+	all := analysis.All()
+	if !any {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printFlags answers the `-flags` interrogation with the JSON schema
+// cmd/go expects: a list of {Name, Bool, Usage}. Only flags meaningful
+// under the vettool protocol are advertised (one boolean per analyzer,
+// in the style of cmd/vet's per-pass flags); selection is recorded and
+// honored per compilation unit.
+func printFlags() {
+	type f struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []f
+	for _, a := range analysis.All() {
+		out = append(out, f{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// printVersion emits the -V=full line the go command uses as the tool's
+// cache key: "name version devel buildID=<content hash>". Hashing the
+// executable means an edited reprolint invalidates stale vet caches.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("reprolint version devel buildID=%s\n", id)
+}

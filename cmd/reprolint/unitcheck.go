@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for each vet
+// compilation unit (cmd/go/internal/work.vetConfig). Only the fields
+// reprolint consumes are declared; unknown fields are ignored by the
+// decoder.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet compilation unit with the given analyzers
+// and returns the process exit status (0 clean, 1 operational error, 2
+// findings) — the unitchecker contract go vet expects from a -vettool.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// reprolint computes no cross-package facts, but the go command
+	// expects a vetx output file to cache; write an empty marker.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("reprolint/vetx v1\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only dependency visit: nothing to compute
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &vetImporter{cfg: &cfg, fset: fset, seen: make(map[string]*types.Package)},
+		Error:    func(error) {},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter resolves the unit's imports through the export data files
+// the go command listed in the config: ImportMap maps source import
+// strings to canonical package paths, PackageFile maps those to .a files.
+type vetImporter struct {
+	cfg  *vetConfig
+	fset *token.FileSet
+	gc   types.ImporterFrom
+	seen map[string]*types.Package
+}
+
+func (v *vetImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := v.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no package file for %q in vet config", path)
+	}
+	return os.Open(file)
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	return v.ImportFrom(path, "", 0)
+}
+
+func (v *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canonical, ok := v.cfg.ImportMap[path]; ok {
+		path = canonical
+	}
+	if p, ok := v.seen[path]; ok {
+		return p, nil
+	}
+	if v.gc == nil {
+		v.gc = importer.ForCompiler(v.fset, "gc", v.lookup).(types.ImporterFrom)
+	}
+	p, err := v.gc.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	v.seen[path] = p
+	return p, nil
+}

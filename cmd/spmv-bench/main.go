@@ -10,10 +10,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/formats"
@@ -186,6 +190,38 @@ type benchSnapshot struct {
 	Scale      string            `json:"scale"`
 	Kernels    []kernelPoint     `json:"kernels"`
 	Resilience []resiliencePoint `json:"resilience"`
+	// Reprolint is the static-contract finding count of cmd/reprolint over
+	// the whole module at snapshot time — 0 on a clean tree (the CI gate);
+	// nonzero marks a snapshot taken with contract violations outstanding.
+	// Omitted when the suite could not run (snapshot taken outside the
+	// module, no go toolchain).
+	Reprolint *int `json:"reprolint_findings,omitempty"`
+}
+
+// reprolintFindings runs the internal/analysis suite over the module
+// containing the working directory and returns the finding count.
+func reprolintFindings() (int, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return 0, err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return 0, fmt.Errorf("not inside a module")
+	}
+	pkgs, err := analysis.Load(filepath.Dir(gomod), true, "./...")
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			return 0, err
+		}
+		count += len(diags)
+	}
+	return count, nil
 }
 
 // measure times fn (which performs one y = A·x) and returns the point:
@@ -361,6 +397,14 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		return err
 	}
 	snap.Resilience = append(snap.Resilience, rp)
+	// Record the static-contract state alongside the numbers; a snapshot
+	// is a claim about the repo, not just the machine. Soft-fail: missing
+	// toolchain context downgrades to a warning, not a lost benchmark.
+	if n, err := reprolintFindings(); err != nil {
+		fmt.Fprintf(os.Stderr, "spmv-bench: skipping reprolint finding count: %v\n", err)
+	} else {
+		snap.Reprolint = &n
+	}
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		return err

@@ -191,6 +191,41 @@
 // heartbeats enabled, checkpoints at that cadence — costs <5% steady
 // state, and the alloc gates still hold with heartbeats on).
 //
+// # Static contracts: cmd/reprolint
+//
+// The runtime's load-bearing conventions are enforced at compile time by
+// cmd/reprolint, a multichecker over the internal/analysis suite (a
+// required CI job, also runnable as `go vet -vettool=`). Five analyzers,
+// one invariant each:
+//
+//   - commerr — no error returned by a core.Comm, core.Request or
+//     core.PersistentRequest method may be discarded (bare call, go/defer,
+//     or blank-identifier assignment): the error-first contract above is
+//     only real if every call site looks.
+//   - persistwait — one Wait per Start on persistent channels: a Start
+//     that can re-fire (straight-line or looped) without an intervening
+//     Wait of the same request is flagged.
+//   - hotalloc — functions annotated //repro:noalloc (the resident halo
+//     exchange, the team barrier path, the row kernels, tcpmpi framing)
+//     must not allocate: make/new/append, composite literals, closures,
+//     go statements, string conversions and interface boxing are flagged.
+//     Allocations inside early-exit guards are exempt; deliberate
+//     grow-once resident-buffer sites carry //repro:alloc-ok.
+//   - rankorder — reduction combine loops must iterate ranks in canonical
+//     ascending order (descending, strided and map-ordered loops break
+//     the bit-identical reproducibility every transport promises).
+//   - clusterctx — no mutex-taking *core.Cluster method (Mul, Run,
+//     SetMode, Convert, Close) may be reachable from a Run job body,
+//     directly or through package-local helpers: the submitter holds the
+//     cluster lock while the body runs, so the call self-deadlocks.
+//     Mode() and the read-only accessors are the lock-free exceptions.
+//
+// A deliberate exception to any analyzer is written in the code as
+// `//reprolint:ignore <name> <reason>` on (or directly above) the line.
+// Each analyzer ships analysistest-style want-comment fixtures under
+// internal/analysis/testdata/src/, including the known-hard
+// false-positive shapes the suite intentionally tolerates.
+//
 // # Storage formats and kernels
 //
 // The kernel engine is format-generic end to end: every storage scheme —

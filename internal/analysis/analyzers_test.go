@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer must catch every seeded violation in its fixture package
+// and stay silent on the compliant shapes (including the documented
+// known-hard false-positive cases).
+
+func TestCommErr(t *testing.T) {
+	analysistest.Run(t, "testdata/src/commerr", analysis.CommErrAnalyzer)
+}
+
+func TestPersistWait(t *testing.T) {
+	analysistest.Run(t, "testdata/src/persistwait", analysis.PersistWaitAnalyzer)
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotalloc", analysis.HotAllocAnalyzer)
+}
+
+func TestRankOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/rankorder", analysis.RankOrderAnalyzer)
+}
+
+func TestClusterCtx(t *testing.T) {
+	analysistest.Run(t, "testdata/src/clusterctx", analysis.ClusterCtxAnalyzer)
+}
+
+// TestAllNames pins the analyzer roster: CI flags and suppression
+// directives address analyzers by these names.
+func TestAllNames(t *testing.T) {
+	want := []string{"commerr", "persistwait", "hotalloc", "rankorder", "clusterctx"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}
+
+// TestLoadRepo exercises the export-data loader end to end on a real
+// package of this module (with its test variant) and runs the full suite
+// over it; the analysis package itself must be clean.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := analysis.Load("", true, "repro/internal/analysis")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The in-package test variant plus this external _test package.
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			t.Fatalf("RunAnalyzers(%s): %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic in %s: %s", pkg.ImportPath, d)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+// ForTest marks the in-package test variant ("pkg [pkg.test]" entries),
+// whose GoFiles already include the _test.go files of the package under
+// test.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	ForTest    string
+	Standard   bool
+}
+
+// Load enumerates and type-checks the packages matched by patterns,
+// resolving every import through gc export data produced by the local
+// toolchain (`go list -deps -export`). dir is the directory the patterns
+// are interpreted in (the module root for "./..."); "" means the current
+// directory. With tests true, the in-package test variants are loaded too,
+// so _test.go files are analyzed against the same contracts.
+//
+// This is the standard-library stand-in for go/packages: no module
+// downloads, no network — everything comes from the toolchain's own build
+// cache.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-deps", "-export", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthetic test-main package
+		}
+		lp := p
+		targets = append(targets, &lp)
+	}
+	// With -test, a package that has in-package test files is listed twice:
+	// plain and as the "pkg [pkg.test]" variant whose GoFiles are a
+	// superset. Analyze only the variant, so findings are not duplicated.
+	variants := make(map[string]bool)
+	for _, t := range targets {
+		if t.ForTest != "" && !strings.Contains(t.ImportPath, "_test ") {
+			variants[t.ForTest] = true
+		}
+	}
+	kept := targets[:0]
+	for _, t := range targets {
+		if t.ForTest == "" && variants[t.ImportPath] {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	targets = kept
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			continue // cgo packages are outside the analyzers' scope
+		}
+		pkg, err := typecheck(t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package against the export
+// data of its dependencies.
+func typecheck(t *listedPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = t.Dir + "/" + name
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: newExportImporter(fset, exports, t.ForTest),
+		Error:    func(error) {}, // collect only the first hard failure below
+	}
+	tpkg, err := conf.Check(strings.TrimSuffix(t.ImportPath, " ["+t.ForTest+".test]"), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportDataImporter builds an importer over the export data of the given
+// import paths and their dependencies (`go list -deps -export`), resolved
+// relative to the current directory's module. The analysistest fixture
+// loader uses it to give fixture packages access to the real repro types.
+func ExportDataImporter(fset *token.FileSet, imports []string) (types.ImporterFrom, error) {
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, imports...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding go list output: %w", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return newExportImporter(fset, exports, ""), nil
+}
+
+// exportImporter resolves imports from gc export data files. When loading
+// a test variant of package P ("P [P.test]"), packages in P's import graph
+// may have been recompiled against P's test files; those variants are
+// listed as "Q [P.test]" and are preferred over the plain Q export.
+type exportImporter struct {
+	fset    *token.FileSet
+	exports map[string]string
+	forTest string
+	gc      types.ImporterFrom
+	seen    map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string, forTest string) *exportImporter {
+	imp := &exportImporter{fset: fset, exports: exports, forTest: forTest, seen: make(map[string]*types.Package)}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *exportImporter) resolve(path string) string {
+	if imp.forTest != "" {
+		if variant := path + " [" + imp.forTest + ".test]"; imp.exports[variant] != "" {
+			return variant
+		}
+	}
+	return path
+}
+
+func (imp *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := imp.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	key := imp.resolve(path)
+	if p, ok := imp.seen[key]; ok {
+		return p, nil
+	}
+	p, err := imp.gc.ImportFrom(key, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	imp.seen[key] = p
+	return p, nil
+}

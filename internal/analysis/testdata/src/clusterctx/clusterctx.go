@@ -1,0 +1,84 @@
+// Fixture for the clusterctx analyzer: mutex-taking *core.Cluster
+// methods must not be reachable from Run job bodies (self-deadlock).
+package clusterctx
+
+import "repro/internal/core"
+
+// direct calls locking methods straight from the body literal.
+func direct(cl *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		if err := cl.SetMode(core.TaskMode); err != nil { // want `Cluster.SetMode called from inside a Run job body`
+			return err
+		}
+		return cl.Close() // want `Cluster.Close called from inside a Run job body`
+	})
+}
+
+// reconfigure is a package-local helper that takes the cluster lock.
+func reconfigure(cl *core.Cluster) error {
+	return cl.SetMode(core.TaskMode)
+}
+
+// deepHelper adds a second hop to the chain.
+func deepHelper(cl *core.Cluster) error {
+	return reconfigure(cl)
+}
+
+// viaHelper reaches the lock through one call edge.
+func viaHelper(cl *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		return reconfigure(cl) // want `reconfigure reaches Cluster.SetMode from inside a Run job body`
+	})
+}
+
+// viaTwoHops reaches it through two — the fixpoint, not a one-step scan.
+func viaTwoHops(cl *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		return deepHelper(cl) // want `deepHelper reaches Cluster.SetMode from inside a Run job body`
+	})
+}
+
+// app shows the named-body form: Run(a.body) instead of a literal.
+type app struct{ cl *core.Cluster }
+
+func (a *app) body(w *core.Worker) error {
+	return a.cl.Close()
+}
+
+func (a *app) run() error {
+	return a.cl.Run(a.body) // want `job body body calls Cluster.Close`
+}
+
+// allowed exercises every lock-free method: Mode is the documented
+// exception, and the read-only accessors plus Interrupt never touch the
+// mutex. None of these may be flagged.
+func allowed(cl *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		if cl.Mode() == core.TaskMode {
+			_ = cl.Ranks()
+			_ = cl.Threads()
+			_ = cl.Rows()
+		}
+		cl.Interrupt()
+		return w.Comm.Barrier()
+	})
+}
+
+// otherCluster is the known-hard false-positive case: the analyzer is
+// receiver-insensitive, so locking a DIFFERENT cluster from a body is
+// flagged even though no lock is shared. This over-approximation is
+// deliberate — two live clusters in one process is not a runtime shape,
+// and the directive below is the escape hatch when it ever is.
+func otherCluster(cl, other *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		return other.Close() // want `Cluster.Close called from inside a Run job body`
+	})
+}
+
+// otherClusterSuppressed is the same shape with the documented opt-out.
+func otherClusterSuppressed(cl, other *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		//reprolint:ignore clusterctx distinct cluster, no shared lock
+		return other.Close()
+	})
+}

@@ -1,0 +1,67 @@
+// Fixture for the commerr analyzer: discarded errors from the error-first
+// core.Comm / Request / PersistentRequest contract.
+package commerr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// discards collects the violation shapes: each `want` line must be
+// flagged.
+func discards(c core.Comm, buf []float64) {
+	c.Barrier()                      // want `error from Barrier is discarded`
+	c.Waitall()                      // want `error from Waitall is discarded`
+	go c.Barrier()                   // want `error from Barrier is unobservable in a go statement`
+	defer c.Barrier()                // want `error from Barrier is unobservable in a deferred call`
+	_ = c.Barrier()                  // want `error from Barrier is assigned to the blank identifier`
+	res, _ := c.Allreduce(0, buf)    // want `error from Allreduce is assigned to the blank identifier`
+	req, _ := c.Irecv(0, 0, buf)     // want `error from Irecv is assigned to the blank identifier`
+	req2, _ := c.SendInit(0, 0, buf) // want `error from SendInit is assigned to the blank identifier`
+	_ = res
+	if req != nil {
+		req.Wait() // want `error from Wait is discarded`
+	}
+	if req2 != nil {
+		req2.Start() // want `error from Start is discarded`
+		req2.Wait()  // want `error from Wait is discarded`
+	}
+}
+
+// observed shows the compliant shapes: none of these may be flagged.
+func observed(c core.Comm, buf []float64) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	res, err := c.Allreduce(core.OpSum, buf)
+	if err != nil {
+		return err
+	}
+	_ = res // the RESULT may be discarded; only the error is contractual
+	_, err = c.AllreduceScalar(core.OpMax, 1)
+	if err != nil {
+		return err
+	}
+	// Rank and Size carry no error and are exempt.
+	fmt.Println(c.Rank(), c.Size())
+	return nil
+}
+
+// namedReturn is the known-hard false-positive case: the error is
+// assigned to a named return and checked by the CALLER, never inspected
+// locally. commerr intentionally accepts any assignment to a non-blank
+// variable — flow-tracking whether the variable is later read is a
+// documented non-goal (it would need SSA liveness, and the shape below is
+// legitimate error-first code).
+func namedReturn(c core.Comm) (err error) {
+	err = c.Barrier() // legitimately unchecked here: the caller sees it
+	return
+}
+
+// suppressed shows the escape hatch: a deliberate best-effort discard
+// carries an explicit directive (the faultmpi delayed-frame shape).
+func suppressed(c core.Comm) {
+	//reprolint:ignore commerr fixture for the deliberate best-effort shape
+	c.Barrier()
+}

@@ -1,0 +1,107 @@
+// Fixture for the hotalloc analyzer: per-call heap allocations inside
+// functions annotated //repro:noalloc.
+package hotalloc
+
+// sink is an interface-typed package variable used to force boxing.
+var sink interface{}
+
+// state is a resident hot-path object in the style of core.Worker.
+type state struct {
+	buf    []float64
+	chunks []int
+	out    [][]float64
+}
+
+// allocates collects the violation shapes.
+//
+//repro:noalloc
+func (s *state) allocates(n int) {
+	tmp := make([]float64, n)   // want `make allocates`
+	s.buf = append(s.buf, 1)    // want `append allocates`
+	_ = new(state)              // want `new allocates`
+	_ = []int{1, 2, 3}          // want `slice literal allocates`
+	_ = map[int]int{}           // want `map literal allocates`
+	p := &state{}               // want `&composite escapes to the heap`
+	f := func() {}              // want `closure allocates`
+	go s.clean(tmp)             // want `go statement allocates a goroutine`
+	sink = n                    // want `value of type int boxed into`
+	_ = string(s.chunksBytes()) // want `string/slice conversion allocates`
+	_ = p
+	f()
+}
+
+// clean is steady-state-shaped code: index loops, calls, value reads —
+// none of it allocates, none of it may be flagged.
+//
+//repro:noalloc
+func (s *state) clean(x []float64) {
+	for i := range x {
+		x[i] = 2 * x[i]
+	}
+	for _, c := range s.chunks {
+		if c < len(x) {
+			x[c] = 0
+		}
+	}
+	s.step(x)
+}
+
+// step shows the allowed shapes: value struct literals stay on the stack,
+// pointers and interfaces pass without boxing.
+//
+//repro:noalloc
+func (s *state) step(x []float64) {
+	r := span{0, len(x)}
+	_ = r.hi - r.lo
+}
+
+type span struct{ lo, hi int }
+
+// coldGuard is the known-hard false-positive case #1: allocations inside
+// an early-exit guard are error-path work, not steady state. The
+// terminating block exempts them.
+//
+//repro:noalloc
+func (s *state) coldGuard(n int) error {
+	if n > cap(s.buf) {
+		s.buf = make([]float64, n) // cold: the guard returns
+		return errGrow
+	}
+	s.buf = s.buf[:n]
+	return nil
+}
+
+var errGrow error
+
+// growOnce is the known-hard false-positive case #2: the resident
+// grow-once buffer idiom. The guard does NOT return, so the analyzer
+// cannot prove it cold; the site carries the explicit alloc-ok directive
+// (the convention used by chanmpi's reducer and tcpmpi's frame buffers).
+//
+//repro:noalloc
+func (s *state) growOnce(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) //repro:alloc-ok grow-once resident buffer
+	}
+	s.buf = s.buf[:n]
+}
+
+// unmarkedGrow is the same idiom WITHOUT the directive: flagged, so new
+// grow sites must be reviewed and annotated deliberately.
+//
+//repro:noalloc
+func (s *state) unmarkedGrow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) // want `make allocates`
+	}
+	s.buf = s.buf[:n]
+}
+
+// notAnnotated is identical to allocates but carries no directive:
+// nothing is flagged outside //repro:noalloc functions.
+func (s *state) notAnnotated(n int) {
+	_ = make([]float64, n)
+	sink = n
+}
+
+func (s *state) chunksBytes() []byte { return nil }

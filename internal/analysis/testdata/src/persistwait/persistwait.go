@@ -1,0 +1,87 @@
+// Fixture for the persistwait analyzer: the one-Wait-per-Start contract
+// of persistent communication channels.
+package persistwait
+
+import "repro/internal/core"
+
+// doubleStart is the straight-line violation: two Starts of the same
+// channel with no intervening Wait.
+func doubleStart(p core.PersistentRequest) error {
+	if err := p.Start(); err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil { // want `p.Start follows Start at line 10 with no intervening Wait`
+		return err
+	}
+	return p.Wait()
+}
+
+// startWaitStart is legal: the Wait between the Starts completes the
+// first transfer.
+func startWaitStart(p core.PersistentRequest) error {
+	if err := p.Start(); err != nil {
+		return err
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// loopNoWait is the loop violation: the second iteration restarts a
+// channel whose first transfer was never waited.
+func loopNoWait(p core.PersistentRequest, iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := p.Start(); err != nil { // want `p.Start in a loop with no Wait in the loop body`
+			return err
+		}
+	}
+	return nil
+}
+
+// loopStartWait is the steady-state shape (Worker.Step): Start and Wait
+// both inside the loop body — legal.
+func loopStartWait(p core.PersistentRequest, iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := p.Start(); err != nil {
+			return err
+		}
+		if err := p.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loopVariant is the postRecvs/gatherAndSend shape: the receiver depends
+// on the loop variable, so each iteration starts a DIFFERENT channel and
+// the Waits legitimately live in another function (waitHalo). Exempt.
+func loopVariant(reqs []core.PersistentRequest) error {
+	for _, r := range reqs {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	for i := range reqs {
+		if err := reqs[i].Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitAcrossHelpers is the known-hard false-positive case, documented as
+// a non-goal: Start in one function, Wait in another (the
+// postRecvs/waitHalo split of core.Worker). The pairing is the callers'
+// contract; a function-local analyzer cannot see it, so a lone Start in
+// straight-line code is NOT flagged.
+func splitAcrossHelpers(p core.PersistentRequest) error {
+	return p.Start() // waited by the caller via waitHelper
+}
+
+func waitHelper(p core.PersistentRequest) error {
+	return p.Wait()
+}

@@ -1,0 +1,68 @@
+// Fixture for the rankorder analyzer: reduction combine loops must
+// iterate ranks in canonical ascending order (bit-determinism rule).
+package rankorder
+
+import "repro/internal/chanmpi"
+
+// ascending is the canonical chanmpi/tcpmpi reducer shape: legal.
+func ascending(op chanmpi.ReduceOp, vecs [][]float64, acc []float64) {
+	copy(acc, vecs[0])
+	for q := 1; q < len(vecs); q++ {
+		for i, v := range vecs[q] {
+			acc[i] = op.Combine(acc[i], v)
+		}
+	}
+}
+
+// rangeOverSlice is equally canonical: range order is ascending.
+func rangeOverSlice(op chanmpi.ReduceOp, vecs [][]float64, acc []float64) {
+	for _, vec := range vecs {
+		for i, v := range vec {
+			acc[i] = op.Combine(acc[i], v)
+		}
+	}
+}
+
+// descending combines size-1 ⊕ … ⊕ 0: bit-different from every other
+// transport. Flagged.
+func descending(op chanmpi.ReduceOp, vecs [][]float64, acc []float64) {
+	for q := len(vecs) - 1; q >= 0; q-- { // want `combine loop iterates downward`
+		for i, v := range vecs[q] {
+			acc[i] = op.Combine(acc[i], v)
+		}
+	}
+}
+
+// strided skips ranks on the first pass and revisits them later —
+// non-canonical order. Flagged.
+func strided(op chanmpi.ReduceOp, vecs [][]float64, acc []float64) {
+	for q := 0; q < len(vecs); q += 2 { // want `combine loop strides by more than one rank`
+		for i, v := range vecs[q] {
+			acc[i] = op.Combine(acc[i], v)
+		}
+	}
+}
+
+// mapOrder combines in map iteration order, which differs run to run —
+// the exact failure bit-identity tests exist to catch. Flagged.
+func mapOrder(op chanmpi.ReduceOp, byRank map[int][]float64, acc []float64) {
+	for _, vec := range byRank { // want `combine loop ranges over a map`
+		for i, v := range vec {
+			acc[i] = op.Combine(acc[i], v)
+		}
+	}
+}
+
+// serviceLoop is the known-hard false-positive case: a condition-only
+// retry loop AROUND a canonical combine (the reducer's wait-for-round
+// shape). The outer loop is not a rank iteration and must not be
+// flagged; only provably descending/strided/map-ordered loops are.
+func serviceLoop(op chanmpi.ReduceOp, vecs [][]float64, acc []float64, ready func() bool) {
+	for !ready() {
+		for q := 1; q < len(vecs); q++ {
+			for i, v := range vecs[q] {
+				acc[i] = op.Combine(acc[i], v)
+			}
+		}
+	}
+}

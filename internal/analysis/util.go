@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Import paths of the packages whose contracts the analyzers encode. The
+// transport-neutral aliases in core (core.Request = chanmpi.Request, …)
+// resolve to the same named types, so matching on the defining package
+// covers both spellings.
+const (
+	corePath    = "repro/internal/core"
+	chanmpiPath = "repro/internal/chanmpi"
+)
+
+// namedType reports whether t (after unwrapping aliases and one level of
+// pointer) is the named type pkgPath.name.
+func namedType(t types.Type, pkgPath, name string) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// methodCall resolves a call of the form x.M(...) to its selection: the
+// receiver type and method name. It returns ok=false for non-method calls
+// (plain functions, conversions, builtins).
+func methodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return selection.Recv(), sel.Sel.Name, true
+}
+
+// returnsErrorLast reports whether the call's result tuple ends in error.
+func returnsErrorLast(info *types.Info, call *ast.CallExpr) (n int, errLast bool) {
+	tv, ok := info.Types[call]
+	if !ok {
+		return 0, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return 0, false
+		}
+		return t.Len(), isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return 1, isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorIface) }
+
+// exprString renders an expression compactly — the syntactic identity key
+// persistwait uses to correlate Start/Wait receivers.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// funcBodies visits every function body in the file set exactly once:
+// declared functions (with their names and doc comments) and function
+// literals (with name "" and nil doc). Each body is presented as its own
+// unit — visitors that walk a body themselves should not descend into
+// nested FuncLits, which are delivered separately.
+func funcBodies(files []*ast.File, visit func(name string, doc *ast.CommentGroup, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					visit(d.Name.Name, d.Doc, d.Body)
+				}
+			case *ast.FuncLit:
+				visit("", nil, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// walkWithStack walks the AST depth-first, giving the visitor the stack of
+// ancestor nodes (outermost first, excluding n itself). Return false to
+// prune the subtree.
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := visit(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// terminates reports whether a statement list ends in a statement that
+// leaves the function: return, panic, or an unconditional branch out.
+// Blocks that terminate are the cold early-exit guards of the hot paths;
+// hotalloc exempts allocations inside them.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.GOTO || s.Tok == token.BREAK || s.Tok == token.CONTINUE
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

@@ -601,6 +601,8 @@ func newReducer(size int) *reducer {
 // whose vector length disagrees with the round (the caller fails the world
 // afterwards, outside the reducer lock), or a *WorldError if the world
 // failed while this rank was blocked in the round.
+//
+//repro:noalloc
 func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]float64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -609,7 +611,7 @@ func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]
 	}
 	if r.count == 0 {
 		if r.vecs == nil {
-			r.vecs = make([][]float64, r.size)
+			r.vecs = make([][]float64, r.size) //repro:alloc-ok once-per-world collection table
 		}
 		r.refLn = len(in)
 	} else if len(in) != r.refLn {
@@ -617,7 +619,7 @@ func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]
 	}
 	buf := r.vecs[rank]
 	if cap(buf) < len(in) {
-		buf = make([]float64, len(in))
+		buf = make([]float64, len(in)) //repro:alloc-ok grow-once resident buffer
 	} else {
 		buf = buf[:len(in)]
 	}
@@ -628,7 +630,7 @@ func (r *reducer) allreduce(op ReduceOp, in []float64, rank int, f *failure) ([]
 		// Canonical rank-order combine: 0 ⊕ 1 ⊕ … ⊕ size-1, into the
 		// resident result buffer (distinct from the collection buffers).
 		if cap(r.res) < len(in) {
-			r.res = make([]float64, len(in))
+			r.res = make([]float64, len(in)) //repro:alloc-ok grow-once resident buffer
 		}
 		acc := r.res[:len(in)]
 		copy(acc, r.vecs[0])

@@ -91,6 +91,7 @@ func (p *precv) Start() error {
 	return nil
 }
 
+//repro:noalloc
 func (p *precv) Wait() error { return p.req.Wait() }
 
 // psend is a persistent send channel. It owns a resident staging copy
@@ -164,4 +165,6 @@ func (p *psend) Start() error {
 
 // Wait reports the outcome of the last Start. Sends are buffered, so a
 // successfully started transfer is already complete.
+//
+//repro:noalloc
 func (p *psend) Wait() error { return p.lastErr }

@@ -204,6 +204,8 @@ func (w *Worker) Close() { w.Team.Close() }
 // postRecvs restarts the persistent receive of every halo segment — the
 // compiled equivalent of posting one Irecv per peer, with no per-step
 // request allocation (segments deliver directly into X's halo region).
+//
+//repro:noalloc
 func (w *Worker) postRecvs() error {
 	for _, r := range w.recvReqs {
 		if err := r.Start(); err != nil {
@@ -217,6 +219,8 @@ func (w *Worker) postRecvs() error {
 // send buffers and restarts the persistent sends. The local gather may be
 // done after the receives are initiated, potentially hiding the copy cost
 // (§3.1).
+//
+//repro:noalloc
 func (w *Worker) gatherAndSend() error {
 	for i, tx := range w.Plan.SendTo {
 		buf := w.sendBufs[i]
@@ -235,6 +239,8 @@ func (w *Worker) gatherAndSend() error {
 // are waited even after a failure; the send waits also discharge the
 // one-Wait-per-Start contract, so the next step may legally refill the
 // bound send buffers) and returns the first error observed.
+//
+//repro:noalloc
 func (w *Worker) waitHalo() error {
 	var first error
 	for _, r := range w.recvReqs {
@@ -267,6 +273,7 @@ func (w *Worker) Step(mode Mode) error {
 	}
 }
 
+//repro:noalloc
 func (w *Worker) stepNoOverlap() error {
 	if err := w.postRecvs(); err != nil {
 		return err
@@ -286,6 +293,8 @@ func (w *Worker) stepNoOverlap() error {
 // localPass computes the split-local half Y = A_local·X on the team, in
 // whatever storage format the plan carries (CSR by default, the converted
 // format after Plan.ConvertFormat).
+//
+//repro:noalloc
 func (w *Worker) localPass() {
 	w.Team.Exec(w.localRegion)
 }
@@ -293,10 +302,13 @@ func (w *Worker) localPass() {
 // remotePass computes Y += A_remote·X on the compacted remote matrix: only
 // halo-coupled rows are touched, so the Eq. (2) write-twice penalty scales
 // with the halo.
+//
+//repro:noalloc
 func (w *Worker) remotePass() {
 	w.Team.Exec(w.remoteRegion)
 }
 
+//repro:noalloc
 func (w *Worker) stepNaiveOverlap() error {
 	if err := w.postRecvs(); err != nil {
 		return err
@@ -314,6 +326,7 @@ func (w *Worker) stepNaiveOverlap() error {
 	return nil
 }
 
+//repro:noalloc
 func (w *Worker) stepTaskMode() error {
 	if err := w.postRecvs(); err != nil {
 		return err

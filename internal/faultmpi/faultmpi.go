@@ -256,6 +256,10 @@ func (c *comm) sendFrame(dst, tag int, data []float64) (bool, error) {
 			// closed, in which case the frame is lost — exactly what a
 			// delayed packet on a torn-down connection would be.
 			if r, err := inner.Isend(dst, tag, cp); err == nil {
+				// A delayed frame is best-effort by construction: a Wait
+				// error here means the world died first and the frame is
+				// lost, which is exactly the fault being simulated.
+				//reprolint:ignore commerr delayed frames are lost with the world by design
 				r.Wait()
 			}
 		})

@@ -108,6 +108,8 @@ func (a *CSR) Validate() error {
 
 // MulVec computes y = A*x with the reference serial CSR kernel
 // (the paper's loop in §1.2). It panics if dimensions mismatch.
+//
+//repro:noalloc
 func (a *CSR) MulVec(y, x []float64) {
 	if len(x) != a.NumCols || len(y) != a.NumRows {
 		panic(fmt.Sprintf("matrix: MulVec dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d",

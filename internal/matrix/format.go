@@ -71,6 +71,8 @@ func (a *CSR) NumBlocks() int { return a.NumRows }
 func (a *CSR) BlockNnzPrefix() []int64 { return a.RowPtr }
 
 // MulVecBlocks computes y[lo:hi] = (A·x)[lo:hi] with the unrolled row kernel.
+//
+//repro:noalloc
 func (a *CSR) MulVecBlocks(y, x []float64, lo, hi int) {
 	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
 	for i := lo; i < hi; i++ {
@@ -79,6 +81,8 @@ func (a *CSR) MulVecBlocks(y, x []float64, lo, hi int) {
 }
 
 // MulVecBlocksAdd computes y[lo:hi] += (A·x)[lo:hi].
+//
+//repro:noalloc
 func (a *CSR) MulVecBlocksAdd(y, x []float64, lo, hi int) {
 	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
 	for i := lo; i < hi; i++ {
@@ -93,6 +97,8 @@ func (a *CSR) MulVecBlocksAdd(y, x []float64, lo, hi int) {
 // results; it still amortizes loop control and bounds checks over four
 // entries. This is the single row kernel of the engine: every other
 // kernel either calls it or (SELL-C-σ) preserves its summation order.
+//
+//repro:noalloc
 func RowDot(s float64, val []float64, colIdx []int32, x []float64, lo, hi int64) float64 {
 	k := lo
 	for ; k+4 <= hi; k += 4 {

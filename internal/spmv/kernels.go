@@ -7,6 +7,8 @@ import (
 )
 
 // Serial computes y = A·x with the scalar CRS kernel of §1.2.
+//
+//repro:noalloc
 func Serial(y []float64, a *matrix.CSR, x []float64) {
 	a.MulVec(y, x)
 }
@@ -144,6 +146,8 @@ func (c *CompactCSR) Validate() error {
 // accumulation order every kernel of the engine shares, and the second
 // pass's += on the result vector is what motivates the modified code
 // balance of Eq. (2).
+//
+//repro:noalloc
 func (c *CompactCSR) MulStoredRowsAdd(y, x []float64, lo, hi int) {
 	rowPtr, colIdx, val := c.RowPtr, c.ColIdx, c.Val
 	for p := lo; p < hi; p++ {

@@ -84,6 +84,8 @@ func NewTeam(size int) *Team {
 
 // worker is the barrier loop: wait for a new region, run it if this worker
 // participates, and signal completion if it is the last one out.
+//
+//repro:noalloc
 func (t *Team) worker(w int) {
 	seen := uint32(0)
 	for {
@@ -164,6 +166,8 @@ func (t *Team) Compile(n int, f func(worker int)) *Region {
 
 // Exec runs a compiled region to completion: Start + Join, the restartable
 // equivalent of RunSubteam(r.n, r.fn).
+//
+//repro:noalloc
 func (t *Team) Exec(r *Region) {
 	t.Start(r)
 	t.Join()
@@ -174,6 +178,8 @@ func (t *Team) Exec(r *Region) {
 // paper's task mode, the caller is the communication thread and sits
 // inside the halo wait. Every Start must be matched by a Join before the
 // next region (Run/Exec/Start/Close) on this team.
+//
+//repro:noalloc
 func (t *Team) Start(r *Region) {
 	if r.closed {
 		panic("spmv: Start on a closed-team sentinel region")
@@ -196,6 +202,8 @@ func (t *Team) Start(r *Region) {
 // Join blocks until the region launched by the last Start has completed —
 // the implied barrier of the parallel region. Join after a zero-sized or
 // absent Start returns immediately.
+//
+//repro:noalloc
 func (t *Team) Join() {
 	if !t.inflight {
 		return
@@ -207,6 +215,8 @@ func (t *Team) Join() {
 // publish makes d the current region and wakes any parked workers. The
 // store happens under the parking mutex so a worker checking for a new
 // region before cond.Wait cannot miss the broadcast.
+//
+//repro:noalloc
 func (t *Team) publish(d *Region) {
 	t.mu.Lock()
 	if t.closed && !d.closed {

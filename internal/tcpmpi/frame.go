@@ -88,6 +88,8 @@ func newPeerConn(c net.Conn, br *bufio.Reader) *peerConn {
 // writeFrame sends one frame, flushing it onto the wire before returning —
 // buffered-send semantics: once writeFrame returns, the payload is owned
 // by the kernel's socket buffer and the caller may reuse data.
+//
+//repro:noalloc
 func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) error {
 	if len(data) > maxFrameElems {
 		return fmt.Errorf("tcpmpi: frame of %d elements exceeds the %d-element cap", len(data), maxFrameElems)
@@ -96,7 +98,7 @@ func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) erro
 	defer p.wmu.Unlock()
 	need := frameHeaderLen + 8*len(data)
 	if cap(p.scratch) < need {
-		p.scratch = make([]byte, need)
+		p.scratch = make([]byte, need) //repro:alloc-ok grow-once resident buffer
 	}
 	b := p.scratch[:need]
 	binary.LittleEndian.PutUint32(b[0:], uint32(len(data)))
@@ -124,6 +126,8 @@ func (p *peerConn) writeFrame(kind byte, src, dst, tag int, data []float64) erro
 // — zero allocations per frame) or into a recycled buffered-arrival
 // carrier otherwise. raw is valid until the next readFrame (readFrame is
 // only called from the connection's single reader goroutine).
+//
+//repro:noalloc
 func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err error) {
 	hdr := p.rhdr[:]
 	if _, err = io.ReadFull(p.br, hdr); err != nil {
@@ -146,7 +150,7 @@ func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err er
 		return
 	}
 	if cap(p.rscratch) < int(8*count) {
-		p.rscratch = make([]byte, 8*count)
+		p.rscratch = make([]byte, 8*count) //repro:alloc-ok grow-once resident buffer
 	}
 	raw = p.rscratch[:8*count]
 	_, err = io.ReadFull(p.br, raw)
@@ -155,6 +159,8 @@ func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err er
 
 // decodeInto decodes a raw little-endian float64 payload into dst, which
 // must hold exactly len(raw)/8 elements.
+//
+//repro:noalloc
 func decodeInto(dst []float64, raw []byte) {
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
