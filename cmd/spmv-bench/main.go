@@ -190,6 +190,11 @@ type benchSnapshot struct {
 	Scale      string            `json:"scale"`
 	Kernels    []kernelPoint     `json:"kernels"`
 	Resilience []resiliencePoint `json:"resilience"`
+	// Serving is the multi-tenant service sweep (cmd/spmv-serve driven by
+	// the load generator): req/s and latency percentiles per tenants ×
+	// concurrency cell, every response verified bit-identical against a
+	// reference cluster.
+	Serving []servePoint `json:"serving"`
 	// Reprolint is the static-contract finding count of cmd/reprolint over
 	// the whole module at snapshot time — 0 on a clean tree (the CI gate);
 	// nonzero marks a snapshot taken with contract violations outstanding.
@@ -397,6 +402,13 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		return err
 	}
 	snap.Resilience = append(snap.Resilience, rp)
+	// Serving sweep: the multi-tenant service measured end to end over
+	// loopback HTTP, with bit-identity verification as a hard gate.
+	sp, err := measureServing(1500 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	snap.Serving = sp
 	// Record the static-contract state alongside the numbers; a snapshot
 	// is a claim about the repo, not just the machine. Soft-fail: missing
 	// toolchain context downgrades to a warning, not a lost benchmark.

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// servePoint is one serving-sweep measurement in the snapshot: closed-loop
+// throughput and latency percentiles for a tenants × concurrency cell,
+// with every response verified bit for bit against a reference cluster.
+type servePoint struct {
+	Matrix         string  `json:"matrix"`
+	Tenants        int     `json:"tenants"`
+	Concurrency    int     `json:"concurrency"`
+	MulFraction    float64 `json:"mul_fraction"`
+	Requests       int     `json:"requests"`
+	Rejected       int     `json:"rejected"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	Verified       int     `json:"verified"`
+	VerifyFailures int     `json:"verify_failures"`
+}
+
+// measureServing runs the serving sweep: an in-process spmv-serve on a
+// loopback listener, driven closed-loop over HTTP by the load generator
+// across tenants × concurrency, all-mul cells plus one mixed mul/solve
+// cell. Every response is checked bit for bit; any verification failure
+// fails the snapshot (the serving layer's reproducibility contract is a
+// gate, not a column).
+func measureServing(perCell time.Duration) ([]servePoint, error) {
+	srv := serve.NewServer(serve.Config{
+		Ranks: 4, Threads: 2, Mode: core.TaskMode,
+		QueueDepth: 256, InflightCap: 64, Sessions: 2, BatchMax: 8,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := &serve.Client{Base: "http://" + ln.Addr().String()}
+	spec := serve.Spec{Kind: "random", N: 4000, Bandwidth: 64, PerRow: 8, Seed: 7, SPD: true}
+
+	cells := []struct {
+		tenants, conc int
+		mulFraction   float64
+	}{
+		{1, 1, 1.0},
+		{1, 8, 1.0},
+		{4, 1, 1.0},
+		{4, 8, 1.0},
+		{2, 4, 0.95}, // mixed mul/solve cell
+	}
+	var points []servePoint
+	for _, c := range cells {
+		res, err := serve.RunLoad(serve.LoadConfig{
+			Client: client, Matrix: "bench-band", Spec: spec,
+			Tenants: c.tenants, Concurrency: c.conc, Duration: perCell,
+			MulFraction: c.mulFraction, Iters: 4, Seeds: 16, Verify: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serving cell %dx%d: %w", c.tenants, c.conc, err)
+		}
+		if res.VerifyFailures > 0 {
+			return nil, fmt.Errorf("serving cell %dx%d: %d of %d responses differ from the reference",
+				c.tenants, c.conc, res.VerifyFailures, res.Verified)
+		}
+		points = append(points, servePoint{
+			Matrix:  "bench-band",
+			Tenants: c.tenants, Concurrency: c.conc, MulFraction: c.mulFraction,
+			Requests: res.Requests, Rejected: res.Rejected,
+			ReqPerSec: res.ReqPerSec,
+			P50Ms:     res.P50Ms, P95Ms: res.P95Ms, P99Ms: res.P99Ms,
+			Verified: res.Verified, VerifyFailures: res.VerifyFailures,
+		})
+	}
+	return points, nil
+}

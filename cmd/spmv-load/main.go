@@ -1,0 +1,103 @@
+// Command spmv-load is the serving throughput/latency harness: it drives a
+// running spmv-serve with a sweep of concurrent tenants for a fixed
+// duration and reports req/s, latency percentiles (p50/p95/p99), and the
+// admission-control rejection count.
+//
+// With -verify (the default) every successful response is checked BIT FOR
+// BIT against a reference cluster the generator builds from the same spec
+// and the geometry the server reports — the serving layer's end-to-end
+// reproducibility proof: batching, pooling, world restarts and tenant
+// interleaving must not change a single ulp.
+//
+//	spmv-serve &
+//	spmv-load -addr http://127.0.0.1:8311 -tenants 4 -concurrency 8 -duration 5s
+//
+// -rate switches from the closed loop (each worker issues its next request
+// when the previous completes) to an open loop: arrivals fire on a fixed
+// clock regardless of completions, so offered load beyond capacity shows
+// up as 429 rejections and client-side drops instead of silently
+// stretching the closed-loop cycle time.
+//
+// The exit status encodes the run's health for CI: nonzero when any
+// response failed verification, when nothing completed, or when
+// -min-throughput is not met.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8311", "spmv-serve base URL")
+		name     = flag.String("matrix", "band", "matrix name to register and drive")
+		n        = flag.Int("n", 4000, "random band matrix dimension")
+		bw       = flag.Int("bandwidth", 64, "random band matrix bandwidth")
+		perRow   = flag.Int("per-row", 8, "off-diagonal entries per row")
+		seed     = flag.Uint64("seed", 7, "matrix seed")
+		mode     = flag.String("mode", "", "registration mode override (empty = server default)")
+		format   = flag.String("format", "", "registration format override")
+		tenants  = flag.Int("tenants", 2, "distinct tenant identities")
+		conc     = flag.Int("concurrency", 4, "concurrent workers (closed loop) / outstanding cap (open loop)")
+		duration = flag.Duration("duration", 3*time.Second, "run duration")
+		mulFrac  = flag.Float64("mul-fraction", 0.9, "share of requests that are multiplications (rest: CG solves)")
+		iters    = flag.Int("iters", 4, "multiplication iterations per request")
+		seeds    = flag.Int("seeds", 16, "request-seed cardinality (bounds reference computations)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		verify   = flag.Bool("verify", true, "check every response bit for bit against a reference cluster")
+		minTput  = flag.Float64("min-throughput", 0, "fail (exit 1) below this many completed req/s")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Client: &serve.Client{Base: *addr},
+		Matrix: *name,
+		Spec: serve.Spec{
+			Kind: "random", N: *n, Bandwidth: *bw, PerRow: *perRow,
+			Seed: *seed, SPD: true,
+		},
+		Mode: *mode, Format: *format,
+		Tenants: *tenants, Concurrency: *conc, Duration: *duration,
+		MulFraction: *mulFrac, Iters: *iters, Seeds: *seeds,
+		OpenRateHz: *rate, Verify: *verify,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmv-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		fmt.Printf("spmv-load: %d requests in %.2fs (%d tenants × %d workers)\n",
+			res.Requests, res.DurationSec, *tenants, *conc)
+		fmt.Printf("  completed %d (%.1f req/s), rejected %d, errors %d, dropped %d, retried %d\n",
+			res.Completed, res.ReqPerSec, res.Rejected, res.Errors, res.Dropped, res.Retried)
+		fmt.Printf("  latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			res.MeanMs, res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs)
+		if *verify {
+			fmt.Printf("  verified %d bit-identical, %d failures\n", res.Verified, res.VerifyFailures)
+		}
+	}
+
+	switch {
+	case res.VerifyFailures > 0:
+		fmt.Fprintf(os.Stderr, "spmv-load: FAIL: %d responses differ from the reference\n", res.VerifyFailures)
+		os.Exit(1)
+	case res.Completed == 0:
+		fmt.Fprintln(os.Stderr, "spmv-load: FAIL: no requests completed")
+		os.Exit(1)
+	case *minTput > 0 && res.ReqPerSec < *minTput:
+		fmt.Fprintf(os.Stderr, "spmv-load: FAIL: %.1f req/s below the %.1f floor\n", res.ReqPerSec, *minTput)
+		os.Exit(1)
+	}
+}

@@ -256,4 +256,52 @@
 // BENCH_3.json) that tracks the repo's performance trajectory; -mode and
 // -format (core.ParseMode, core.ParseFormat) restrict the sweep to a
 // single kernel mode or storage format.
+//
+// # Serving: the multi-tenant SpMV service
+//
+// internal/serve lifts the resident runtime into a long-running service —
+// the shape the paper's application codes take when the same operator is
+// hit by many independent request streams. cmd/spmv-serve exposes it over
+// HTTP+JSON on loopback; cmd/spmv-load is its throughput/latency harness.
+//
+// The architecture is three layers over one shared plan. The REGISTRY
+// loads or generates each named matrix once (deterministically, from a
+// comparable Spec), partitions it by nonzeros, converts it to the
+// session's storage format at registration — so every pooled cluster
+// shares one read-only *core.Plan — and evicts least-recently-used idle
+// matrices when a byte budget (core.Plan.Bytes) is exceeded; requests pin
+// their matrix from admission to completion, so eviction never races a
+// live request. The POOL keeps up to Config.Sessions resident
+// core.Clusters per matrix, spun up lazily and each wrapped in a
+// core.Supervisor: a world failure mid-request redials a fresh world and
+// transparently retries the interrupted remainder of the batch (up to
+// Config.MaxAttempts per request), so callers see attempts > 1, not an
+// error. The DISPATCHER is a single goroutine over per-tenant FIFO rings:
+// admission control rejects a request immediately when its tenant's
+// bounded queue is full (HTTP 429) — queueing is the tenant's, not the
+// server's — while dispatch round-robins across tenants (a saturating
+// tenant cannot starve a light one; per-tenant in-flight caps bound its
+// share) and coalesces compatible requests for the same matrix into
+// batches that ride consecutive Mul/DistCG calls on one warm cluster.
+//
+// The steady state stays on the PR 5 zero-allocation path: tenant rings
+// and batches are preallocated and recycled through freelists, the
+// dispatcher's drain/flush loops and the session's batch loop are
+// annotated //repro:noalloc (enforced by cmd/reprolint), and the actual
+// multiplication is the cluster's resident Mul job. The clusterctx
+// analyzer generalizes to this layer by type, not by name: any argument
+// in a func(*core.Worker) error parameter slot is checked against the
+// job-body locking rule, so pooled-cluster wrappers inherit the
+// no-mutex-method guarantee.
+//
+// Bit-reproducibility is the serving contract, end to end: a response is
+// a pure function of (spec, partition geometry, mode, format, request
+// seed) — thread count does not affect bits — so cmd/spmv-load -verify
+// rebuilds the server's matrix from the same spec and the geometry
+// reported at registration, replays every request on a local reference
+// cluster, and compares float-for-float. Batching, pooling, tenant
+// interleaving and supervised world restarts must not change a single
+// ulp; the bench snapshot (the serving columns of BENCH_8.json onward)
+// and the serve-smoke CI job treat a verification failure as a hard
+// error, not a data point.
 package repro

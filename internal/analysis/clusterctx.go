@@ -6,27 +6,34 @@ import (
 )
 
 // ClusterCtxAnalyzer enforces the job-body locking rule documented on
-// core.Cluster since PR 3: a Run job body executes while the submitting
-// goroutine holds the cluster's mutex, so calling any mutex-taking
-// Cluster method from inside the body self-deadlocks — the body waits for
-// the lock that is waiting for the body. Mode() is lock-free and
-// explicitly safe.
+// core.Cluster since PR 3: a cluster job body executes while the
+// submitting goroutine holds the cluster's mutex, so calling any
+// mutex-taking Cluster method from inside the body self-deadlocks — the
+// body waits for the lock that is waiting for the body. Mode() is
+// lock-free and explicitly safe.
 //
-// The check finds every function literal passed to (*core.Cluster).Run
-// and walks the calls reachable from it through same-package functions
-// and methods (one fixpoint over the package's call graph — the
+// A job body is recognized by its type, not its destination: any function
+// literal (or named function) passed as an argument whose parameter type
+// is the job-body signature func(*core.Worker) error is checked. That
+// covers (*core.Cluster).Run directly, and equally any wrapper that
+// forwards bodies to a cluster — the session pools of internal/serve, a
+// test harness, a retry shim — so pooled-cluster job bodies get the same
+// guarantee without the analyzer knowing the wrapper by name.
+//
+// From each body the check walks the calls reachable through same-package
+// functions and methods (one fixpoint over the package's call graph — the
 // "call-graph reachability from body literals" of the PR 3 postmortem).
 // A reachable call to a locking method is reported at the body's call
 // site; helpers are reported with the chain's first hop so the deadlock
 // is attributable.
 //
-// Locking methods: Mul, Run, SetMode, Convert, Close. Lock-free and
-// allowed: Mode, Ranks, LocalRanks, Threads, Rows, Plan, Interrupt.
+// Locking methods: Mul, Run, SetMode, Convert, Close, Failed. Lock-free
+// and allowed: Mode, Ranks, LocalRanks, Threads, Rows, Plan, Interrupt.
 // Cross-package helpers are a documented non-goal (export data carries no
 // bodies); the runtime's own packages keep job-body helpers local.
 var ClusterCtxAnalyzer = &Analyzer{
 	Name: "clusterctx",
-	Doc:  "flags mutex-taking *core.Cluster methods called (transitively) from Run job bodies",
+	Doc:  "flags mutex-taking *core.Cluster methods called (transitively) from cluster job bodies",
 	Run:  runClusterCtx,
 }
 
@@ -38,6 +45,7 @@ var lockingClusterMethods = map[string]bool{
 	"SetMode": true,
 	"Convert": true,
 	"Close":   true,
+	"Failed":  true,
 }
 
 func runClusterCtx(pass *Pass) error {
@@ -111,53 +119,99 @@ func runClusterCtx(pass *Pass) error {
 		}
 	}
 
-	// Pass 2 — walk every literal passed as the body of a Cluster.Run call
-	// and report reachable locking calls.
+	// reportBody checks one argument in job-body position: a literal is
+	// walked directly (plus reachable helpers), a named function is
+	// checked through its summary.
+	reportBody := func(arg ast.Expr) {
+		body, ok := arg.(*ast.FuncLit)
+		if !ok {
+			if callee := staticCallee(info, arg); callee != nil {
+				if s, ok := summaries[callee]; ok {
+					for m := range s.locking {
+						pass.Reportf(arg.Pos(), "job body %s calls Cluster.%s, which takes the cluster lock the submitter holds (self-deadlock)", callee.Name(), m)
+					}
+				}
+			}
+			return
+		}
+		ast.Inspect(body.Body, func(bn ast.Node) bool {
+			bcall, ok := bn.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := lockingCall(bcall); ok {
+				pass.Reportf(bcall.Pos(), "Cluster.%s called from inside a cluster job body self-deadlocks (the submitter holds the cluster lock; Mode is the lock-free exception)", m)
+				return true
+			}
+			if callee := staticCallee(info, bcall); callee != nil {
+				if s, ok := summaries[callee]; ok {
+					for m := range s.locking {
+						pass.Reportf(bcall.Pos(), "%s reaches Cluster.%s from inside a cluster job body (self-deadlock via helper)", callee.Name(), m)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2 — walk every call and check each argument sitting in a
+	// job-body-typed parameter slot. Cluster.Run is just one such call;
+	// wrappers that forward bodies to a pooled cluster match the same way.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			recv, name, isMethod := methodCall(info, call)
-			if !isMethod || name != "Run" || !namedType(recv, corePath, "Cluster") || len(call.Args) != 1 {
-				return true
-			}
-			body, ok := call.Args[0].(*ast.FuncLit)
+			sig, ok := types.Unalias(info.TypeOf(call.Fun)).(*types.Signature)
 			if !ok {
-				// Run(helper): a named body function is checked through its
-				// summary.
-				if callee := staticCallee(info, call.Args[0]); callee != nil {
-					if s, ok := summaries[callee]; ok {
-						for m := range s.locking {
-							pass.Reportf(call.Args[0].Pos(), "job body %s calls Cluster.%s, which takes the cluster lock the submitter holds (self-deadlock)", callee.Name(), m)
-						}
-					}
-				}
-				return true
+				return true // conversion, builtin, type expression
 			}
-			ast.Inspect(body.Body, func(bn ast.Node) bool {
-				bcall, ok := bn.(*ast.CallExpr)
-				if !ok {
-					return true
+			params := sig.Params()
+			for i, arg := range call.Args {
+				pt, ok := paramType(params, i, sig.Variadic())
+				if !ok || !isJobBodyType(pt) {
+					continue
 				}
-				if m, ok := lockingCall(bcall); ok {
-					pass.Reportf(bcall.Pos(), "Cluster.%s called from inside a Run job body self-deadlocks (the submitter holds the cluster lock; Mode is the lock-free exception)", m)
-					return true
-				}
-				if callee := staticCallee(info, bcall); callee != nil {
-					if s, ok := summaries[callee]; ok {
-						for m := range s.locking {
-							pass.Reportf(bcall.Pos(), "%s reaches Cluster.%s from inside a Run job body (self-deadlock via helper)", callee.Name(), m)
-						}
-					}
-				}
-				return true
-			})
+				reportBody(arg)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// paramType returns the declared type of the i-th argument's parameter,
+// unpacking the variadic tail.
+func paramType(params *types.Tuple, i int, variadic bool) (types.Type, bool) {
+	n := params.Len()
+	if n == 0 {
+		return nil, false
+	}
+	if variadic && i >= n-1 {
+		if sl, ok := types.Unalias(params.At(n - 1).Type()).(*types.Slice); ok {
+			return sl.Elem(), true
+		}
+		return nil, false
+	}
+	if i >= n {
+		return nil, false
+	}
+	return params.At(i).Type(), true
+}
+
+// isJobBodyType reports whether t is the cluster job-body signature
+// func(*core.Worker) error — the type whose values run under the
+// submitter-held cluster lock, wherever they are passed.
+func isJobBodyType(t types.Type) bool {
+	sig, ok := types.Unalias(t).(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	return namedType(sig.Params().At(0).Type(), corePath, "Worker")
 }
 
 // staticCallee resolves the *types.Func a call or function-valued

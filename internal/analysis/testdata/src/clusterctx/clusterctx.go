@@ -1,5 +1,8 @@
 // Fixture for the clusterctx analyzer: mutex-taking *core.Cluster
-// methods must not be reachable from Run job bodies (self-deadlock).
+// methods must not be reachable from cluster job bodies (self-deadlock).
+// A body is recognized by its func(*core.Worker) error type at any call
+// site — Cluster.Run itself, or any wrapper that forwards bodies to a
+// cluster (the pooled-session shape of internal/serve).
 package clusterctx
 
 import "repro/internal/core"
@@ -7,10 +10,10 @@ import "repro/internal/core"
 // direct calls locking methods straight from the body literal.
 func direct(cl *core.Cluster) error {
 	return cl.Run(func(w *core.Worker) error {
-		if err := cl.SetMode(core.TaskMode); err != nil { // want `Cluster.SetMode called from inside a Run job body`
+		if err := cl.SetMode(core.TaskMode); err != nil { // want `Cluster.SetMode called from inside a cluster job body`
 			return err
 		}
-		return cl.Close() // want `Cluster.Close called from inside a Run job body`
+		return cl.Close() // want `Cluster.Close called from inside a cluster job body`
 	})
 }
 
@@ -27,14 +30,14 @@ func deepHelper(cl *core.Cluster) error {
 // viaHelper reaches the lock through one call edge.
 func viaHelper(cl *core.Cluster) error {
 	return cl.Run(func(w *core.Worker) error {
-		return reconfigure(cl) // want `reconfigure reaches Cluster.SetMode from inside a Run job body`
+		return reconfigure(cl) // want `reconfigure reaches Cluster.SetMode from inside a cluster job body`
 	})
 }
 
 // viaTwoHops reaches it through two — the fixpoint, not a one-step scan.
 func viaTwoHops(cl *core.Cluster) error {
 	return cl.Run(func(w *core.Worker) error {
-		return deepHelper(cl) // want `deepHelper reaches Cluster.SetMode from inside a Run job body`
+		return deepHelper(cl) // want `deepHelper reaches Cluster.SetMode from inside a cluster job body`
 	})
 }
 
@@ -71,7 +74,7 @@ func allowed(cl *core.Cluster) error {
 // and the directive below is the escape hatch when it ever is.
 func otherCluster(cl, other *core.Cluster) error {
 	return cl.Run(func(w *core.Worker) error {
-		return other.Close() // want `Cluster.Close called from inside a Run job body`
+		return other.Close() // want `Cluster.Close called from inside a cluster job body`
 	})
 }
 
@@ -80,5 +83,52 @@ func otherClusterSuppressed(cl, other *core.Cluster) error {
 	return cl.Run(func(w *core.Worker) error {
 		//reprolint:ignore clusterctx distinct cluster, no shared lock
 		return other.Close()
+	})
+}
+
+// submit is the pooled-cluster wrapper shape: it forwards bodies to a
+// cluster it owns, so its job-body-typed parameter marks every argument
+// as running under the cluster lock — without the analyzer knowing
+// "submit" by name.
+func submit(cl *core.Cluster, body func(w *core.Worker) error) error {
+	return cl.Run(body)
+}
+
+// viaWrapper passes a deadlocking literal through the wrapper instead of
+// straight to Run.
+func viaWrapper(cl *core.Cluster) error {
+	return submit(cl, func(w *core.Worker) error {
+		return cl.Convert(nil) // want `Cluster.Convert called from inside a cluster job body`
+	})
+}
+
+// viaWrapperHelper reaches the lock through a helper from a wrapped body.
+func viaWrapperHelper(cl *core.Cluster) error {
+	return submit(cl, func(w *core.Worker) error {
+		return reconfigure(cl) // want `reconfigure reaches Cluster.SetMode from inside a cluster job body`
+	})
+}
+
+// viaWrapperNamed passes a named deadlocking body through the wrapper.
+func viaWrapperNamed(a *app) error {
+	return submit(a.cl, a.body) // want `job body body calls Cluster.Close`
+}
+
+// probe calls the Failed accessor, which takes the cluster lock — the
+// pool-facing method must be as forbidden in a body as Mul or Close.
+func probe(cl *core.Cluster) error {
+	return cl.Run(func(w *core.Worker) error {
+		if cl.Failed() != nil { // want `Cluster.Failed called from inside a cluster job body`
+			return nil
+		}
+		return nil
+	})
+}
+
+// wrapperAllowed: a clean body through the wrapper is not flagged.
+func wrapperAllowed(cl *core.Cluster) error {
+	return submit(cl, func(w *core.Worker) error {
+		_ = cl.Mode()
+		return w.Comm.Barrier()
 	})
 }

@@ -259,6 +259,17 @@ func (c *Cluster) Plan() *Plan { return c.plan }
 // inside a Run job body.
 func (c *Cluster) Mode() Mode { return Mode(c.mode.Load()) }
 
+// Failed returns the error of the job that poisoned the cluster's world,
+// or nil while the cluster is healthy. Session pools (internal/serve) use
+// it to decide whether a resident cluster can take further work without
+// paying a probe job. It takes the cluster lock, so — like every method
+// except Mode — it must not be called from inside a job body.
+func (c *Cluster) Failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
 // SetMode switches the kernel mode for subsequent multiplications, without
 // touching the resident runtime. It takes effect after in-flight jobs drain.
 func (c *Cluster) SetMode(m Mode) error {

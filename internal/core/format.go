@@ -9,12 +9,23 @@ import (
 	"repro/internal/matrix"
 )
 
+// FormatTokens returns the grammar of every name ParseFormat accepts —
+// the concrete tokens plus the SELL-C-σ pattern — for command-line help
+// and API error messages. The pattern entry is a template, not a literal
+// token: any "sell-<C>-<sigma>" with positive integers parses.
+func FormatTokens() []string {
+	return []string{"crs", "csr", "sell-<C>-<sigma> (e.g. sell-32-256)"}
+}
+
 // ParseFormat maps a storage-format name to its FormatBuilder — the format
 // counterpart of ParseMode, so command-line sweeps can be restricted to one
 // scheme. It accepts the builders' canonical Name() spellings:
 //
 //	"crs" (alias "csr")      → matrix.CSRBuilder{}
 //	"sell-<C>-<sigma>"       → formats.SELLBuilder{C, Sigma}, e.g. "sell-32-256"
+//
+// An unknown or malformed name yields an error that enumerates the valid
+// tokens (FormatTokens).
 func ParseFormat(s string) (matrix.FormatBuilder, error) {
 	name := strings.ToLower(strings.TrimSpace(s))
 	switch name {
@@ -32,5 +43,5 @@ func ParseFormat(s string) (matrix.FormatBuilder, error) {
 		}
 		return nil, fmt.Errorf("core: malformed SELL-C-σ format %q (want sell-<C>-<sigma> with positive integers, e.g. sell-32-256)", s)
 	}
-	return nil, fmt.Errorf("core: unknown format %q (want crs or sell-<C>-<sigma>)", s)
+	return nil, fmt.Errorf("core: unknown format %q (valid: %s)", s, strings.Join(FormatTokens(), ", "))
 }

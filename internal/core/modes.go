@@ -49,19 +49,46 @@ func (m Mode) valid() bool {
 	return m == VectorNoOverlap || m == VectorNaiveOverlap || m == TaskMode
 }
 
+// modeTokens is the single source of truth for every spelling ParseMode
+// accepts: the canonical String() name of each mode first, its short
+// aliases after it. ParseMode's error enumerates exactly this table, so a
+// bad -mode flag or HTTP parameter names every valid token.
+var modeTokens = []struct {
+	tok  string
+	mode Mode
+}{
+	{"vector-no-overlap", VectorNoOverlap},
+	{"vector", VectorNoOverlap},
+	{"no-overlap", VectorNoOverlap},
+	{"vector-naive-overlap", VectorNaiveOverlap},
+	{"naive", VectorNaiveOverlap},
+	{"naive-overlap", VectorNaiveOverlap},
+	{"task-mode", TaskMode},
+	{"task", TaskMode},
+}
+
+// ModeTokens returns every spelling ParseMode accepts, canonical names
+// first — the list command-line help and API error messages enumerate.
+func ModeTokens() []string {
+	out := make([]string, len(modeTokens))
+	for i, e := range modeTokens {
+		out[i] = e.tok
+	}
+	return out
+}
+
 // ParseMode maps a mode name to its Mode value. It accepts the canonical
 // String() names ("vector-no-overlap", "vector-naive-overlap", "task-mode")
-// and the short aliases "vector", "naive" and "task".
+// and the short aliases listed by ModeTokens; an unknown name yields an
+// error that enumerates every valid token.
 func ParseMode(s string) (Mode, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "vector-no-overlap", "vector", "no-overlap":
-		return VectorNoOverlap, nil
-	case "vector-naive-overlap", "naive", "naive-overlap":
-		return VectorNaiveOverlap, nil
-	case "task-mode", "task":
-		return TaskMode, nil
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, e := range modeTokens {
+		if e.tok == name {
+			return e.mode, nil
+		}
 	}
-	return 0, fmt.Errorf("core: unknown mode %q (want vector-no-overlap, vector-naive-overlap or task-mode)", s)
+	return 0, fmt.Errorf("core: unknown mode %q (valid: %s)", s, strings.Join(ModeTokens(), ", "))
 }
 
 // haloTag is the message tag of halo exchanges. Matching is FIFO per

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every token ModeTokens advertises must parse, and the canonical name of
+// each mode must round-trip through ParseMode.
+func TestParseModeAcceptsEveryToken(t *testing.T) {
+	for _, tok := range ModeTokens() {
+		if _, err := ParseMode(tok); err != nil {
+			t.Errorf("ParseMode(%q): %v", tok, err)
+		}
+	}
+	for _, m := range Modes {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("ParseMode(%q) = %v", m, got)
+		}
+	}
+	if _, err := ParseMode("  Task "); err != nil {
+		t.Errorf("ParseMode should trim and lowercase: %v", err)
+	}
+}
+
+// A bad mode must name every valid spelling — the error doubles as the
+// help text for the -mode flag and the serving API's 400 response.
+func TestParseModeErrorEnumeratesTokens(t *testing.T) {
+	_, err := ParseMode("bogus")
+	if err == nil {
+		t.Fatal("ParseMode(bogus) succeeded")
+	}
+	for _, tok := range ModeTokens() {
+		if !strings.Contains(err.Error(), tok) {
+			t.Errorf("error %q does not mention token %q", err, tok)
+		}
+	}
+}
+
+func TestParseFormatErrorEnumeratesTokens(t *testing.T) {
+	_, err := ParseFormat("bogus")
+	if err == nil {
+		t.Fatal("ParseFormat(bogus) succeeded")
+	}
+	for _, tok := range FormatTokens() {
+		if !strings.Contains(err.Error(), tok) {
+			t.Errorf("error %q does not mention token %q", err, tok)
+		}
+	}
+	// The SELL template is a pattern, not a literal token: concrete
+	// instances parse, the template itself does not.
+	if _, err := ParseFormat("sell-8-64"); err != nil {
+		t.Errorf("ParseFormat(sell-8-64): %v", err)
+	}
+	if _, err := ParseFormat("csr"); err != nil {
+		t.Errorf("ParseFormat(csr): %v", err)
+	}
+	if _, err := ParseFormat("sell-0-64"); err == nil {
+		t.Error("ParseFormat(sell-0-64) should fail")
+	}
+}

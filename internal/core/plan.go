@@ -79,6 +79,36 @@ type Plan struct {
 	Ranks []*RankPlan
 }
 
+// Bytes estimates the plan's resident heap footprint: every rank's
+// renumbered local matrix, its column split (the same entries again,
+// divided into a local half and the compacted remote), any converted
+// storage format, and the halo metadata. It is an accounting estimate for
+// residency budgets (the serving registry evicts against it), not an
+// exact heap measurement.
+func (p *Plan) Bytes() int64 {
+	var total int64
+	for _, rp := range p.Ranks {
+		total += 4 * int64(len(rp.HaloCols))
+		for _, tx := range rp.SendTo {
+			total += 4 * int64(len(tx.Indices))
+		}
+		if rp.A == nil {
+			continue
+		}
+		// CSR storage: 8-byte value + 4-byte column index per entry, plus
+		// the row-pointer array.
+		csr := 12*rp.A.Nnz() + 8*int64(rp.A.NumRows+1)
+		total += csr // full local matrix
+		total += csr // column split: local half + compacted remote ≈ the same entries
+		if rp.Format != nil {
+			if _, isCSR := rp.Format.(*matrix.CSR); !isCSR {
+				total += 2 * csr // converted full matrix + converted split-local half
+			}
+		}
+	}
+	return total
+}
+
 // BuildPlan constructs the communication plan for every rank. When src also
 // implements matrix.ValueSource and withValues is true, the renumbered local
 // matrices are materialized so the plan can execute real multiplications;

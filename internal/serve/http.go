@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// RegisterRequest is the wire form of POST /v1/register. Mode and Format
+// default to the server's configuration; invalid tokens yield a 400 whose
+// message enumerates the valid spellings (core.ParseMode / ParseFormat).
+type RegisterRequest struct {
+	Name   string `json:"name"`
+	Spec   Spec   `json:"spec"`
+	Mode   string `json:"mode,omitempty"`
+	Format string `json:"format,omitempty"`
+}
+
+// OpRequest is the wire form of POST /v1/mul and /v1/solve.
+type OpRequest struct {
+	Tenant string    `json:"tenant"`
+	Matrix string    `json:"matrix"`
+	Seed   int64     `json:"seed"`
+	X      []float64 `json:"x,omitempty"`
+	// Mul parameters.
+	Iters int `json:"iters,omitempty"`
+	// Solve parameters.
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"maxiter,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/register        {name, spec, mode?, format?} → MatrixInfo
+//	GET  /v1/matrix/{name}   → MatrixInfo
+//	POST /v1/mul             OpRequest → Response (y = A^iters·x)
+//	POST /v1/solve           OpRequest → Response (CG solution of A·x = b)
+//	GET  /v1/stats           → Stats
+//	GET  /healthz            → 200 "ok"
+//
+// Admission rejections map to 429, unknown matrices to 404, malformed
+// requests to 400, a closed server to 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", s.handleRegister)
+	mux.HandleFunc("GET /v1/matrix/{name}", s.handleMatrix)
+	mux.HandleFunc("POST /v1/mul", s.handleOp(OpMul))
+	mux.HandleFunc("POST /v1/solve", s.handleOp(OpSolve))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &ValidationError{Msg: "bad register body: " + err.Error()})
+		return
+	}
+	mode := s.cfg.Mode
+	if req.Mode != "" {
+		m, err := core.ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, &ValidationError{Msg: err.Error()})
+			return
+		}
+		mode = m
+	}
+	var format matrix.FormatBuilder
+	if req.Format != "" {
+		f, err := core.ParseFormat(req.Format)
+		if err != nil {
+			writeError(w, &ValidationError{Msg: err.Error()})
+			return
+		}
+		format = f
+	}
+	info, err := s.RegisterWith(req.Name, req.Spec, mode, format)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Matrix(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleOp(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var or OpRequest
+		if err := json.NewDecoder(r.Body).Decode(&or); err != nil {
+			writeError(w, &ValidationError{Msg: "bad " + op.String() + " body: " + err.Error()})
+			return
+		}
+		req := &Request{
+			Tenant: or.Tenant, Matrix: or.Matrix, Op: op,
+			Seed: or.Seed, X: or.X,
+			Iters: or.Iters, Tol: or.Tol, MaxIter: or.MaxIter,
+		}
+		resp, err := s.Do(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var rej *RejectError
+	var unk *UnknownMatrixError
+	var val *ValidationError
+	switch {
+	case errors.As(err, &rej):
+		status = http.StatusTooManyRequests
+	case errors.As(err, &unk):
+		status = http.StatusNotFound
+	case errors.As(err, &val):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

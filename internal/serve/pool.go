@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// ring is a fixed-capacity FIFO of requests — one per tenant, preallocated
+// at admission-queue depth so the steady-state dispatch path never
+// allocates. All methods run under the server lock.
+type ring struct {
+	buf  []*Request
+	head int
+	n    int
+}
+
+func newRing(depth int) ring { return ring{buf: make([]*Request, depth)} }
+
+//repro:noalloc
+func (r *ring) push(x *Request) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = x
+	r.n++
+	return true
+}
+
+//repro:noalloc
+func (r *ring) pop() *Request {
+	x := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return x
+}
+
+//repro:noalloc
+func (r *ring) peek() *Request { return r.buf[r.head] }
+
+// tenant is one admission-controlled request stream: a bounded FIFO, an
+// in-flight count the dispatcher gates on, and counters.
+type tenant struct {
+	name     string
+	q        ring
+	inflight int
+
+	accepted, rejected, completed, failed uint64
+}
+
+func newTenant(name string, depth int) *tenant {
+	return &tenant{name: name, q: newRing(depth)}
+}
+
+// batch is one dispatch unit: up to Config.BatchMax requests for the same
+// matrix that ride consecutive operations on one warm cluster. Batches are
+// preallocated per pool and recycled through a freelist, so batching
+// itself allocates nothing in steady state.
+type batch struct {
+	reqs []*Request
+	n    int
+}
+
+// pool owns a matrix's resident sessions: up to Config.Sessions
+// supervisor-wrapped clusters over the shared read-only plan, spun up
+// lazily as load arrives. The open batch and the freelist belong to the
+// dispatcher (guarded by the server lock); sessions interact with the
+// dispatcher only through their work channels and batch completion.
+type pool struct {
+	s    *Server
+	name string
+	plan *core.Plan
+	mode core.Mode
+	// transport supplies each session epoch's transport (nil → the
+	// in-process chan transport); the fault-injection hook.
+	transport func(epoch int) core.Transport
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// Dispatcher state, under s.mu. The freelist holds 2·Sessions+1
+	// batches: at most one open, one buffered in each session's work
+	// channel, and one executing per session — so a free batch always
+	// exists whenever every dispatched request could be in flight.
+	open     *batch
+	free     []*batch
+	nfree    int
+	sessions []*session
+}
+
+func newPool(s *Server, name string, plan *core.Plan, mode core.Mode) *pool {
+	p := &pool{s: s, name: name, plan: plan, mode: mode}
+	if s.cfg.Transport != nil {
+		p.transport = s.cfg.Transport(name)
+	}
+	p.ctx, p.cancel = context.WithCancel(s.ctx)
+	total := 2*s.cfg.Sessions + 1
+	p.free = make([]*batch, total)
+	for i := range p.free {
+		p.free[i] = &batch{reqs: make([]*Request, s.cfg.BatchMax)}
+	}
+	p.nfree = total
+	return p
+}
+
+// offer appends the request to the pool's open batch, taking a fresh batch
+// from the freelist when none is open and handing a filled batch to a
+// session. It reports false when the pool cannot make progress (full open
+// batch no session can take, or — transiently — an exhausted freelist);
+// the dispatcher then leaves the request queued. Caller holds s.mu.
+//
+//repro:noalloc
+func (p *pool) offer(r *Request) bool {
+	b := p.open
+	if b != nil && b.n == len(b.reqs) {
+		if !p.trySend(b) {
+			return false
+		}
+		p.open = nil
+		b = nil
+	}
+	if b == nil {
+		if p.nfree == 0 {
+			return false
+		}
+		p.nfree--
+		b = p.free[p.nfree]
+		b.n = 0
+		p.open = b
+	}
+	b.reqs[b.n] = r
+	b.n++
+	return true
+}
+
+// trySend hands a batch to a warm session without blocking, spinning a new
+// session up when every warm one is busy and the pool is below its session
+// cap. Caller holds s.mu.
+//
+//repro:noalloc
+func (p *pool) trySend(b *batch) bool {
+	for _, ss := range p.sessions {
+		select {
+		case ss.work <- b:
+			return true
+		default:
+		}
+	}
+	if len(p.sessions) < p.s.cfg.Sessions {
+		// Lazy spin-up (the one allocating branch, taken at most
+		// Sessions times per pool lifetime).
+		ss := p.spawnSession()
+		ss.work <- b // fresh capacity-1 channel: never blocks
+		return true
+	}
+	return false
+}
+
+func (p *pool) spawnSession() *session {
+	ss := &session{p: p, id: len(p.sessions), work: make(chan *batch, 1)}
+	p.sessions = append(p.sessions, ss)
+	p.wg.Add(1)
+	go ss.loop()
+	return ss
+}
+
+// shutdown cancels the pool's sessions and waits them out. In-flight
+// epochs are interrupted via the supervisor's context hook; batches still
+// queued on work channels fail with ErrClosed.
+func (p *pool) shutdown() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// session is one resident supervised cluster serving batches for its
+// pool's matrix.
+type session struct {
+	p    *pool
+	id   int
+	work chan *batch
+	// pending is the batch currently executing; a world failure mid-batch
+	// leaves it set, and the next supervised epoch retries it (finished
+	// requests are skipped, so only the interrupted remainder reruns).
+	pending *batch
+}
+
+// loop runs supervised epochs until the pool shuts down. One Supervisor
+// covers one recovery episode (MaxRestarts transparent world restarts); if
+// it gives up, the batch that killed it fails to its callers and a fresh
+// supervisor — with a fresh restart budget — takes over, so one poisoned
+// request cannot wedge the pool for later traffic.
+func (ss *session) loop() {
+	defer ss.p.wg.Done()
+	p := ss.p
+	cfg := p.s.cfg
+	for {
+		sup := &core.Supervisor{
+			Transport:   p.transport,
+			Options:     []core.Option{core.WithMode(p.mode), core.WithThreads(cfg.Threads)},
+			MaxRestarts: cfg.MaxRestarts,
+			Backoff:     5 * time.Millisecond,
+			BackoffMax:  250 * time.Millisecond,
+			Seed:        int64(ss.id + 1),
+			OnRetry:     func(int, error, time.Duration) { p.s.noteRestart() },
+		}
+		err := sup.Run(p.ctx, p.plan, ss.serveEpoch)
+		if err == nil || p.ctx.Err() != nil {
+			// Clean shutdown (serveEpoch returns nil only on pool
+			// cancellation). Fail whatever is still in our hands.
+			ss.failPending(ErrClosed)
+			ss.drainShutdown()
+			return
+		}
+		hadPending := ss.pending != nil
+		ss.failPending(err)
+		if !hadPending {
+			// The supervisor gave up without work in hand (e.g. persistent
+			// dial failures); don't spin hot against a dead transport.
+			select {
+			case <-p.ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// serveEpoch runs one supervised epoch on a freshly dialed cluster: retry
+// the interrupted batch first, then serve the work channel until the pool
+// shuts down or the world fails.
+func (ss *session) serveEpoch(_ int, cl *core.Cluster) error {
+	if b := ss.pending; b != nil {
+		if err := ss.runBatch(cl, b); err != nil {
+			return err
+		}
+		ss.pending = nil
+		ss.complete(b)
+	}
+	for {
+		select {
+		case <-ss.p.ctx.Done():
+			return nil
+		case b := <-ss.work:
+			ss.pending = b
+			if err := ss.runBatch(cl, b); err != nil {
+				return err
+			}
+			ss.pending = nil
+			ss.complete(b)
+		}
+	}
+}
+
+// runBatch executes the batch's requests as consecutive operations on the
+// warm cluster — the steady-state serving loop, riding the resident Mul
+// job's zero-allocation path. A world failure returns the error so the
+// supervisor can restart the epoch; requests that already finished are
+// skipped on retry, and a request out of attempts fails to its caller
+// while still triggering the restart (the world is poisoned either way).
+//
+//repro:noalloc
+func (ss *session) runBatch(cl *core.Cluster, b *batch) error {
+	for i := 0; i < b.n; i++ {
+		r := b.reqs[i]
+		if r.finished {
+			continue
+		}
+		if r.startedNs == 0 {
+			r.startedNs = time.Now().UnixNano()
+		}
+		r.attempts++
+		err, fatal := execute(cl, r)
+		if err != nil && fatal && r.attempts < ss.p.s.cfg.MaxAttempts {
+			return err
+		}
+		r.err = err
+		r.finishedNs = time.Now().UnixNano()
+		r.finished = true
+		if err != nil && fatal {
+			return err
+		}
+	}
+	return nil
+}
+
+// execute runs one request on the cluster. fatal reports whether the error
+// poisoned the world (the epoch must restart); a request-level error — a
+// solver breakdown, a non-convergence — leaves the cluster warm and the
+// rest of the batch proceeds.
+func execute(cl *core.Cluster, r *Request) (err error, fatal bool) {
+	switch r.Op {
+	case OpSolve:
+		// Deterministic retry: CG starts from the zero guess on every
+		// attempt, so a rerun after a world failure is bit-identical to an
+		// uninterrupted run.
+		for i := range r.y {
+			r.y[i] = 0
+		}
+		res, err := solver.DistCG(cl, r.x, r.y, r.Tol, r.MaxIter)
+		if err != nil {
+			return err, core.Recoverable(err) || cl.Failed() != nil
+		}
+		r.solveRes = res
+		return nil, false
+	default: // OpMul
+		if err := cl.Mul(r.y, r.x, r.Iters); err != nil {
+			return err, core.Recoverable(err) || cl.Failed() != nil
+		}
+		return nil, false
+	}
+}
+
+// complete hands a finished batch back: callers are woken, tenant
+// in-flight gates reopen, the batch returns to the freelist, and the
+// dispatcher is signalled to refill the session.
+//
+//repro:noalloc
+func (ss *session) complete(b *batch) {
+	s := ss.p.s
+	s.mu.Lock()
+	for i := 0; i < b.n; i++ {
+		r := b.reqs[i]
+		b.reqs[i] = nil
+		r.tn.inflight--
+		if r.err != nil {
+			r.tn.failed++
+			s.failed++
+		} else {
+			r.tn.completed++
+			s.completed++
+		}
+		if r.attempts > 1 {
+			s.retried++
+		}
+		close(r.done)
+	}
+	s.batches++
+	s.batchedReqs += uint64(b.n)
+	b.n = 0
+	ss.p.free[ss.p.nfree] = b
+	ss.p.nfree++
+	s.dirty = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// failPending fails every unfinished request of the in-hand batch with
+// cause and completes the batch. No-op when nothing is pending.
+func (ss *session) failPending(cause error) {
+	b := ss.pending
+	if b == nil {
+		return
+	}
+	ss.pending = nil
+	now := time.Now().UnixNano()
+	for i := 0; i < b.n; i++ {
+		r := b.reqs[i]
+		if r.finished {
+			continue
+		}
+		if r.startedNs == 0 {
+			r.startedNs = now
+		}
+		r.err = cause
+		r.finishedNs = now
+		r.finished = true
+	}
+	ss.complete(b)
+}
+
+// drainShutdown fails batches already queued on the work channel at
+// shutdown. The dispatcher has exited (pool cancellation happens after
+// the dispatch loop stops or the pool left the dispatch set), so no new
+// batches arrive concurrently.
+func (ss *session) drainShutdown() {
+	for {
+		select {
+		case b := <-ss.work:
+			ss.pending = b
+			ss.failPending(ErrClosed)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+// Spec describes a matrix to generate at registration. It is a comparable
+// value: registering the same name with an equal spec is idempotent, with a
+// different one an error. Generation is fully deterministic, so a client
+// holding the spec can rebuild the server's exact matrix for verification.
+type Spec struct {
+	// Kind selects the generator: "random" (genmat.RandomBand),
+	// "holstein" (the paper's Holstein–Hubbard Hamiltonian, HMEp
+	// ordering), or "poisson" (the sAMG-substitute Poisson matrix).
+	Kind string `json:"kind"`
+	// Random-band parameters (Kind "random").
+	N         int    `json:"n,omitempty"`
+	Bandwidth int    `json:"bandwidth,omitempty"`
+	PerRow    int    `json:"per_row,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	SPD       bool   `json:"spd,omitempty"`
+	// Scale selects the problem size for "holstein" and "poisson"
+	// ("small", "medium", "full"; default "small").
+	Scale string `json:"scale,omitempty"`
+}
+
+// normalize canonicalizes the spec so equal-meaning specs compare equal.
+func (sp Spec) normalize() Spec {
+	sp.Kind = strings.ToLower(strings.TrimSpace(sp.Kind))
+	sp.Scale = strings.ToLower(strings.TrimSpace(sp.Scale))
+	if sp.Kind != "random" {
+		sp.N, sp.Bandwidth, sp.PerRow, sp.Seed, sp.SPD = 0, 0, 0, 0, false
+		if sp.Scale == "" {
+			sp.Scale = "small"
+		}
+	} else {
+		sp.Scale = ""
+	}
+	return sp
+}
+
+// build materializes the spec's matrix source.
+func (sp Spec) build() (matrix.ValueSource, error) {
+	switch sp.Kind {
+	case "random":
+		return genmat.NewRandomBand(genmat.RandomBandConfig{
+			N: sp.N, Bandwidth: sp.Bandwidth, PerRow: sp.PerRow,
+			Seed: sp.Seed, Symmetric: sp.SPD, SPD: sp.SPD,
+		})
+	case "holstein":
+		scale, err := expt.ParseScale(sp.Scale)
+		if err != nil {
+			return nil, &ValidationError{Msg: err.Error()}
+		}
+		return expt.HolsteinSource(genmat.HMEp, scale)
+	case "poisson":
+		scale, err := expt.ParseScale(sp.Scale)
+		if err != nil {
+			return nil, &ValidationError{Msg: err.Error()}
+		}
+		return expt.PoissonSource(scale)
+	default:
+		return nil, &ValidationError{Msg: fmt.Sprintf("unknown matrix kind %q (valid: random, holstein, poisson)", sp.Kind)}
+	}
+}
+
+// MatrixInfo is the registered matrix's geometry — everything a client
+// needs to build a bit-identical reference cluster: same spec (which the
+// client supplied), same rank partition (derived deterministically from
+// the spec), same mode and storage format. Thread count is deliberately
+// omitted from the reproducibility contract: rows are computed whole per
+// thread, so it does not affect result bits.
+type MatrixInfo struct {
+	Name    string `json:"name"`
+	Rows    int    `json:"rows"`
+	Nnz     int64  `json:"nnz"`
+	Ranks   int    `json:"ranks"`
+	Threads int    `json:"threads"`
+	Mode    string `json:"mode"`
+	Format  string `json:"format"`
+	// Bytes is the plan's resident footprint estimate (core.Plan.Bytes),
+	// the unit of the registry's eviction budget.
+	Bytes int64 `json:"bytes"`
+}
+
+// entry is one resident matrix: its converted plan, its session pool, and
+// the registry bookkeeping (pin count, LRU clock, byte estimate).
+type entry struct {
+	name       string
+	spec       Spec
+	modeName   string
+	formatName string
+	mode       core.Mode
+	info       MatrixInfo
+	plan       *core.Plan
+	pool       *pool
+	bytes      int64
+	lastUse    uint64
+	active     int
+}
+
+// registry owns the named matrices and their byte budget. Requests pin
+// their entry from validation to completion, so eviction only ever takes
+// matrices no queued or in-flight request references.
+type registry struct {
+	s *Server
+
+	// buildMu serializes registrations end to end (generation and plan
+	// building happen outside mu, so lookups and pins stay fast).
+	buildMu sync.Mutex
+
+	mu        sync.Mutex
+	entries   map[string]*entry
+	useClock  uint64
+	bytes     int64
+	evictions uint64
+}
+
+func newRegistry(s *Server) *registry {
+	return &registry{s: s, entries: make(map[string]*entry)}
+}
+
+// register loads/generates the matrix, partitions it by nonzeros over the
+// server's ranks, converts it to the session format once (pooled sessions
+// then share the read-only plan), spins up the session pool, and commits
+// the entry — evicting idle matrices if the byte budget requires.
+func (reg *registry) register(name string, spec Spec, mode core.Mode, format matrix.FormatBuilder) (MatrixInfo, error) {
+	if name == "" {
+		return MatrixInfo{}, &ValidationError{Msg: "register needs a matrix name"}
+	}
+	spec = spec.normalize()
+	if format == nil {
+		format = matrix.CSRBuilder{}
+	}
+	modeName, formatName := mode.String(), format.Name()
+
+	reg.buildMu.Lock()
+	defer reg.buildMu.Unlock()
+
+	reg.mu.Lock()
+	if e := reg.entries[name]; e != nil {
+		defer reg.mu.Unlock()
+		if e.spec != spec || e.modeName != modeName || e.formatName != formatName {
+			return MatrixInfo{}, &ValidationError{Msg: fmt.Sprintf(
+				"matrix %q already registered with a different spec/mode/format", name)}
+		}
+		reg.useClock++
+		e.lastUse = reg.useClock
+		return e.info, nil
+	}
+	reg.mu.Unlock()
+
+	src, err := spec.build()
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	rows, _ := src.Dims()
+	part := core.PartitionByNnz(src, reg.s.cfg.Ranks)
+	plan, err := core.BuildPlan(src, part, true)
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	if err := plan.ConvertFormat(format); err != nil {
+		return MatrixInfo{}, err
+	}
+	var nnz int64
+	for _, rp := range plan.Ranks {
+		nnz += rp.NnzLocal + rp.NnzRemote
+	}
+	bytes := plan.Bytes()
+
+	e := &entry{
+		name: name, spec: spec, modeName: modeName, formatName: formatName,
+		mode: mode, plan: plan, bytes: bytes,
+		info: MatrixInfo{
+			Name: name, Rows: rows, Nnz: nnz,
+			Ranks: reg.s.cfg.Ranks, Threads: reg.s.cfg.Threads,
+			Mode: modeName, Format: formatName, Bytes: bytes,
+		},
+	}
+
+	// Make room before spinning the pool up: evict least-recently-used
+	// unpinned entries until the new entry fits, or fail if the budget
+	// cannot be met (pinned entries are untouchable).
+	victims, err := reg.claim(e)
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	for _, v := range victims {
+		reg.s.removePool(v.pool)
+		v.pool.shutdown()
+	}
+
+	e.pool = newPool(reg.s, name, plan, mode)
+	reg.s.addPool(e.pool)
+	reg.mu.Lock()
+	reg.entries[name] = e
+	reg.useClock++
+	e.lastUse = reg.useClock
+	reg.mu.Unlock()
+	return e.info, nil
+}
+
+// claim reserves budget for the new entry, detaching LRU victims from the
+// registry (their pools are shut down by the caller, outside reg.mu).
+func (reg *registry) claim(e *entry) ([]*entry, error) {
+	budget := reg.s.cfg.ByteBudget
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	var victims []*entry
+	if budget > 0 {
+		for reg.bytes+e.bytes > budget {
+			var lru *entry
+			for _, cand := range reg.entries {
+				if cand.active > 0 {
+					continue
+				}
+				if lru == nil || cand.lastUse < lru.lastUse {
+					lru = cand
+				}
+			}
+			if lru == nil {
+				// Roll back the victims already detached? They are not yet
+				// shut down, so re-attach them and fail cleanly.
+				for _, v := range victims {
+					reg.entries[v.name] = v
+					reg.bytes += v.bytes
+				}
+				return nil, &ValidationError{Msg: fmt.Sprintf(
+					"matrix %q (%d bytes) does not fit the byte budget (%d in use of %d, all pinned)",
+					e.name, e.bytes, reg.bytes, budget)}
+			}
+			delete(reg.entries, lru.name)
+			reg.bytes -= lru.bytes
+			reg.evictions++
+			victims = append(victims, lru)
+		}
+	}
+	reg.bytes += e.bytes
+	return victims, nil
+}
+
+// pin looks the matrix up and holds it against eviction until unpin.
+func (reg *registry) pin(name string) (*entry, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	e := reg.entries[name]
+	if e == nil {
+		return nil, &UnknownMatrixError{Name: name}
+	}
+	e.active++
+	reg.useClock++
+	e.lastUse = reg.useClock
+	return e, nil
+}
+
+func (reg *registry) unpin(e *entry) {
+	reg.mu.Lock()
+	e.active--
+	reg.mu.Unlock()
+}

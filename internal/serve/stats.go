@@ -1,0 +1,97 @@
+package serve
+
+import "time"
+
+// FillVector fills x with deterministic values in [-1, 1) derived from
+// seed via splitmix64 — the shared request-input generator. The server
+// uses it for every request that carries a seed instead of an explicit
+// vector, so a verifying client can reconstruct the exact input from the
+// wire-level seed alone and check the response bit for bit.
+func FillVector(x []float64, seed int64) {
+	z := uint64(seed) * 0x9e3779b97f4a7c15
+	for i := range x {
+		z += 0x9e3779b97f4a7c15
+		w := z
+		w = (w ^ w>>30) * 0xbf58476d1ce4e5b9
+		w = (w ^ w>>27) * 0x94d049bb133111eb
+		w ^= w >> 31
+		x[i] = float64(w>>11)/float64(1<<52)*2 - 1
+	}
+}
+
+// TenantStats is one tenant's admission and completion counters.
+type TenantStats struct {
+	Name      string `json:"name"`
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Queued    int    `json:"queued"`
+	Inflight  int    `json:"inflight"`
+}
+
+// MatrixStats is one registered matrix's residency and pool state.
+type MatrixStats struct {
+	Name     string `json:"name"`
+	Bytes    int64  `json:"bytes"`
+	Pinned   int    `json:"pinned"`
+	Sessions int    `json:"sessions"`
+}
+
+// Stats is a consistent snapshot of the server's counters.
+type Stats struct {
+	UptimeNs        int64         `json:"uptime_ns"`
+	Accepted        uint64        `json:"accepted"`
+	Rejected        uint64        `json:"rejected"`
+	Completed       uint64        `json:"completed"`
+	Failed          uint64        `json:"failed"`
+	Retried         uint64        `json:"retried"`
+	Batches         uint64        `json:"batches"`
+	BatchedRequests uint64        `json:"batched_requests"`
+	Restarts        uint64        `json:"restarts"`
+	Evictions       uint64        `json:"evictions"`
+	ResidentBytes   int64         `json:"resident_bytes"`
+	Tenants         []TenantStats `json:"tenants,omitempty"`
+	Matrices        []MatrixStats `json:"matrices,omitempty"`
+}
+
+// Stats snapshots the server's counters, tenants and registry.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		UptimeNs:        time.Now().UnixNano() - int64(s.startNs),
+		Accepted:        s.accepted,
+		Rejected:        s.rejected,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Retried:         s.retried,
+		Batches:         s.batches,
+		BatchedRequests: s.batchedReqs,
+		Restarts:        s.restarts,
+	}
+	for _, t := range s.order {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name: t.name, Accepted: t.accepted, Rejected: t.rejected,
+			Completed: t.completed, Failed: t.failed,
+			Queued: t.q.n, Inflight: t.inflight,
+		})
+	}
+	sessions := make(map[string]int, len(s.pools))
+	for _, p := range s.pools {
+		sessions[p.name] = len(p.sessions)
+	}
+	s.mu.Unlock()
+
+	reg := s.reg
+	reg.mu.Lock()
+	st.Evictions = reg.evictions
+	st.ResidentBytes = reg.bytes
+	for _, e := range reg.entries {
+		st.Matrices = append(st.Matrices, MatrixStats{
+			Name: e.name, Bytes: e.bytes, Pinned: e.active,
+			Sessions: sessions[e.name],
+		})
+	}
+	reg.mu.Unlock()
+	return st
+}
