@@ -39,6 +39,7 @@ func main() {
 		reps       = flag.Int("reps", 5, "repetitions for -host measurements")
 		snapshot   = flag.String("snapshot", "", "write a kernel GFlop/s snapshot (JSON) to this path and exit")
 		modeFlag   = flag.String("mode", "", "with -snapshot: restrict the distributed sweep to one kernel mode (vector-no-overlap, vector-naive-overlap, task-mode); default all")
+		transFlag  = flag.String("transport", "chan", "with -snapshot: transport backend for the distributed sweep ("+strings.Join(core.TransportTokens(), ", ")+")")
 		fmtFlag    = flag.String("format", "", "with -snapshot: restrict the distributed sweep to one storage format (crs or sell-<C>-<sigma>); default both crs and sell-32-256")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
@@ -94,8 +95,15 @@ func main() {
 		}
 		sweepFormats = []matrix.FormatBuilder{b}
 	}
+	transport, err := core.ParseTransport(*transFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if transport != core.TransportChan && *snapshot == "" {
+		fatal(fmt.Errorf("-transport only applies to the -snapshot distributed sweep"))
+	}
 	if *snapshot != "" {
-		if err := writeSnapshot(*snapshot, *workers, *reps, modes, sweepFormats); err != nil {
+		if err := writeSnapshot(*snapshot, *workers, *reps, modes, sweepFormats, transport); err != nil {
 			fatal(err)
 		}
 		return
@@ -184,10 +192,13 @@ type kernelPoint struct {
 // benchSnapshot is the perf-trajectory record emitted by -snapshot; one file
 // per PR (BENCH_<n>.json) lets successive sessions compare kernels.
 type benchSnapshot struct {
-	Date       string            `json:"date"`
-	GoVersion  string            `json:"go_version"`
-	NumCPU     int               `json:"num_cpu"`
-	Scale      string            `json:"scale"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Scale     string `json:"scale"`
+	// Transport is the backend the distributed sweep ran on (-transport):
+	// chan, tcp (loopback pair), or sim (virtual time).
+	Transport  string            `json:"transport"`
 	Kernels    []kernelPoint     `json:"kernels"`
 	Resilience []resiliencePoint `json:"resilience"`
 	// Serving is the multi-tenant service sweep (cmd/spmv-serve driven by
@@ -201,6 +212,11 @@ type benchSnapshot struct {
 	// Omitted when the suite could not run (snapshot taken outside the
 	// module, no go toolchain).
 	Reprolint *int `json:"reprolint_findings,omitempty"`
+	// Modeled is the simulated strong-scaling sweep (cmd/spmv-sim's model
+	// at full scale): the kernel-mode crossover rank and each mode's
+	// modeled GFlop/s at thousands of virtual ranks. Omitted when the
+	// sweep failed or ran out of budget.
+	Modeled *modeledScaling `json:"modeled_scaling,omitempty"`
 }
 
 // reprolintFindings runs the internal/analysis suite over the module
@@ -278,7 +294,7 @@ func measure(matrixName, kernel string, workers int, nnz int64, reps int, fn fun
 // spawn, quantifying what session reuse saves. modes and sweepFormats
 // restrict the sweep (the -mode and -format flags); pass core.Modes and
 // the default builder pair for the full matrix.
-func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepFormats []matrix.FormatBuilder) error {
+func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepFormats []matrix.FormatBuilder, transport core.TransportKind) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be ≥ 1, got %d", workers)
 	}
@@ -290,6 +306,7 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Scale:     "small",
+		Transport: transport.String(),
 	}
 	fixtures := []struct {
 		name string
@@ -332,20 +349,16 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		// team spawn.
 		const distRanks, distThreads = 4, 2
 		part := core.PartitionByNnz(a, distRanks)
-		plan, err := core.BuildPlan(a, part, true)
-		if err != nil {
-			return err
-		}
+		buildPlan := func() (*core.Plan, error) { return core.BuildPlan(a, part, true) }
 		err = func() error {
-			cluster, err := core.NewCluster(plan, core.WithThreads(distThreads))
+			world, err := dialSweepWorld(transport, buildPlan, a.NumRows, distThreads)
 			if err != nil {
 				return err
 			}
-			defer cluster.Close()
-			yd := make([]float64, a.NumRows)
+			defer world.close()
 			sweep := func(fmtName string) error {
 				for _, mode := range modes {
-					if err := cluster.SetMode(mode); err != nil {
+					if err := world.setMode(mode); err != nil {
 						return err
 					}
 					snap.Kernels = append(snap.Kernels, measure(
@@ -354,7 +367,7 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 						distRanks*distThreads,
 						a.Nnz(), reps,
 						func() {
-							if err := cluster.Mul(yd, x, 1); err != nil {
+							if err := world.mul(x); err != nil {
 								panic(err)
 							}
 						},
@@ -371,10 +384,10 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 				fmt.Sprintf("dist-%s-crs-percall", modes[0]),
 				distRanks*distThreads,
 				a.Nnz(), reps,
-				func() { core.MulDistributed(plan, x, modes[0], distThreads, 1) },
+				func() { core.MulDistributed(world.plans[0], x, modes[0], distThreads, 1) },
 			))
 			for _, b := range sweepFormats {
-				if err := cluster.Convert(b); err != nil {
+				if err := world.convert(b); err != nil {
 					return err
 				}
 				if err := sweep(b.Name()); err != nil {
@@ -409,6 +422,14 @@ func writeSnapshot(path string, workers, reps int, modes []core.Mode, sweepForma
 		return err
 	}
 	snap.Serving = sp
+	// Modeled strong scaling: the full-scale capacity-planning sweep on the
+	// simulated transport (see modeled.go). Soft-fail like reprolint — a
+	// busy machine blowing the budget costs the section, not the snapshot.
+	if ms, err := measureModeledScaling(90 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "spmv-bench: skipping modeled scaling: %v\n", err)
+	} else {
+		snap.Modeled = ms
+	}
 	// Record the static-contract state alongside the numbers; a snapshot
 	// is a claim about the repo, not just the machine. Soft-fail: missing
 	// toolchain context downgrades to a warning, not a lost benchmark.

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/genmat"
+	"repro/internal/machine"
+	"repro/internal/simnet"
+)
+
+// Modeled strong scaling for the snapshot: the capacity-planning sweep of
+// cmd/spmv-sim run at full scale on the simulated Westmere cluster, so
+// every BENCH_<n>.json records where the kernel-mode crossover of
+// Figs. 5/6 currently lands and what each mode's modeled GFlop/s are —
+// thousands of virtual ranks' worth of strong scaling in under a minute
+// of wall time, next to the node-level numbers measured for real.
+
+// modeledScaling is the snapshot record of one simulated sweep.
+type modeledScaling struct {
+	Matrix     string `json:"matrix"`
+	Scale      string `json:"scale"`
+	Machine    string `json:"machine"`
+	Layout     string `json:"layout"`
+	RankCounts []int  `json:"rank_counts"`
+	// Points carries the full per-(ranks, mode) table; Crossover* reduce
+	// it to the headline: the smallest simulated rank count at which the
+	// winning kernel mode changes.
+	Points         []simnet.SweepPoint `json:"points"`
+	CrossoverRanks int                 `json:"crossover_ranks"`
+	CrossoverFrom  string              `json:"crossover_from,omitempty"`
+	CrossoverTo    string              `json:"crossover_to,omitempty"`
+	WallSeconds    float64             `json:"wall_seconds"`
+}
+
+// measureModeledScaling runs the acceptance sweep: HMeP at full scale
+// (6.2M rows), all three modes at 64, 512 and 4096 ranks, one MPI rank
+// per locality domain on the simulated Westmere cluster.
+func measureModeledScaling(budget time.Duration) (*modeledScaling, error) {
+	rankCounts := []int{64, 512, 4096}
+	src, err := expt.HolsteinSource(genmat.HMeP, expt.Full)
+	if err != nil {
+		return nil, err
+	}
+	cluster := machine.WestmereCluster()
+	wb := simnet.NewWallBudget(budget)
+	pts, err := simnet.Sweep(simnet.SweepConfig{
+		Cluster:    cluster,
+		Layout:     simnet.ProcPerLD,
+		RankCounts: rankCounts,
+		Budget:     wb,
+	}, func(r int) (*simnet.Workload, error) {
+		plan, err := core.BuildPlan(src, core.PartitionByNnz(src, r), false)
+		if err != nil {
+			return nil, err
+		}
+		return simnet.WorkloadFromPlan(plan, "HMeP", expt.PaperKappa("HMeP")), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := &modeledScaling{
+		Matrix:      "HMeP",
+		Scale:       expt.Full.String(),
+		Machine:     cluster.Node.Name,
+		Layout:      simnet.ProcPerLD.String(),
+		RankCounts:  rankCounts,
+		Points:      pts,
+		WallSeconds: wb.Elapsed().Seconds(),
+	}
+	if x, ok := simnet.FindCrossover(pts); ok {
+		ms.CrossoverRanks = x.Ranks
+		ms.CrossoverFrom = x.From
+		ms.CrossoverTo = x.To
+	}
+	return ms, nil
+}

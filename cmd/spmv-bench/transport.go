@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/simnet"
+	"repro/internal/tcpmpi"
+)
+
+// The -transport flag points the snapshot's distributed sweep at any of the
+// three core.Transport backends: the in-process channel world (chan), a
+// two-half tcpmpi loopback pair assembled within this process (tcp), or the
+// DES-backed simulated transport (sim). The same resident-cluster sweep
+// code runs on all three; only the dial differs.
+
+// sweepWorld is the distributed sweep's cluster set for one fixture: one
+// resident cluster for chan and sim, two half-worlds for tcp. Every
+// cluster gets its own plan (Convert rewrites the plan in place, so the
+// tcp halves must not share one) and its own result vector: Mul fills the
+// rows the cluster's local ranks own, which is every row on chan and sim
+// but only half of them on each tcp half.
+type sweepWorld struct {
+	cls   []*core.Cluster
+	plans []*core.Plan
+	ys    [][]float64
+}
+
+// dialSweepWorld brings up the sweep world for one fixture. buildPlan is
+// called once per cluster so each gets an independent (deterministic,
+// hence identical) plan.
+func dialSweepWorld(kind core.TransportKind, buildPlan func() (*core.Plan, error), rows, threads int) (*sweepWorld, error) {
+	w := &sweepWorld{}
+	n := 1
+	if kind == core.TransportTCP {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		plan, err := buildPlan()
+		if err != nil {
+			return nil, err
+		}
+		w.plans = append(w.plans, plan)
+		w.ys = append(w.ys, make([]float64, rows))
+	}
+	switch kind {
+	case core.TransportChan, core.TransportSim:
+		opts := []core.Option{core.WithThreads(threads)}
+		if kind == core.TransportSim {
+			opts = append(opts, core.WithTransport(&simnet.Transport{}))
+		}
+		cl, err := core.NewCluster(w.plans[0], opts...)
+		if err != nil {
+			return nil, err
+		}
+		w.cls = []*core.Cluster{cl}
+	case core.TransportTCP:
+		size := len(w.plans[0].Ranks)
+		mid := size / 2
+		addr, err := freeLoopbackAddr()
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		w.cls = make([]*core.Cluster, 2)
+		errs := [2]error{}
+		var wg sync.WaitGroup
+		for i, rr := range [2][2]int{{0, mid}, {mid, size}} {
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				tr := &tcpmpi.Transport{Addr: addr, Coordinate: lo == 0, RankLo: lo, RankHi: hi}
+				w.cls[i], errs[i] = core.NewCluster(w.plans[i],
+					core.WithTransport(tr), core.WithDialContext(ctx), core.WithThreads(threads))
+			}(i, rr[0], rr[1])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				w.close()
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+func (w *sweepWorld) close() {
+	for _, cl := range w.cls {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// setMode switches the kernel mode on every cluster.
+func (w *sweepWorld) setMode(m core.Mode) error {
+	for _, cl := range w.cls {
+		if err := cl.SetMode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// convert applies the storage-format round to every cluster (each owns its
+// own plan, so the halves convert independently).
+func (w *sweepWorld) convert(b matrix.FormatBuilder) error {
+	for _, cl := range w.cls {
+		if err := cl.Convert(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mul performs one distributed multiplication. On tcp the two halves are
+// driven concurrently — each blocks in collectives until the other
+// arrives, exactly like two MPI processes.
+func (w *sweepWorld) mul(x []float64) error {
+	if len(w.cls) == 1 {
+		return w.cls[0].Mul(w.ys[0], x, 1)
+	}
+	errs := make([]error, len(w.cls))
+	var wg sync.WaitGroup
+	for i, cl := range w.cls {
+		wg.Add(1)
+		go func(i int, cl *core.Cluster) {
+			defer wg.Done()
+			errs[i] = cl.Mul(w.ys[i], x, 1)
+		}(i, cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

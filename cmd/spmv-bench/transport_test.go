@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+// The -transport flag must not change the answer: the distributed sweep's
+// multiplication on the tcp loopback pair and the simulated transport has
+// to match the chan world bit for bit, in every kernel mode. (The serial
+// kernel is 1 ulp away — the local/remote column split changes the
+// accumulation order — so the chan transport is the reference.)
+func TestSweepWorldBitIdenticalAcrossTransports(t *testing.T) {
+	gen, err := genmat.NewRandomBand(genmat.RandomBandConfig{
+		N: 600, Bandwidth: 120, PerRow: 5, Seed: 7, Symmetric: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(gen)
+	x := make([]float64, a.NumCols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	part := core.PartitionByNnz(a, 4)
+	buildPlan := func() (*core.Plan, error) { return core.BuildPlan(a, part, true) }
+
+	// Reference: the chan world, one run per mode.
+	refs := map[core.Mode][]float64{}
+	refWorld, err := dialSweepWorld(core.TransportChan, buildPlan, a.NumRows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range core.Modes {
+		if err := refWorld.setMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		if err := refWorld.mul(x); err != nil {
+			t.Fatal(err)
+		}
+		refs[mode] = append([]float64(nil), refWorld.ys[0]...)
+	}
+	refWorld.close()
+
+	for _, kind := range core.TransportKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			world, err := dialSweepWorld(kind, buildPlan, a.NumRows, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer world.close()
+			for _, mode := range core.Modes {
+				if err := world.setMode(mode); err != nil {
+					t.Fatal(err)
+				}
+				if err := world.mul(x); err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				// Mul fills the rows its cluster's local ranks own (on
+				// chan and sim that is every row; each tcp half owns half).
+				ref := refs[mode]
+				for ci, y := range world.ys {
+					for _, r := range world.cls[ci].LocalRanks() {
+						rg := part.Ranks[r]
+						for i := rg.Lo; i < rg.Hi; i++ {
+							if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+								t.Fatalf("%v cluster %d: y[%d] = %x, want %x",
+									mode, ci, i, math.Float64bits(y[i]), math.Float64bits(ref[i]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,272 @@
+// Command spmv-sim is the capacity planner: it answers "how many nodes —
+// and which kernel mode — before you buy the machine" by running the
+// paper's strong-scaling study (Figs. 5/6) on the simulated transport.
+// Rank counts × kernel modes × storage formats are swept on a
+// machine-described cluster; every point runs the real persistent-channel
+// halo exchange of internal/core over internal/simnet's virtual-time
+// world, with compute phases costed by the code-balance model (Eqs. 1/2).
+// The output is a machine-readable JSON crossover table: per-point time
+// and modeled GFlop/s, plus the smallest rank count at which the winning
+// mode changes — the crossover Figs. 5 and 6 exist to locate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/genmat"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		matrixFlag = flag.String("matrix", "hmep", "workload matrix: hmep, hmEp, or samg")
+		scaleFlag  = flag.String("scale", "medium", "matrix scale: small|medium|full")
+		machFlag   = flag.String("machine", "westmere", "cluster to plan for: westmere, nehalem, or crayxe6")
+		layoutFlag = flag.String("layout", "ld", "process layout: "+strings.Join(simnet.LayoutTokens(), ", "))
+		modesFlag  = flag.String("modes", "", "comma-separated kernel modes (default all): "+strings.Join(core.ModeTokens(), ", "))
+		fmtsFlag   = flag.String("formats", "crs", "comma-separated storage formats: crs and/or sell-<C>-<sigma>")
+		ranksFlag  = flag.String("ranks", "64,256,1024,4096", "comma-separated MPI rank counts to simulate")
+		asyncFlag  = flag.Bool("async-progress", false, "model an MPI library with a working progress thread")
+		itersFlag  = flag.Int("iters", 0, "timed iterations per point (0 = the sweep default)")
+		warmupFlag = flag.Int("warmup", 0, "warmup iterations per point (0 = the sweep default)")
+		budgetFlag = flag.Duration("budget", 0, "wall-clock budget for the whole sweep (0 = unlimited)")
+		requireX   = flag.Bool("require-crossover", false, "exit nonzero unless a mode crossover is found (the sim-smoke CI gate)")
+		outFlag    = flag.String("o", "", "write the JSON table to this path instead of stdout")
+	)
+	flag.Parse()
+
+	budget := simnet.NewWallBudget(*budgetFlag)
+	layout, err := simnet.ParseLayout(*layoutFlag)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := expt.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	name, src, err := pickMatrix(*matrixFlag, scale)
+	if err != nil {
+		fatal(err)
+	}
+	cluster, err := pickMachine(*machFlag)
+	if err != nil {
+		fatal(err)
+	}
+	modes := core.Modes
+	if *modesFlag != "" {
+		modes = modes[:0]
+		for _, tok := range strings.Split(*modesFlag, ",") {
+			m, err := core.ParseMode(tok)
+			if err != nil {
+				fatal(err)
+			}
+			modes = append(modes, m)
+		}
+	}
+	var ranks []int
+	for _, tok := range strings.Split(*ranksFlag, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fatal(fmt.Errorf("-ranks: %w", err))
+		}
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	// Workloads are memoized per rank count so the two formats partition
+	// the pattern only once each — and built concurrently up front, since
+	// each build streams every row of the pattern (the dominant cost at
+	// full scale) and pattern sources are safe for concurrent reads.
+	kappa := expt.PaperKappa(name)
+	cache := make(map[int]*simnet.Workload, len(ranks))
+	errs := make(map[int]error, len(ranks))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			plan, err := core.BuildPlan(src, core.PartitionByNnz(src, r), false)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			cache[r] = simnet.WorkloadFromPlan(plan, name, kappa)
+		}(r)
+	}
+	wg.Wait()
+	workload := func(r int) (*simnet.Workload, error) {
+		if err := errs[r]; err != nil {
+			return nil, err
+		}
+		return cache[r], nil
+	}
+
+	table := planTable{
+		Matrix:  name,
+		Scale:   scale.String(),
+		Machine: cluster.Node.Name,
+		Layout:  layout.String(),
+	}
+	table.Rows, table.Cols = src.Dims()
+	for _, ftok := range strings.Split(*fmtsFlag, ",") {
+		ftok = strings.TrimSpace(ftok)
+		entryB, err := formatEntryBytes(ftok, src)
+		if err != nil {
+			fatal(err)
+		}
+		pts, err := simnet.Sweep(simnet.SweepConfig{
+			Cluster:       cluster,
+			Layout:        layout,
+			RankCounts:    ranks,
+			Modes:         modes,
+			Format:        ftok,
+			EntryBytes:    entryB,
+			AsyncProgress: *asyncFlag,
+			Warmup:        *warmupFlag,
+			Iters:         *itersFlag,
+			Budget:        budget,
+		}, workload)
+		table.Points = append(table.Points, pts...)
+		if err != nil {
+			fatal(err)
+		}
+		if x, ok := simnet.FindCrossover(pts); ok {
+			x := x
+			table.Crossovers = append(table.Crossovers, formatCrossover{Format: ftok, Crossover: x})
+		}
+	}
+	table.WallSeconds = budget.Elapsed().Seconds()
+
+	data, err := json.MarshalIndent(&table, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *outFlag != "" {
+		if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	if *requireX && len(table.Crossovers) == 0 {
+		fatal(fmt.Errorf("no mode crossover found across ranks %v — the strong-scaling model is broken", ranks))
+	}
+}
+
+// planTable is the machine-readable crossover table.
+type planTable struct {
+	Matrix      string              `json:"matrix"`
+	Scale       string              `json:"scale"`
+	Rows        int                 `json:"rows"`
+	Cols        int                 `json:"cols"`
+	Machine     string              `json:"machine"`
+	Layout      string              `json:"layout"`
+	Points      []simnet.SweepPoint `json:"points"`
+	Crossovers  []formatCrossover   `json:"crossovers"`
+	WallSeconds float64             `json:"wall_seconds"`
+}
+
+type formatCrossover struct {
+	Format string `json:"format"`
+	simnet.Crossover
+}
+
+func pickMatrix(tok string, scale expt.Scale) (string, matrix.PatternSource, error) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "hmep":
+		src, err := expt.HolsteinSource(genmat.HMeP, scale)
+		return "HMeP", src, err
+	case "hmep-electronic", "hmepe", "electronic":
+		src, err := expt.HolsteinSource(genmat.HMEp, scale)
+		return "HMEp", src, err
+	case "samg", "poisson":
+		src, err := expt.PoissonSource(scale)
+		return "sAMG", src, err
+	default:
+		return "", nil, fmt.Errorf("unknown matrix %q (valid: hmep, hmep-electronic, samg)", tok)
+	}
+}
+
+func pickMachine(tok string) (machine.ClusterSpec, error) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "westmere":
+		return machine.WestmereCluster(), nil
+	case "nehalem":
+		return machine.NehalemCluster(), nil
+	case "crayxe6", "cray":
+		return machine.CrayXE6(), nil
+	default:
+		return machine.ClusterSpec{}, fmt.Errorf("unknown machine %q (valid: westmere, nehalem, crayxe6)", tok)
+	}
+}
+
+// formatEntryBytes maps a storage-format token to the Eq. 1 per-nonzero
+// matrix traffic: CRS moves 12 bytes (8-byte value + 4-byte index);
+// SELL-C-σ moves 12/β where β is the chunk occupancy, measured by
+// streaming the pattern's row lengths through the C×σ chunking rule.
+func formatEntryBytes(tok string, src matrix.PatternSource) (float64, error) {
+	if tok == "crs" || tok == "csr" {
+		return 12, nil
+	}
+	var c, sigma int
+	if n, err := fmt.Sscanf(tok, "sell-%d-%d", &c, &sigma); n == 2 && err == nil && c > 0 && sigma > 0 {
+		beta := sellOccupancy(src, c, sigma)
+		return 12 / beta, nil
+	}
+	return 0, fmt.Errorf("unknown format %q (valid: crs, sell-<C>-<sigma>)", tok)
+}
+
+// sellOccupancy computes SELL-C-σ's chunk occupancy β ∈ (0,1]: nnz divided
+// by the padded capacity when rows are sorted by length within σ-windows
+// and stored in C-row chunks padded to the longest row of each chunk.
+func sellOccupancy(src matrix.PatternSource, c, sigma int) float64 {
+	rows, _ := src.Dims()
+	lens := make([]int, rows)
+	var nnz, buf = int64(0), make([]int32, 0, 64)
+	for i := 0; i < rows; i++ {
+		buf = src.AppendRow(i, buf[:0])
+		lens[i] = len(buf)
+		nnz += int64(len(buf))
+	}
+	var padded int64
+	for lo := 0; lo < rows; lo += sigma {
+		hi := lo + sigma
+		if hi > rows {
+			hi = rows
+		}
+		win := lens[lo:hi]
+		sort.Sort(sort.Reverse(sort.IntSlice(win)))
+		for s := 0; s < len(win); s += c {
+			// every chunk is padded to C rows of its longest row's length
+			padded += int64(win[s]) * int64(c)
+		}
+	}
+	if padded == 0 {
+		return 1
+	}
+	beta := float64(nnz) / float64(padded)
+	if beta > 1 {
+		beta = 1
+	}
+	return beta
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmv-sim:", err)
+	os.Exit(1)
+}

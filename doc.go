@@ -195,7 +195,7 @@
 //
 // The runtime's load-bearing conventions are enforced at compile time by
 // cmd/reprolint, a multichecker over the internal/analysis suite (a
-// required CI job, also runnable as `go vet -vettool=`). Five analyzers,
+// required CI job, also runnable as `go vet -vettool=`). Six analyzers,
 // one invariant each:
 //
 //   - commerr — no error returned by a core.Comm, core.Request or
@@ -219,6 +219,14 @@
 //     directly or through package-local helpers: the submitter holds the
 //     cluster lock while the body runs, so the call self-deadlocks.
 //     Mode() and the read-only accessors are the lock-free exceptions.
+//   - wallclock — packages whose package clause carries the
+//     //repro:virtualtime directive (internal/des, internal/simnet) must
+//     not touch the wall clock: time.Now, Since, Until, Sleep, After,
+//     AfterFunc, Tick, NewTimer and NewTicker are flagged, called or
+//     stored. The simulator's bit-reproducibility rests on every
+//     timestamp coming from the des clock; simnet's WallBudget (which
+//     bounds planning wall time, not simulated time) is the one
+//     annotated exception.
 //
 // A deliberate exception to any analyzer is written in the code as
 // `//reprolint:ignore <name> <reason>` on (or directly above) the line.
@@ -253,9 +261,49 @@
 // cmd/spmv-bench -snapshot writes a kernel GFlop/s snapshot covering the
 // node kernels and the distributed modes × formats sweep on a resident
 // Cluster, plus a per-call reference point (see BENCH_1.json …
-// BENCH_3.json) that tracks the repo's performance trajectory; -mode and
-// -format (core.ParseMode, core.ParseFormat) restrict the sweep to a
-// single kernel mode or storage format.
+// BENCH_3.json) that tracks the repo's performance trajectory; -mode,
+// -format and -transport (core.ParseMode, core.ParseFormat,
+// core.ParseTransport) restrict the sweep to a single kernel mode,
+// storage format, or transport backend (chan, a tcpmpi loopback pair, or
+// the simulated transport below). From BENCH_9.json on, the snapshot also
+// carries a modeled_scaling section: the full-scale capacity-planning
+// sweep's crossover rank and per-mode modeled GFlop/s.
+//
+// # Capacity planning: internal/simnet and cmd/spmv-sim
+//
+// The paper's strong-scaling verdict (Figs. 5 and 6) needed thousands of
+// real cores; internal/simnet reaches the same rank counts on a laptop by
+// running the UNMODIFIED resident runtime — core.Cluster, Supervisor,
+// solver.DistCG, the persistent-channel halo exchange — on a third
+// core.Transport whose world lives in virtual time. Every rank is a
+// goroutine scheduled one-at-a-time by the internal/des event kernel
+// (deterministic by construction), payload bytes move for real (the
+// conformance suite asserts DistCG on sim is bit-identical to chan), and
+// every Comm operation is costed by a calibrated network model:
+// latency/bandwidth links under fluid-flow contention (internal/fluid),
+// an eager/rendezvous protocol switch at the MPI library's threshold, and
+// the paper's §3 observation that without an asynchronous progress
+// thread, rendezvous transfers advance only while both endpoints are
+// inside MPI calls — the very effect that makes "overlap" modes
+// non-overlapping in practice. Compute phases are costed by the Eq. (1)
+// code-balance model ((8+4)/β + κ bytes per nonzero through the
+// locality domain's saturating memory bus, Fig. 3) with the Eq. (2)
+// write-twice penalty in the overlap modes.
+//
+// cmd/spmv-sim is the planner front end: it sweeps rank counts × kernel
+// modes × storage formats on a machine-described cluster
+// (internal/machine specs: Westmere/Nehalem IB clusters, a Cray XE6
+// torus) and emits a machine-readable JSON crossover table — per-point
+// simulated time and modeled GFlop/s, plus the smallest rank count at
+// which the winning mode changes, the Fig. 5/6 crossover. The full-scale
+// HMeP sweep reproduces the paper's qualitative result in under a minute
+// of wall time: task mode wins while halos are rendezvous-sized, and
+// once strong scaling shrinks them under the eager threshold the naive
+// overlap starts genuinely overlapping and takes over (at 4096 of
+// {64, 512, 4096} simulated ranks). The sim-smoke CI job gates on a
+// crossover being found (-require-crossover) under a wall-clock budget
+// (-budget, simnet.WallBudget). See internal/simnet/README.md for the
+// progress-semantics model and the deterministic-scheduler contract.
 //
 // # Serving: the multi-tenant SpMV service
 //

@@ -76,6 +76,7 @@ func All() []*Analyzer {
 		HotAllocAnalyzer,
 		RankOrderAnalyzer,
 		ClusterCtxAnalyzer,
+		WallClockAnalyzer,
 	}
 }
 

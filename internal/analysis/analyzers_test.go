@@ -31,10 +31,21 @@ func TestClusterCtx(t *testing.T) {
 	analysistest.Run(t, "testdata/src/clusterctx", analysis.ClusterCtxAnalyzer)
 }
 
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wallclock", analysis.WallClockAnalyzer)
+}
+
+// The wallclock analyzer is directive-scoped: a package without
+// //repro:virtualtime may use the wall clock freely (no want comments —
+// any diagnostic fails the run).
+func TestWallClockSilentWithoutDirective(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wallclockclean", analysis.WallClockAnalyzer)
+}
+
 // TestAllNames pins the analyzer roster: CI flags and suppression
 // directives address analyzers by these names.
 func TestAllNames(t *testing.T) {
-	want := []string{"commerr", "persistwait", "hotalloc", "rankorder", "clusterctx"}
+	want := []string{"commerr", "persistwait", "hotalloc", "rankorder", "clusterctx", "wallclock"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

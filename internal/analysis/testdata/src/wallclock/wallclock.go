@@ -1,0 +1,52 @@
+// Fixture for the wallclock analyzer: the //repro:virtualtime directive
+// below marks this package virtual-time pure, so every wall-clock entry
+// point of package time is a violation — called, deferred, or stored as a
+// function value. The annotated budget helper shows the sanctioned
+// escape hatch.
+//
+//repro:virtualtime
+package wallclock
+
+import "time"
+
+// now leaks the host clock directly.
+func now() time.Time {
+	return time.Now() // want `time.Now in a //repro:virtualtime package`
+}
+
+// elapsed leaks it through the convenience wrappers.
+func elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a //repro:virtualtime package`
+	return time.Since(start)     // want `time.Since in a //repro:virtualtime package`
+}
+
+// stored smuggles the clock out as a function value — same leak, one hop
+// later.
+var stored = time.Now // want `time.Now in a //repro:virtualtime package`
+
+// ticking covers the channel-shaped entry points.
+func ticking() {
+	t := time.NewTimer(time.Second) // want `time.NewTimer in a //repro:virtualtime package`
+	defer t.Stop()
+	<-time.After(time.Second) // want `time.After in a //repro:virtualtime package`
+	go func() {
+		for range time.Tick(time.Second) { // want `time.Tick in a //repro:virtualtime package`
+			return
+		}
+	}()
+}
+
+// budget is the sanctioned wall-clock source, annotated in place like
+// simnet's WallBudget.
+func budget() time.Time {
+	return time.Now() //reprolint:ignore wallclock the sanctioned planner wall-clock budget
+}
+
+// durations, conversions and constants are not wall-clock reads.
+func pureDuration(d time.Duration) float64 {
+	deadline := 3 * time.Second
+	if d > deadline {
+		d = deadline
+	}
+	return d.Seconds()
+}

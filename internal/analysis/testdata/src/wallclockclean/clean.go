@@ -1,0 +1,13 @@
+// Fixture for the wallclock analyzer's scoping: this package has NO
+// //repro:virtualtime directive, so wall-clock use is none of the
+// analyzer's business — it must stay silent here.
+package wallclockclean
+
+import "time"
+
+// Stamp uses the wall clock freely; only directive-marked packages are
+// virtual-time pure.
+func Stamp() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

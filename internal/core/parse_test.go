@@ -41,6 +41,42 @@ func TestParseModeErrorEnumeratesTokens(t *testing.T) {
 	}
 }
 
+// Every token TransportTokens advertises must parse, and the canonical
+// name of each kind must round-trip through ParseTransport.
+func TestParseTransportAcceptsEveryToken(t *testing.T) {
+	for _, tok := range TransportTokens() {
+		if _, err := ParseTransport(tok); err != nil {
+			t.Errorf("ParseTransport(%q): %v", tok, err)
+		}
+	}
+	for _, k := range TransportKinds {
+		got, err := ParseTransport(k.String())
+		if err != nil {
+			t.Fatalf("ParseTransport(%q): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseTransport(%q) = %v", k, got)
+		}
+	}
+	if _, err := ParseTransport("  Simnet "); err != nil {
+		t.Errorf("ParseTransport should trim and lowercase: %v", err)
+	}
+}
+
+// A bad transport must name every valid spelling — the error doubles as
+// the help text for the -transport flag.
+func TestParseTransportErrorEnumeratesTokens(t *testing.T) {
+	_, err := ParseTransport("bogus")
+	if err == nil {
+		t.Fatal("ParseTransport(bogus) succeeded")
+	}
+	for _, tok := range TransportTokens() {
+		if !strings.Contains(err.Error(), tok) {
+			t.Errorf("error %q does not mention token %q", err, tok)
+		}
+	}
+}
+
 func TestParseFormatErrorEnumeratesTokens(t *testing.T) {
 	_, err := ParseFormat("bogus")
 	if err == nil {

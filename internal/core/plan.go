@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/matrix"
@@ -217,15 +218,16 @@ func buildRankPlan(src matrix.PatternSource, vsrc matrix.ValueSource, part *Part
 	rg := part.Ranks[rank]
 	rp := &RankPlan{Rank: rank, Rows: rg, NLocal: rg.Len()}
 
-	// Pass 1: collect the distinct nonlocal columns.
+	// Pass 1: collect the distinct nonlocal columns. Duplicates are
+	// appended and squeezed out after one concrete-typed sort — a set map
+	// here (one hash per remote nonzero) dominated full-scale plan builds.
 	lo32, hi32 := int32(rg.Lo), int32(rg.Hi)
-	haloSet := make(map[int32]struct{})
-	var buf []int32
+	var halo, buf []int32
 	for i := rg.Lo; i < rg.Hi; i++ {
 		buf = src.AppendRow(i, buf[:0])
 		for _, c := range buf {
 			if c < lo32 || c >= hi32 {
-				haloSet[c] = struct{}{}
+				halo = append(halo, c)
 			} else {
 				rp.NnzLocal++
 			}
@@ -234,11 +236,8 @@ func buildRankPlan(src matrix.PatternSource, vsrc matrix.ValueSource, part *Part
 	}
 	rp.NnzRemote -= rp.NnzLocal
 
-	rp.HaloCols = make([]int32, 0, len(haloSet))
-	for c := range haloSet {
-		rp.HaloCols = append(rp.HaloCols, c)
-	}
-	sort.Slice(rp.HaloCols, func(i, j int) bool { return rp.HaloCols[i] < rp.HaloCols[j] })
+	slices.Sort(halo)
+	rp.HaloCols = slices.Compact(halo)
 
 	// Group the sorted halo by owner rank; ownership is contiguous, so each
 	// peer occupies one contiguous segment.

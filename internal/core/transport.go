@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TransportKind names one of the runtime's World transports. It completes
+// the ParseMode/ParseFormat family for command lines and HTTP parameters;
+// mapping a kind to a concrete Transport happens in the binaries, because
+// core cannot import the transport packages that import it.
+type TransportKind int
+
+const (
+	// TransportChan is the in-process channel transport (chanmpi): every
+	// rank a goroutine, zero-copy delivery, the conformance baseline.
+	TransportChan TransportKind = iota
+	// TransportTCP is the socket transport (tcpmpi): ranks spread across
+	// OS processes or hosts, framed wire protocol, heartbeats.
+	TransportTCP
+	// TransportSim is the simulated transport (simnet): every rank local,
+	// data moves for real but time is virtual — capacity planning at rank
+	// counts no real host could run.
+	TransportSim
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportChan:
+		return "chan"
+	case TransportTCP:
+		return "tcp"
+	case TransportSim:
+		return "sim"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// TransportKinds lists all transports in presentation order.
+var TransportKinds = []TransportKind{TransportChan, TransportTCP, TransportSim}
+
+// transportTokens is the single source of truth for every spelling
+// ParseTransport accepts: the canonical String() name of each kind first,
+// its package-name alias after it. ParseTransport's error enumerates
+// exactly this table.
+var transportTokens = []struct {
+	tok  string
+	kind TransportKind
+}{
+	{"chan", TransportChan},
+	{"chanmpi", TransportChan},
+	{"tcp", TransportTCP},
+	{"tcpmpi", TransportTCP},
+	{"sim", TransportSim},
+	{"simnet", TransportSim},
+}
+
+// TransportTokens returns every spelling ParseTransport accepts, canonical
+// names first — the list command-line help and error messages enumerate.
+func TransportTokens() []string {
+	out := make([]string, len(transportTokens))
+	for i, e := range transportTokens {
+		out[i] = e.tok
+	}
+	return out
+}
+
+// ParseTransport maps a transport name to its TransportKind. It accepts
+// the canonical String() names ("chan", "tcp", "sim") and the package-name
+// aliases listed by TransportTokens; an unknown name yields an error that
+// enumerates every valid token.
+func ParseTransport(s string) (TransportKind, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, e := range transportTokens {
+		if e.tok == name {
+			return e.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown transport %q (valid: %s)", s, strings.Join(TransportTokens(), ", "))
+}

@@ -6,18 +6,33 @@
 //
 // The cluster simulator builds on this kernel: MPI processes are Procs,
 // compute and communication are fluid flows whose completions are events.
+//
+// Two consumption styles are supported. Run drains the event heap to
+// completion and is the classic closed-world driver (simmpi, simexec).
+// Step pops and executes exactly one event and exists for open-world
+// drivers — simnet's transport, where foreign goroutines (cluster ranks)
+// block on simulated operations and take turns advancing the clock.
+//
+// Event objects are pooled: once an event has fired or been cancelled and
+// subsequently popped, the kernel may reuse it for a later At call. Holders
+// must therefore drop an *Event after firing or after calling Cancel —
+// cancelling twice, or cancelling a stale pointer kept past its firing, is
+// undefined.
+//
+// This package is virtual-time pure: the reprolint wallclock analyzer
+// forbids package time here (see the directive below).
+//
+//repro:virtualtime
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now    float64
-	events eventHeap
+	events []*Event // binary heap ordered by (t, seq)
 	seq    int64
+	free   []*Event // recycled event objects
 
 	yield chan struct{} // proc → scheduler handoff
 	live  int           // procs started and not yet finished
@@ -33,8 +48,13 @@ func New() *Sim {
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
+// Events returns the total number of events scheduled so far — a cheap
+// fingerprint for event-for-event reproducibility assertions.
+func (s *Sim) Events() int64 { return s.seq }
+
 // Event is a scheduled callback. Cancel prevents a pending event from
-// firing; canceling a fired event is a no-op.
+// firing; canceling a fired event is a no-op, but see the package comment:
+// pointers must be dropped once the event has fired or been cancelled.
 type Event struct {
 	t         float64
 	seq       int64
@@ -50,19 +70,75 @@ func (e *Event) Cancel() {
 }
 
 // At schedules fn to run at absolute time t (≥ now).
+//
+//repro:noalloc
 func (s *Sim) At(t float64, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, s.now))
 	}
 	s.seq++
-	e := &Event{t: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, e)
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.t, e.seq, e.fn, e.cancelled = t, s.seq, fn, false
+	} else {
+		e = &Event{t: t, seq: s.seq, fn: fn} //repro:alloc-ok pool warm-up; steady state recycles
+	}
+	s.push(e)
 	return e
 }
 
 // After schedules fn to run d seconds from now.
+//
+//repro:noalloc
 func (s *Sim) After(d float64, fn func()) *Event {
 	return s.At(s.now+d, fn)
+}
+
+// Pending reports whether any uncancelled event remains scheduled.
+// Cancelled events at the heap front are discarded on the way.
+//
+//repro:noalloc
+func (s *Sim) Pending() bool {
+	for len(s.events) > 0 {
+		if !s.events[0].cancelled {
+			return true
+		}
+		s.recycle(s.pop())
+	}
+	return false
+}
+
+// Step pops and executes the next event, advancing the clock to its time.
+// It returns false if no uncancelled event remains. The fired event object
+// is recycled after its callback returns.
+//
+//repro:noalloc
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := s.pop()
+		if e.cancelled {
+			s.recycle(e)
+			continue
+		}
+		s.now = e.t
+		fn := e.fn
+		s.recycle(e)
+		fn()
+		return true
+	}
+	return false
+}
+
+// recycle returns a popped event to the freelist.
+//
+//repro:noalloc
+func (s *Sim) recycle(e *Event) {
+	e.fn = nil
+	e.cancelled = false
+	s.free = append(s.free, e) //repro:alloc-ok freelist grows once to high-water mark
 }
 
 // Proc is a simulated thread of control.
@@ -131,11 +207,13 @@ func (p *Proc) Sleep(d float64) {
 }
 
 // Signal is a one-shot broadcast condition: procs wait on it, someone fires
-// it, all current and future waiters proceed.
+// it, all current and future waiters proceed. Non-proc consumers (simnet's
+// foreign rank goroutines) register OnFire callbacks instead of waiting.
 type Signal struct {
-	sim     *Sim
-	fired   bool
-	waiters []*Proc
+	sim       *Sim
+	fired     bool
+	waiters   []*Proc
+	callbacks []func()
 }
 
 // NewSignal creates an unfired signal.
@@ -144,8 +222,11 @@ func (s *Sim) NewSignal() *Signal { return &Signal{sim: s} }
 // Fired reports whether the signal has fired.
 func (g *Signal) Fired() bool { return g.fired }
 
-// Fire releases all waiters at the current virtual time. Firing twice is a
-// no-op. Fire may be called from event callbacks or procs.
+// Fire releases all waiters at the current virtual time and runs any
+// OnFire callbacks synchronously. Firing twice is a no-op. Fire may be
+// called from event callbacks or procs.
+//
+//repro:noalloc
 func (g *Signal) Fire() {
 	if g.fired {
 		return
@@ -155,6 +236,48 @@ func (g *Signal) Fire() {
 		g.sim.wakeAt(g.sim.now, p)
 	}
 	g.waiters = nil
+	// Index loop with a live length check: a callback may legally Reset
+	// this signal (pooled flows recycle inside their Done callbacks), which
+	// truncates the list mid-fire.
+	for i := 0; i < len(g.callbacks); i++ {
+		fn := g.callbacks[i]
+		g.callbacks[i] = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	if g.fired {
+		g.callbacks = g.callbacks[:0]
+	}
+}
+
+// OnFire registers fn to run when the signal fires; if it already has, fn
+// runs immediately. Callbacks run synchronously inside Fire, in
+// registration order, and are cleared once run (and by Reset).
+//
+//repro:noalloc
+func (g *Signal) OnFire(fn func()) {
+	if g.fired {
+		fn()
+		return
+	}
+	g.callbacks = append(g.callbacks, fn) //repro:alloc-ok callback slice grows once per signal
+}
+
+// Reset rearms a fired (or unfired, waiter-free) signal for reuse, so
+// resident operations can pool their completion signals. Resetting with
+// procs still waiting would wedge them and panics instead.
+//
+//repro:noalloc
+func (g *Signal) Reset() {
+	if len(g.waiters) > 0 {
+		panic("des: Reset of a signal with blocked waiters")
+	}
+	g.fired = false
+	for i := range g.callbacks {
+		g.callbacks[i] = nil
+	}
+	g.callbacks = g.callbacks[:0]
 }
 
 // Wait suspends the proc until the signal fires (returns immediately if it
@@ -182,13 +305,7 @@ func (s *Sim) Run() error {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.t
-		e.fn()
+	for s.Step() {
 	}
 	if s.live > 0 {
 		return fmt.Errorf("des: deadlock: %d proc(s) still blocked at t=%g", s.live, s.now)
@@ -196,19 +313,60 @@ func (s *Sim) Run() error {
 	return nil
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*Event
+// Live reports the number of spawned procs that have not yet finished.
+func (s *Sim) Live() int { return s.live }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// push inserts e into the (t, seq)-ordered binary heap. Inlined rather
+// than container/heap so pooled events never round-trip through an
+// interface box.
+//
+//repro:noalloc
+func (s *Sim) push(e *Event) {
+	s.events = append(s.events, e) //repro:alloc-ok heap storage grows once to high-water mark
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.events[i], s.events[parent]) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *Event  { return h[0] }
 
-var _ heap.Interface = (*eventHeap)(nil)
+// pop removes and returns the minimum event.
+//
+//repro:noalloc
+func (s *Sim) pop() *Event {
+	h := s.events
+	n := len(h) - 1
+	e := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	s.events = h[:n]
+	h = s.events
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && eventLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return e
+}
+
+func eventLess(a, b *Event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}

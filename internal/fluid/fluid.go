@@ -15,12 +15,15 @@
 // updates when a flow starts or ends, keeping large strong-scaling
 // simulations cheap. Bottlenecked-elsewhere flows may leave some capacity
 // unused, which is conservative (never optimistic) for contended links.
+//
+// Flow objects carry resident completion closures and can be pooled via
+// Recycle, so steady-state traffic (simnet's halo exchanges) allocates
+// nothing once warm.
 package fluid
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/des"
 )
@@ -59,7 +62,7 @@ func TableCapacity(table []float64) Capacity {
 type Resource struct {
 	name  string
 	capFn Capacity
-	flows map[*Flow]struct{}
+	flows []*Flow
 }
 
 // Flow is an in-progress transfer.
@@ -71,6 +74,9 @@ type Flow struct {
 	rate       float64
 	lastUpdate float64
 	completion *des.Event
+	schedT     float64 // virtual time completion is scheduled for
+	stamp      int64   // last rebalance collection that saw this flow
+	completeFn func()  // resident completion-event callback
 	// Done fires when the transfer finishes.
 	Done *des.Signal
 }
@@ -79,6 +85,10 @@ type Flow struct {
 type System struct {
 	sim    *des.Sim
 	nextID int64
+	stamp  int64     // collection epoch for touched-set dedup
+	scr    [][]*Flow // pooled collection slices, one per rebalance nesting level
+	depth  int
+	pool   []*Flow // recycled flow objects
 }
 
 // NewSystem creates a flow system bound to a simulator.
@@ -86,7 +96,7 @@ func NewSystem(sim *des.Sim) *System { return &System{sim: sim} }
 
 // NewResource creates a resource with the given capacity model.
 func (s *System) NewResource(name string, c Capacity) *Resource {
-	return &Resource{name: name, capFn: c, flows: make(map[*Flow]struct{})}
+	return &Resource{name: name, capFn: c}
 }
 
 // Name returns the resource's diagnostic name.
@@ -97,56 +107,148 @@ func (r *Resource) Active() int { return len(r.flows) }
 
 // Start begins transferring `bytes` across the given resources and returns
 // the flow. A zero-byte flow completes immediately. Must be called from
-// simulation context (a proc or event callback).
+// simulation context (a proc or event callback). The resources slice is
+// referenced, not copied, and released again when the flow is recycled.
+//
+//repro:noalloc
 func (s *System) Start(bytes float64, resources ...*Resource) *Flow {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("fluid: invalid flow size %g", bytes))
 	}
 	s.nextID++
-	f := &Flow{
-		sys:        s,
-		id:         s.nextID,
-		resources:  resources,
-		remaining:  bytes,
-		lastUpdate: s.sim.Now(),
-		Done:       s.sim.NewSignal(),
+	var f *Flow
+	if n := len(s.pool); n > 0 {
+		f = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		f = &Flow{sys: s, Done: s.sim.NewSignal()} //repro:alloc-ok pool warm-up; Recycle refills it
+		f.completeFn = func() {                    //repro:alloc-ok resident closure, built once per pooled flow
+			f.completion = nil // the firing event: drop before anything can reuse it
+			now := s.sim.Now()
+			f.advance(now)
+			if f.remaining > 0 && f.rate > 0 {
+				// A stale early event: the flow slowed down after this was
+				// scheduled (rebalance leaves too-early events in place
+				// rather than churning the heap). Re-arm at the true time —
+				// unless the residue is below virtual-clock resolution
+				// (now+dt == now), which would re-fire forever.
+				dt := f.remaining / f.rate
+				if now+dt > now {
+					f.schedT = now + dt
+					f.completion = s.sim.After(dt, f.completeFn)
+					return
+				}
+			}
+			s.complete(f)
+		}
 	}
+	f.id = s.nextID
+	f.resources = resources
+	f.remaining = bytes
+	f.rate = 0
+	f.lastUpdate = s.sim.Now()
+	f.completion = nil
 	if bytes == 0 || len(resources) == 0 {
 		// Infinitely fast: no shared medium, or nothing to move.
 		f.Done.Fire()
 		return f
 	}
-	touched := s.attach(f)
+	touched := s.collectAttach(f)
 	s.rebalance(touched)
+	s.releaseScratch(touched)
 	return f
 }
 
-// attach registers the flow on its resources and returns every flow whose
-// rate may have changed (the neighbours on shared resources).
-func (s *System) attach(f *Flow) map[*Flow]struct{} {
-	touched := map[*Flow]struct{}{f: {}}
-	for _, r := range f.resources {
-		for g := range r.flows {
-			touched[g] = struct{}{}
-		}
-		r.flows[f] = struct{}{}
+// Recycle returns a finished flow to the pool for reuse by a later Start.
+// Opt-in: callers that retain Done (or the flow) must not recycle. The
+// flow must have completed; its Done signal is reset for the next use.
+//
+//repro:noalloc
+func (s *System) Recycle(f *Flow) {
+	if !f.Done.Fired() {
+		panic("fluid: Recycle of an unfinished flow")
 	}
-	return touched
+	f.resources = nil
+	f.Done.Reset()
+	s.pool = append(s.pool, f) //repro:alloc-ok pool grows once to high-water mark
 }
 
-// detach removes a finished flow and returns the affected neighbours.
-func (s *System) detach(f *Flow) map[*Flow]struct{} {
-	touched := map[*Flow]struct{}{}
+// grabScratch checks out a collection slice for the current nesting level.
+//
+//repro:noalloc
+func (s *System) grabScratch() []*Flow {
+	if s.depth == len(s.scr) {
+		s.scr = append(s.scr, nil) //repro:alloc-ok one slot per observed nesting depth
+	}
+	sl := s.scr[s.depth][:0]
+	s.depth++
+	return sl
+}
+
+// releaseScratch returns a (possibly grown) collection slice to its level.
+//
+//repro:noalloc
+func (s *System) releaseScratch(sl []*Flow) {
+	s.depth--
+	s.scr[s.depth] = sl
+}
+
+// collectAttach registers the flow on its resources and returns the
+// deduplicated set of flows whose rate may have changed (the flow itself
+// plus its neighbours on shared resources).
+//
+//repro:noalloc
+func (s *System) collectAttach(f *Flow) []*Flow {
+	s.stamp++
+	st := s.stamp
+	sl := s.grabScratch()
+	f.stamp = st
+	sl = append(sl, f) //repro:alloc-ok scratch grows once to high-water mark
 	for _, r := range f.resources {
-		delete(r.flows, f)
-		for g := range r.flows {
-			touched[g] = struct{}{}
+		for _, g := range r.flows {
+			if g.stamp != st {
+				g.stamp = st
+				sl = append(sl, g) //repro:alloc-ok scratch grows once to high-water mark
+			}
+		}
+		r.flows = append(r.flows, f) //repro:alloc-ok per-resource flow list grows once
+	}
+	return sl
+}
+
+// collectDetach removes a finished flow and returns the affected
+// neighbours.
+//
+//repro:noalloc
+func (s *System) collectDetach(f *Flow) []*Flow {
+	s.stamp++
+	st := s.stamp
+	sl := s.grabScratch()
+	for _, r := range f.resources {
+		fl := r.flows
+		for i, g := range fl {
+			if g == f {
+				n := len(fl) - 1
+				fl[i] = fl[n]
+				fl[n] = nil
+				r.flows = fl[:n]
+				break
+			}
+		}
+		for _, g := range r.flows {
+			if g.stamp != st {
+				g.stamp = st
+				sl = append(sl, g) //repro:alloc-ok scratch grows once to high-water mark
+			}
 		}
 	}
-	return touched
+	return sl
 }
 
 // advance charges a flow's progress up to the current time.
+//
+//repro:noalloc
 func (f *Flow) advance(now float64) {
 	if f.rate > 0 {
 		f.remaining -= f.rate * (now - f.lastUpdate)
@@ -159,6 +261,8 @@ func (f *Flow) advance(now float64) {
 
 // currentRate computes the flow's fair share: min over resources of
 // C_r(n_r)/n_r.
+//
+//repro:noalloc
 func (f *Flow) currentRate() float64 {
 	rate := math.Inf(1)
 	for _, r := range f.resources {
@@ -177,38 +281,66 @@ func (f *Flow) currentRate() float64 {
 // rebalance recomputes rates and completion events for the touched flows,
 // in flow-id order so event scheduling (and hence same-time tie-breaking)
 // is deterministic.
-func (s *System) rebalance(touched map[*Flow]struct{}) {
+//
+// Completion events are rescheduled lazily: a flow that SLOWED down keeps
+// its existing (now too-early) event — firing early is harmless, the
+// callback re-arms at the true time — because cancelling and re-pushing
+// every neighbour on every attach turns the event heap into a garbage
+// dump and dominated large-rank-count runs. Only a flow whose completion
+// moved EARLIER (a neighbour left) must replace its event.
+//
+//repro:noalloc
+func (s *System) rebalance(touched []*Flow) {
 	now := s.sim.Now()
-	ordered := make([]*Flow, 0, len(touched))
-	for f := range touched {
-		ordered = append(ordered, f)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
-	for _, f := range ordered {
+	sortFlowsByID(touched)
+	for _, f := range touched {
 		if f.Done.Fired() {
 			continue
 		}
 		f.advance(now)
 		f.rate = f.currentRate()
-		if f.completion != nil {
-			f.completion.Cancel()
-			f.completion = nil
-		}
 		if f.remaining <= 0 {
+			if f.completion != nil {
+				f.completion.Cancel()
+				f.completion = nil
+			}
 			s.complete(f)
 			continue
 		}
-		if f.rate > 0 {
-			f := f
-			f.completion = s.sim.After(f.remaining/f.rate, func() {
-				f.advance(s.sim.Now())
-				s.complete(f)
-			})
+		if f.rate <= 0 {
+			continue
 		}
+		newT := now + f.remaining/f.rate
+		if f.completion != nil && newT >= f.schedT {
+			continue // existing event fires at or before newT; it re-arms itself
+		}
+		if f.completion != nil {
+			f.completion.Cancel()
+		}
+		f.schedT = newT
+		f.completion = s.sim.After(f.remaining/f.rate, f.completeFn)
+	}
+}
+
+// sortFlowsByID is an insertion sort (the touched sets are small and
+// sort.Slice's comparator forces an allocation on the hot path).
+//
+//repro:noalloc
+func sortFlowsByID(sl []*Flow) {
+	for i := 1; i < len(sl); i++ {
+		f := sl[i]
+		j := i - 1
+		for j >= 0 && sl[j].id > f.id {
+			sl[j+1] = sl[j]
+			j--
+		}
+		sl[j+1] = f
 	}
 }
 
 // complete finishes a flow: detaches it, fires Done, rebalances neighbours.
+//
+//repro:noalloc
 func (s *System) complete(f *Flow) {
 	if f.Done.Fired() {
 		return
@@ -217,7 +349,8 @@ func (s *System) complete(f *Flow) {
 		f.completion.Cancel()
 		f.completion = nil
 	}
-	neighbours := s.detach(f)
+	neighbours := s.collectDetach(f)
 	f.Done.Fire()
 	s.rebalance(neighbours)
+	s.releaseScratch(neighbours)
 }

@@ -1,0 +1,452 @@
+package simnet_test
+
+// Foreign-mode conformance: the PR 4/5 transport suite run against simnet.
+// An unmodified core.Cluster dials a simulated world, and everything the
+// runtime promises on the chan transport must hold here too — bit-identical
+// numerics, fail-stop unwedging with *WorldError, zero steady-state
+// allocations — plus the simulator's own guarantees: virtual-time kills,
+// frame-drop deadlock detection, and supervised recovery at rank counts no
+// real host could run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmpi"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+	"repro/internal/simnet"
+	"repro/internal/solver"
+)
+
+func randVec(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// poissonPlan builds a small SPD system (12×10×9 grid, 1080 rows).
+func poissonPlan(t *testing.T, ranks int) (*matrix.CSR, *core.Plan) {
+	t.Helper()
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{Nx: 12, Ny: 10, Nz: 9, GradingZ: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(p)
+	plan, err := core.BuildPlan(p, core.PartitionByNnz(p, ranks), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, plan
+}
+
+func simCluster(t *testing.T, ranks int, opts ...core.Option) (*matrix.CSR, *core.Cluster) {
+	t.Helper()
+	a, plan := poissonPlan(t, ranks)
+	opts = append(opts, core.WithTransport(&simnet.Transport{}))
+	cl, err := core.NewCluster(plan, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return a, cl
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterMulBitIdenticalChanVsSim(t *testing.T) {
+	// The tentpole's bit-identity clause: payload data moves for real, so
+	// a Mul on the simulated transport agrees with the chan transport to
+	// the bit, in every kernel mode.
+	_, chanCl := func() (*matrix.CSR, *core.Cluster) {
+		a, plan := poissonPlan(t, 6)
+		cl, err := core.NewCluster(plan, core.WithThreads(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return a, cl
+	}()
+	a, simCl := simCluster(t, 6, core.WithThreads(2))
+	n := a.NumRows
+	x := randVec(91, n)
+	want := make([]float64, n)
+	got := make([]float64, n)
+	for _, mode := range core.Modes {
+		if err := chanCl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		if err := simCl.SetMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		if err := chanCl.Mul(want, x, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := simCl.Mul(got, x, 2); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Fatalf("mode %v: sim transport Mul differs from chan transport", mode)
+		}
+	}
+}
+
+func TestDistCGBitIdenticalChanVsSim(t *testing.T) {
+	// The acceptance criterion: DistCG over WithTransport(simnet) —
+	// persistent halo exchange, Allreduce, AllgatherInt64, the whole Comm
+	// surface — converges bit-identical to the chan transport.
+	a, planChan := poissonPlan(t, 5)
+	_, planSim := poissonPlan(t, 5)
+	n := a.NumRows
+	b := randVec(23, n)
+
+	chanCl, err := core.NewCluster(planChan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chanCl.Close()
+	xChan := make([]float64, n)
+	refRes, err := solver.DistCG(chanCl, b, xChan, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refRes.Converged {
+		t.Fatalf("chan reference did not converge (res %g)", refRes.Residual)
+	}
+
+	simCl, err := core.NewCluster(planSim, core.WithTransport(&simnet.Transport{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simCl.Close()
+	xSim := make([]float64, n)
+	simRes, err := solver.DistCG(simCl, b, xSim, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bitsEqual(xSim, xChan) {
+		t.Fatal("sim-transport DistCG solution is not bit-identical to chan")
+	}
+	if simRes.Iterations != refRes.Iterations || !bitsEqual(simRes.History, refRes.History) {
+		t.Fatalf("sim run: %d iterations, chan run: %d — residual histories must match bit for bit",
+			simRes.Iterations, refRes.Iterations)
+	}
+}
+
+func TestClusterFailedRankUnwedgesBlockedPeersSim(t *testing.T) {
+	// The fail-stop regression on the simulated transport: one rank's body
+	// errors while peers sit in a collective; the failure must wake the
+	// parked ranks with a *WorldError instead of wedging virtual time.
+	_, cl := simCluster(t, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.Run(func(w *core.Worker) error {
+			if w.Comm.Rank() == 2 {
+				return fmt.Errorf("rank 2 bailed")
+			}
+			return w.Comm.Barrier() // abandoned by rank 2
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "rank 2") || !strings.Contains(err.Error(), "bailed") {
+			t.Fatalf("Run returned %v, want the primary rank 2 failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("peers stayed wedged in the abandoned collective")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close after failed job: %v", err)
+	}
+}
+
+func TestAllocGateClusterMulSim(t *testing.T) {
+	// The steady-state allocation contract holds on the simulated
+	// transport too: DES events, fluid flows, and messages are pooled, so
+	// a warm Cluster.Mul performs zero allocations per multiplication.
+	a, cl := simCluster(t, 4, core.WithThreads(2))
+	n := a.NumRows
+	x := randVec(41, n)
+	y := make([]float64, n)
+	for _, mode := range core.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			if err := cl.SetMode(mode); err != nil {
+				t.Fatal(err)
+			}
+			mul := func() {
+				if err := cl.Mul(y, x, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mul() // steady the pools and queue capacities
+			mul()
+			if allocs := testing.AllocsPerRun(30, mul); allocs != 0 {
+				t.Fatalf("%v: Mul allocates %.1f objects per multiplication, want 0", mode, allocs)
+			}
+		})
+	}
+}
+
+func TestVirtualTimeKillFailsWorld(t *testing.T) {
+	// A simnet.Kill detonates at a virtual-time offset: the world fails
+	// with a recoverable *PeerError naming the rank, and every blocked
+	// rank unwedges.
+	_, plan := poissonPlan(t, 4)
+	tr := &simnet.Transport{Kills: []simnet.Kill{{Rank: 1, At: 1e-6}}}
+	cl, err := core.NewCluster(plan, core.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *core.Worker) error {
+		for i := 0; i < 50; i++ {
+			if err := w.Comm.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("job over a killed world succeeded")
+	}
+	var pe *core.PeerError
+	if !errors.As(err, &pe) || pe.RankLo != 1 {
+		t.Fatalf("error %v does not name the killed rank 1", err)
+	}
+	if !core.Recoverable(err) {
+		t.Fatalf("virtual-time kill %v is not recoverable", err)
+	}
+}
+
+func TestDroppedFrameDetectedAsVirtualDeadlock(t *testing.T) {
+	// faultmpi composes with simnet: a dropped halo frame wedges the
+	// receiver; once every rank is parked with no scheduled events, the
+	// deadlock detector fails the world with a *PeerError naming the
+	// silent source — the virtual-time analogue of tcpmpi's heartbeats.
+	_, plan := poissonPlan(t, 4)
+	tr := &faultmpi.Transport{
+		Inner: &simnet.Transport{},
+		Sched: faultmpi.Schedule{Frames: []faultmpi.FrameFault{
+			{Action: faultmpi.Drop, Src: 0, Dst: 1, Tag: faultmpi.Any},
+		}},
+	}
+	cl, err := core.NewCluster(plan, core.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.Run(func(w *core.Worker) error {
+			// rank 0's message to rank 1 is dropped; 1 wedges in Wait, the
+			// others pile into the barrier until everyone is parked.
+			data := []float64{float64(w.Comm.Rank())}
+			buf := make([]float64, 1)
+			next := (w.Comm.Rank() + 1) % w.Comm.Size()
+			prev := (w.Comm.Rank() + w.Comm.Size() - 1) % w.Comm.Size()
+			req, err := w.Comm.Irecv(prev, 9, buf)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Comm.Isend(next, 9, data); err != nil {
+				return err
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			return w.Comm.Barrier()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job with a dropped frame succeeded")
+		}
+		var pe *core.PeerError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error %v is not a PeerError", err)
+		}
+		if pe.RankLo != 0 || pe.RankHi != 1 {
+			t.Fatalf("deadlock suspect [%d,%d), want the silent sender [0,1)", pe.RankLo, pe.RankHi)
+		}
+		if !core.Recoverable(err) {
+			t.Fatalf("deadlock %v is not recoverable", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dropped frame wedged the world instead of failing it")
+	}
+}
+
+func TestSupervisorEpochRestart1000Ranks(t *testing.T) {
+	// The 1000-rank chaos drill: epoch 0's transport kills a rank at a
+	// virtual-time offset, the supervisor re-dials epoch 1 clean, and the
+	// whole thing runs in real milliseconds because time is simulated.
+	const ranks = 1000
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{Nx: 12, Ny: 10, Nz: 9, GradingZ: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.BuildPlan(p, core.PartitionByNnz(p, ranks), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var causes []error
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport {
+			if epoch == 0 {
+				return &simnet.Transport{Kills: []simnet.Kill{{Rank: 617, At: 2e-6}}}
+			}
+			return &simnet.Transport{}
+		},
+		Backoff: time.Millisecond,
+		OnRetry: func(epoch int, cause error, delay time.Duration) { causes = append(causes, cause) },
+	}
+	epochs := 0
+	err = s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		epochs++
+		return cl.Run(func(w *core.Worker) error {
+			for i := 0; i < 5; i++ {
+				if err := w.Comm.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 2 {
+		t.Fatalf("ran %d epochs, want 2 (killed, then clean)", epochs)
+	}
+	if len(causes) != 1 {
+		t.Fatalf("observed %d retries, want 1", len(causes))
+	}
+	var pe *core.PeerError
+	if !errors.As(causes[0], &pe) || pe.RankLo != 617 {
+		t.Fatalf("retry cause %v does not name the killed rank 617", causes[0])
+	}
+}
+
+func TestSupervisedCGRecoveryBitIdenticalSim(t *testing.T) {
+	// Checkpoint/restore over the simulated transport: a CG solve on 64
+	// virtual ranks is killed mid-run, the supervisor re-dials, the body
+	// restores the snapshot, and convergence is bit-identical to an
+	// uninterrupted 64-rank reference.
+	const tol, maxIter, every = 1e-10, 5000, 10
+	const ranks = 64
+	a, plan := poissonPlan(t, ranks)
+	n := a.NumRows
+	b := randVec(21, n)
+
+	refCl, err := core.NewCluster(plan, core.WithTransport(&simnet.Transport{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xRef := make([]float64, n)
+	ref, err := solver.DistCG(refCl, b, xRef, tol, maxIter)
+	refCl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged || ref.Iterations < 3*every {
+		t.Fatalf("reference unusable: converged=%v in %d iterations", ref.Converged, ref.Iterations)
+	}
+
+	tr := &faultmpi.Transport{
+		Inner: &simnet.Transport{},
+		Sched: faultmpi.Schedule{Kills: []faultmpi.Kill{{Rank: 41, AtOp: 150}}},
+	}
+	s := &core.Supervisor{
+		Transport: func(epoch int) core.Transport { return tr },
+		Backoff:   time.Millisecond,
+	}
+	var ck *solver.CGCheckpoint
+	var rec solver.CGResult
+	epochs := 0
+	xRec := make([]float64, n)
+	err = s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		epochs++
+		if ck == nil {
+			ck = solver.NewCGCheckpoint(cl, maxIter)
+		}
+		opt := solver.CGOptions{Tol: tol, MaxIter: maxIter, CheckpointEvery: every, Checkpoint: ck}
+		if ck.Valid() {
+			opt.Restore = ck
+		}
+		var err error
+		rec, err = solver.DistCGOpt(cl, b, xRec, opt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 2 {
+		t.Fatalf("ran %d epochs, want 2 (killed, then recovered from checkpoint)", epochs)
+	}
+	if !rec.Converged {
+		t.Fatal("recovered run did not converge")
+	}
+	if !bitsEqual(xRec, xRef) {
+		t.Fatal("recovered solution is not bit-identical to the uninterrupted run")
+	}
+	if rec.Iterations != ref.Iterations || !bitsEqual(rec.History, ref.History) {
+		t.Fatalf("recovered run: %d iterations, reference: %d — histories must match bit for bit",
+			rec.Iterations, ref.Iterations)
+	}
+}
+
+func TestWorldCloseReleasesBlockedRank(t *testing.T) {
+	// Close on a world with a parked rank must release it with
+	// ErrWorldClosed underneath, and be idempotent.
+	tr := &simnet.Transport{}
+	w, err := tr.Dial(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := w.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Comm(2); err == nil {
+		t.Fatal("Comm(2) on a 2-rank world succeeded")
+	}
+	done := make(chan error, 1)
+	go func() { done <- c0.Barrier() }()
+	time.Sleep(10 * time.Millisecond) // let rank 0 park
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		var we *core.WorldError
+		if !errors.As(err, &we) {
+			t.Fatalf("blocked Barrier returned %v, want *WorldError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left the parked rank wedged")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

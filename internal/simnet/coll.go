@@ -1,0 +1,221 @@
+package simnet
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Collectives are modeled as ⌈log₂ P⌉-stage trees: every rank pays
+// stages×latency (plus serialized wire time for the payload), charged as
+// one event when the last rank arrives. Results are computed for real —
+// reductions combine contributions in ascending rank order, the canonical
+// order every transport in this repo uses, so floating-point results are
+// bit-identical to chanmpi.
+//
+// Each collective keeps two alternating round signals (and result
+// buffers). Double buffering is sufficient: a rank must complete round r
+// before it can enter round r+1, and round r+2 cannot begin until every
+// rank has entered (hence completed) rounds r and r+1 — so recycling
+// round r's slot when round r+2 starts can never race a straggler.
+
+// round holds one collective's alternating per-round signals.
+type round struct {
+	seq   int64
+	count int
+	sigs  [2]*des.Signal
+	fire  [2]func()
+}
+
+func (r *round) init(sim *des.Sim) {
+	for i := range r.sigs {
+		sig := sim.NewSignal()
+		r.sigs[i] = sig
+		r.fire[i] = sig.Fire
+	}
+}
+
+// enter registers one arrival and returns this round's signal and seq.
+// Caller holds w.mu; the first arriver re-arms the round's signal.
+//
+//repro:noalloc
+func (r *round) enter() (*des.Signal, int64) {
+	if r.count == 0 {
+		r.sigs[r.seq&1].Reset()
+	}
+	sig, seq := r.sigs[r.seq&1], r.seq
+	r.count++
+	return sig, seq
+}
+
+// complete reports whether this arrival was the last of the round and, if
+// so, advances to the next round and returns the completion callback to
+// schedule.
+//
+//repro:noalloc
+func (r *round) complete(size int) (func(), bool) {
+	if r.count < size {
+		return nil, false
+	}
+	r.count = 0
+	fire := r.fire[r.seq&1]
+	r.seq++
+	return fire, true
+}
+
+type barrier struct{ round }
+
+type reducer struct {
+	round
+	n     int
+	op    core.ReduceOp
+	slots [][]float64
+	res   [2][]float64
+}
+
+type gatherer struct {
+	round
+	slots []int64
+	res   [2][]int64
+}
+
+// Barrier blocks until all ranks arrive, then releases them barCost later.
+//
+//repro:noalloc
+func (c *comm) Barrier() error {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.worldErr()
+	}
+	c.enterMPI()
+	sig, _ := w.bar.enter()
+	if fire, last := w.bar.complete(w.size); last {
+		w.sim.After(w.barCost, fire)
+	}
+	c.await(sig)
+	c.exitMPI()
+	if !sig.Fired() {
+		return w.worldErr()
+	}
+	return nil
+}
+
+// Allreduce combines in-vectors elementwise across all ranks. The last
+// arriver combines all contributions in ascending rank order into the
+// round's resident result buffer; the returned slice is shared and
+// read-only, like chanmpi's.
+//
+//repro:noalloc
+func (c *comm) Allreduce(op core.ReduceOp, in []float64) ([]float64, error) {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return nil, w.worldErr()
+	}
+	r := &w.red
+	if r.count == 0 {
+		r.n = len(in)
+		r.op = op
+	} else if len(in) != r.n {
+		err := &core.MismatchError{Got: len(in), Want: r.n}
+		w.fail(err)
+		return nil, err
+	}
+	c.enterMPI()
+	sig, seq := r.enter()
+	r.slots[c.rank] = in
+	if fire, last := r.complete(w.size); last {
+		res := r.res[seq&1]
+		if cap(res) < r.n {
+			res = make([]float64, r.n) //repro:alloc-ok result buffer grows once per parity
+		}
+		res = res[:r.n]
+		copy(res, r.slots[0])
+		for rank := 1; rank < w.size; rank++ {
+			combine(r.op, res, r.slots[rank])
+		}
+		r.res[seq&1] = res
+		for i := range r.slots {
+			r.slots[i] = nil
+		}
+		w.sim.After(w.collCost(8*float64(r.n)), fire)
+	}
+	c.await(sig)
+	c.exitMPI()
+	if !sig.Fired() {
+		return nil, w.worldErr()
+	}
+	return r.res[seq&1], nil
+}
+
+// combine folds src into dst elementwise under op, dst being the
+// accumulated lower ranks — canonical ascending rank order.
+//
+//repro:noalloc
+func combine(op core.ReduceOp, dst, src []float64) {
+	switch op {
+	case core.OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case core.OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case core.OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// AllreduceScalar combines one value across all ranks.
+//
+//repro:noalloc
+func (c *comm) AllreduceScalar(op core.ReduceOp, v float64) (float64, error) {
+	c.scalar[0] = v
+	res, err := c.Allreduce(op, c.scalar[:1])
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// AllgatherInt64 gathers one int64 per rank, indexed by rank; the result
+// is shared and read-only.
+//
+//repro:noalloc
+func (c *comm) AllgatherInt64(v int64) ([]int64, error) {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return nil, w.worldErr()
+	}
+	g := &w.gat
+	c.enterMPI()
+	sig, seq := g.enter()
+	g.slots[c.rank] = v
+	if fire, last := g.complete(w.size); last {
+		res := g.res[seq&1]
+		if cap(res) < w.size {
+			res = make([]int64, w.size) //repro:alloc-ok result buffer grows once per parity
+		}
+		res = res[:w.size]
+		copy(res, g.slots)
+		g.res[seq&1] = res
+		w.sim.After(w.collCost(8*float64(w.size)), fire)
+	}
+	c.await(sig)
+	c.exitMPI()
+	if !sig.Fired() {
+		return nil, w.worldErr()
+	}
+	return g.res[seq&1], nil
+}
