@@ -18,6 +18,11 @@
 // up as 429 rejections and client-side drops instead of silently
 // stretching the closed-loop cycle time.
 //
+// -deadline attaches an end-to-end deadline to every request: misses come
+// back as HTTP 504 and are reported in their own deadline-exceeded column,
+// next to 503-shed (brown-out shedding, open circuit breakers, draining
+// servers) — the server degrading gracefully rather than erroring.
+//
 // The exit status encodes the run's health for CI: nonzero when any
 // response failed verification, when nothing completed, or when
 // -min-throughput is not met.
@@ -50,6 +55,7 @@ func main() {
 		iters    = flag.Int("iters", 4, "multiplication iterations per request")
 		seeds    = flag.Int("seeds", 16, "request-seed cardinality (bounds reference computations)")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		deadline = flag.Duration("deadline", 0, "end-to-end per-request deadline (0 = none); misses come back as 504 and are counted separately from errors")
 		verify   = flag.Bool("verify", true, "check every response bit for bit against a reference cluster")
 		minTput  = flag.Float64("min-throughput", 0, "fail (exit 1) below this many completed req/s")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -67,6 +73,7 @@ func main() {
 		Tenants: *tenants, Concurrency: *conc, Duration: *duration,
 		MulFraction: *mulFrac, Iters: *iters, Seeds: *seeds,
 		OpenRateHz: *rate, Verify: *verify,
+		DeadlineMs: deadline.Milliseconds(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmv-load: %v\n", err)
@@ -80,8 +87,8 @@ func main() {
 	} else {
 		fmt.Printf("spmv-load: %d requests in %.2fs (%d tenants × %d workers)\n",
 			res.Requests, res.DurationSec, *tenants, *conc)
-		fmt.Printf("  completed %d (%.1f req/s), rejected %d, errors %d, dropped %d, retried %d\n",
-			res.Completed, res.ReqPerSec, res.Rejected, res.Errors, res.Dropped, res.Retried)
+		fmt.Printf("  completed %d (%.1f req/s), rejected %d, deadline-exceeded %d, 503-shed %d, errors %d, dropped %d, retried %d\n",
+			res.Completed, res.ReqPerSec, res.Rejected, res.Deadlined, res.Shed, res.Errors, res.Dropped, res.Retried)
 		fmt.Printf("  latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 			res.MeanMs, res.P50Ms, res.P95Ms, res.P99Ms, res.MaxMs)
 		if *verify {

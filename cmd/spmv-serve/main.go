@@ -24,8 +24,10 @@
 // bit for bit with cmd/spmv-load -verify, which rebuilds the server's
 // matrix and replays every request on a reference cluster.
 //
-// SIGINT/SIGTERM drain cleanly: the listener stops, queued requests fail
-// with 503, resident sessions depart via the graceful BYE path.
+// SIGINT/SIGTERM drain cleanly: admissions are refused with 503
+// (serve.ErrDraining) while queued and in-flight requests run to
+// completion — bounded by -drain-timeout — then the listener stops and
+// resident sessions depart via the graceful BYE path.
 package main
 
 import (
@@ -58,6 +60,7 @@ func main() {
 		sessions    = flag.Int("sessions", 2, "resident clusters per matrix")
 		budgetMB    = flag.Int64("budget-mb", 0, "registry byte budget in MiB (0 = unlimited; beyond it, idle matrices are evicted LRU)")
 		maxAttempts = flag.Int("max-attempts", 2, "worlds a request may be retried on after world failures")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGINT/SIGTERM: how long queued and in-flight requests may run to completion before shutdown proceeds")
 	)
 	flag.Parse()
 
@@ -98,8 +101,14 @@ func main() {
 		fatal(err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	// Drain first: new admissions fail fast with 503 while queued and
+	// in-flight work finishes, so Shutdown's wait for open connections
+	// below is over requests that are actually completing.
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "spmv-serve: drain: %v (shutting down with work in flight)\n", err)
+	}
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "spmv-serve: http shutdown: %v\n", err)
 	}

@@ -191,6 +191,58 @@
 // heartbeats enabled, checkpoints at that cadence — costs <5% steady
 // state, and the alloc gates still hold with heartbeats on).
 //
+// # Gray failures: deadlines, slow-peer suspicion, overload grace
+//
+// Fail-stop is only half the failure model: a GRAY failure — a rank that
+// is alive but slow, a link that stalls without dropping, a service
+// that is up but drowning — never trips the fail-stop detectors, so the
+// runtime bounds it in time instead. Cluster.MulContext and
+// Cluster.RunContext attach a context to a job; when its deadline
+// expires (or it is cancelled), Cluster.Interrupt poisons the in-flight
+// world so every blocked rank unwedges, and the job returns a typed
+// *core.DeadlineError. The contract is three-sided: a DeadlineError is
+// NOT Recoverable — the supervisor must not burn restart epochs
+// re-running work that timed out deterministically — it is FINAL for
+// the request that carried the deadline, and it still poisons the world
+// it interrupted, so batch-mates sharing that world are world-failed
+// (Recoverable) and retried on the next epoch. The solvers take the
+// same option (solver.CGOptions.Context / LanczosOptions.Context),
+// checked at the top-of-iteration collective boundary so a timed-out
+// solve still leaves a bit-identical resumable checkpoint. Below the
+// job layer, tcpmpi runs slow-peer SUSPICION next to the heartbeat
+// detectors: per-peer EWMA round-trip tracking flags a peer whose
+// acknowledgements fall persistently behind as a *core.PeerError with
+// phase "slow" — suspicion names the lagging rank range for operators
+// and deadline attribution, but never fails the world by itself (a slow
+// rank is not a dead rank; only silence past HeartbeatTimeout is).
+// internal/faultmpi injects the matching gray faults deterministically
+// (Slowdowns delay the k-th matched frame, Stalls freeze a link without
+// closing it), and internal/simnet runs the same drills in virtual time
+// at 1024+ ranks, where time-to-detect is measured exactly rather than
+// slept for.
+//
+// The serving layer turns those primitives into overload grace.
+// Requests carry an end-to-end deadline from admission: one already
+// expired in its tenant queue fails with a DeadlineError (HTTP 504)
+// without ever dispatching — it cannot poison a cluster — and one that
+// expires mid-job interrupts only its own batch, with batch-mates
+// retried under a per-tenant retry-token budget so a pathological
+// tenant cannot convert world restarts into unbounded re-execution.
+// Each matrix pool carries a circuit breaker: consecutive exhausted
+// retries open it, admissions then fail fast (HTTP 503) instead of
+// queueing behind a poisoned pool, and after a cooldown a single
+// half-open probe decides recovery. Sustained queue growth past a high
+// watermark triggers brown-out shedding — the lowest-priority, newest
+// queued requests are shed (503) until the backlog returns to the low
+// watermark, keeping admitted-work latency within a small factor of the
+// unloaded baseline instead of stretching every tenant's tail.
+// Server.Drain completes the lifecycle: admissions 503 while queued and
+// in-flight work runs out, then shutdown proceeds (cmd/spmv-serve wires
+// it to SIGINT/SIGTERM behind -drain-timeout, before the HTTP listener
+// stops). cmd/spmv-load -deadline drives all of it and reports
+// deadline-exceeded and 503-shed as their own outcome columns — graceful
+// degradation, distinct from errors.
+//
 // # Static contracts: cmd/reprolint
 //
 // The runtime's load-bearing conventions are enforced at compile time by
@@ -215,7 +267,8 @@
 //     ascending order (descending, strided and map-ordered loops break
 //     the bit-identical reproducibility every transport promises).
 //   - clusterctx — no mutex-taking *core.Cluster method (Mul, Run,
-//     SetMode, Convert, Close) may be reachable from a Run job body,
+//     MulContext, RunContext, SetMode, Convert, Close, Failed) may be
+//     reachable from a Run job body,
 //     directly or through package-local helpers: the submitter holds the
 //     cluster lock while the body runs, so the call self-deadlocks.
 //     Mode() and the read-only accessors are the lock-free exceptions.

@@ -27,8 +27,9 @@ import (
 // site; helpers are reported with the chain's first hop so the deadlock
 // is attributable.
 //
-// Locking methods: Mul, Run, SetMode, Convert, Close, Failed. Lock-free
-// and allowed: Mode, Ranks, LocalRanks, Threads, Rows, Plan, Interrupt.
+// Locking methods: Mul, MulContext, Run, RunContext, SetMode, Convert,
+// Close, Failed. Lock-free and allowed: Mode, Ranks, LocalRanks,
+// Threads, Rows, Plan, Interrupt.
 // Cross-package helpers are a documented non-goal (export data carries no
 // bodies); the runtime's own packages keep job-body helpers local.
 var ClusterCtxAnalyzer = &Analyzer{
@@ -40,12 +41,14 @@ var ClusterCtxAnalyzer = &Analyzer{
 // lockingClusterMethods take c.mu; calling them from a job body
 // self-deadlocks.
 var lockingClusterMethods = map[string]bool{
-	"Mul":     true,
-	"Run":     true,
-	"SetMode": true,
-	"Convert": true,
-	"Close":   true,
-	"Failed":  true,
+	"Mul":        true,
+	"MulContext": true,
+	"Run":        true,
+	"RunContext": true,
+	"SetMode":    true,
+	"Convert":    true,
+	"Close":      true,
+	"Failed":     true,
 }
 
 func runClusterCtx(pass *Pass) error {

@@ -5,7 +5,11 @@
 // cluster (the pooled-session shape of internal/serve).
 package clusterctx
 
-import "repro/internal/core"
+import (
+	"context"
+
+	"repro/internal/core"
+)
 
 // direct calls locking methods straight from the body literal.
 func direct(cl *core.Cluster) error {
@@ -122,6 +126,30 @@ func probe(cl *core.Cluster) error {
 			return nil
 		}
 		return nil
+	})
+}
+
+// contextVariants: the Context entry points take the same cluster lock
+// as their plain counterparts — a deadline does not make a nested
+// submission safe.
+func contextVariants(ctx context.Context, cl *core.Cluster, y, x []float64) error {
+	return cl.RunContext(ctx, func(w *core.Worker) error {
+		if err := cl.MulContext(ctx, y, x, 1); err != nil { // want `Cluster.MulContext called from inside a cluster job body`
+			return err
+		}
+		return cl.RunContext(ctx, func(w *core.Worker) error { return nil }) // want `Cluster.RunContext called from inside a cluster job body`
+	})
+}
+
+// deadlineHelper reaches MulContext through a package-local call edge.
+func deadlineHelper(ctx context.Context, cl *core.Cluster, y, x []float64) error {
+	return cl.MulContext(ctx, y, x, 1)
+}
+
+// viaDeadlineHelper: the fixpoint must taint the Context variants too.
+func viaDeadlineHelper(ctx context.Context, cl *core.Cluster, y, x []float64) error {
+	return cl.Run(func(w *core.Worker) error {
+		return deadlineHelper(ctx, cl, y, x) // want `deadlineHelper reaches Cluster.MulContext from inside a cluster job body`
 	})
 }
 

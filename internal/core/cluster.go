@@ -390,6 +390,11 @@ func (c *Cluster) Mul(y, x []float64, iters int) error {
 	if c.closed {
 		return fmt.Errorf("core: Mul on closed cluster")
 	}
+	return c.mulLocked(y, x, iters)
+}
+
+// mulLocked dispatches the resident Mul job. Caller holds c.mu.
+func (c *Cluster) mulLocked(y, x []float64, iters int) error {
 	// Steady-state path: the resident Mul job is reused across calls, so a
 	// multiplication on a warm cluster performs zero allocations.
 	c.mulArgs.y, c.mulArgs.x, c.mulArgs.iters, c.mulArgs.mode = y, x, iters, c.Mode()
@@ -398,6 +403,81 @@ func (c *Cluster) Mul(y, x []float64, iters int) error {
 	}
 	err := c.submitJobLocked(c.mulJob)
 	c.mulArgs.y, c.mulArgs.x = nil, nil // don't pin the caller's vectors
+	return err
+}
+
+// MulContext is Mul with an end-to-end deadline: the context's expiry or
+// cancellation abandons the multiplication instead of letting it run (or
+// queue) forever, surfacing a typed *DeadlineError.
+//
+// Two regimes, distinguished by when the context dies:
+//
+//   - Before dispatch — the deadline passed while the request waited for
+//     the cluster (e.g. queued behind a long job on the submission lock).
+//     The job never starts, the world is NEVER touched, and the cluster
+//     stays healthy for the next submission: the non-poisoning fast
+//     reject of a request that is already too late.
+//   - Mid-job — the context fires while ranks are inside the job. The
+//     interrupt hook (Cluster.Interrupt, the same path a supervisor's
+//     cancellation takes) closes the world, the blocked ranks unwedge,
+//     and MulContext returns a *DeadlineError. The world is poisoned as
+//     by any interrupt; a Supervisor rebuilds it on the next epoch, but
+//     the DeadlineError itself is non-recoverable — re-running expired
+//     work would just miss the deadline again.
+//
+// Like Mul, MulContext takes the cluster lock and therefore must not be
+// called from inside a job body.
+func (c *Cluster) MulContext(ctx context.Context, y, x []float64, iters int) error {
+	rows := c.plan.Part.Rows()
+	if len(x) != rows || len(y) != rows {
+		return fmt.Errorf("core: Mul dimension mismatch (matrix %d rows, len(x)=%d, len(y)=%d)", rows, len(x), len(y))
+	}
+	if iters < 1 {
+		return fmt.Errorf("core: Mul needs iters ≥ 1, got %d", iters)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: Mul on closed cluster")
+	}
+	if err := ctx.Err(); err != nil {
+		return &DeadlineError{Op: "Mul", Err: err}
+	}
+	stop := context.AfterFunc(ctx, c.Interrupt)
+	err := c.mulLocked(y, x, iters)
+	stop()
+	if err != nil && ctx.Err() != nil {
+		return &DeadlineError{Op: "Mul", Err: ctx.Err()}
+	}
+	return err
+}
+
+// RunContext is Run with an end-to-end deadline: the context's expiry or
+// cancellation abandons the job instead of letting it run (or queue)
+// forever, surfacing a typed *DeadlineError. The two regimes of MulContext
+// apply unchanged: a context already dead before dispatch rejects the job
+// without touching the world (the cluster stays healthy), while a context
+// firing mid-job closes the world through Cluster.Interrupt — poisoned as
+// by any interrupt, rebuilt by the next supervised epoch, but the
+// DeadlineError itself is final for the request.
+//
+// Like Run, RunContext takes the cluster lock and therefore must not be
+// called from inside a job body.
+func (c *Cluster) RunContext(ctx context.Context, body func(w *Worker) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("core: Run on closed cluster")
+	}
+	if err := ctx.Err(); err != nil {
+		return &DeadlineError{Op: "Run", Err: err}
+	}
+	stop := context.AfterFunc(ctx, c.Interrupt)
+	err := c.submitLocked(body)
+	stop()
+	if err != nil && ctx.Err() != nil {
+		return &DeadlineError{Op: "Run", Err: ctx.Err()}
+	}
 	return err
 }
 

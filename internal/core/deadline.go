@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// DeadlineError reports that a per-request deadline (or cancellation) cut
+// a cluster job short: the context expired, so the job was abandoned —
+// before dispatch when the deadline was already past (the request died in
+// a queue), or mid-flight through Cluster.Interrupt.
+//
+// A DeadlineError is FINAL for the request that carried the deadline and
+// deliberately outside the Supervisor's recovery policy: Recoverable
+// returns false for it, because re-running the same work against an
+// already-expired deadline just fails again. It does not condemn the
+// cluster, though — a deadline that fired before dispatch never touched
+// the world at all, and one that fired mid-job closed the world through
+// the ordinary interrupt path, which the next supervised epoch rebuilds.
+// Which of the two happened is visible to the owner of the cluster via
+// Cluster.Failed: nil means the world was never poisoned.
+type DeadlineError struct {
+	// Op names the interrupted entry point ("Mul", "Run", "DistCG", ...).
+	Op string
+	// Err is the context's verdict: context.DeadlineExceeded or
+	// context.Canceled. errors.Is(e, context.DeadlineExceeded) therefore
+	// works through a DeadlineError.
+	Err error
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("core: %s abandoned at its deadline: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the context's error.
+func (e *DeadlineError) Unwrap() error { return e.Err }

@@ -1,0 +1,227 @@
+package core_test
+
+// Deadline-contract tests: MulContext/RunContext arm an end-to-end
+// deadline over a resident job, cut it loose through the Interrupt path,
+// and surface a typed *core.DeadlineError that is final for the request —
+// non-poisoning when it fired before dispatch, world-poisoning (but
+// supervisor-rebuildable) when it fired mid-job.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMulContextPreDispatchExpiry pins the non-poisoning reject: a
+// request whose deadline passed before dispatch never touches the world,
+// the cluster stays healthy, and the next multiplication is bit-identical
+// to one on an untouched cluster.
+func TestMulContextPreDispatchExpiry(t *testing.T) {
+	a, plan := supervisorPlan(t, 3)
+	cl, err := core.NewCluster(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	n := a.NumRows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead at admission
+	err = cl.MulContext(ctx, y, x, 1)
+	var de *core.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("expired context returned %v, want a *core.DeadlineError", err)
+	}
+	if de.Op != "Mul" || !errors.Is(err, context.Canceled) {
+		t.Fatalf("DeadlineError = {Op:%q, Err:%v}, want Op Mul wrapping context.Canceled", de.Op, de.Err)
+	}
+	if failed := cl.Failed(); failed != nil {
+		t.Fatalf("pre-dispatch expiry poisoned the cluster: %v", failed)
+	}
+
+	// The cluster is still usable and the traffic after the reject is
+	// bit-identical to a reference multiplication.
+	if err := cl.Mul(y, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	a.MulVec(want, x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("post-reject y[%d] = %g, want %g (traffic after a deadline reject must be untouched)", i, y[i], want[i])
+		}
+	}
+}
+
+// TestRunContextMidJobDeadline pins the mid-flight cut: a deadline firing
+// while ranks are inside the job closes the world through Interrupt, the
+// blocked ranks unwedge, RunContext returns a *DeadlineError wrapping
+// context.DeadlineExceeded, and the world is poisoned as by any
+// interrupt — visible via Cluster.Failed.
+func TestRunContextMidJobDeadline(t *testing.T) {
+	_, plan := supervisorPlan(t, 3)
+	cl, err := core.NewCluster(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = cl.RunContext(ctx, func(w *core.Worker) error {
+		for { // spin in collectives until the deadline cuts the world
+			if err := w.Comm.Barrier(); err != nil {
+				return err
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	var de *core.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("mid-job deadline returned %v, want a *core.DeadlineError", err)
+	}
+	if de.Op != "Run" || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError = {Op:%q, Err:%v}, want Op Run wrapping context.DeadlineExceeded", de.Op, de.Err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to cut the job loose", elapsed)
+	}
+	if cl.Failed() == nil {
+		t.Fatal("mid-job interrupt should poison the world (Failed() == nil)")
+	}
+	// Final for the request: the supervisor would not re-run it.
+	if core.Recoverable(err) {
+		t.Fatal("a DeadlineError must not be Recoverable")
+	}
+}
+
+// TestRecoverableDeadlineOverride pins the policy ordering: a chain that
+// contains BOTH a world failure and a DeadlineError (the mid-job cut
+// manufactures exactly that) is non-recoverable — the deadline verdict
+// wins over the world failure it caused.
+func TestRecoverableDeadlineOverride(t *testing.T) {
+	we := &core.WorldError{Cause: errors.New("world closed")}
+	if !core.Recoverable(we) {
+		t.Fatal("a bare WorldError must stay recoverable")
+	}
+	de := &core.DeadlineError{Op: "Mul", Err: context.DeadlineExceeded}
+	if core.Recoverable(de) {
+		t.Fatal("a bare DeadlineError must not be recoverable")
+	}
+	both := &core.DeadlineError{Op: "Mul", Err: we}
+	if core.Recoverable(both) {
+		t.Fatal("a DeadlineError wrapping a WorldError must not be recoverable")
+	}
+}
+
+// TestSupervisorBackoffJitterDeterministic pins the seeded ±25% jitter:
+// the delay sequence is a pure function of (Seed, restart count), so two
+// runs with the same seed observe identical delays, each within ±25% of
+// its nominal doubled backoff, and a different seed observes a different
+// sequence.
+func TestSupervisorBackoffJitterDeterministic(t *testing.T) {
+	_, plan := supervisorPlan(t, 2)
+	delaySeq := func(seed int64) []time.Duration {
+		tr := &faultmpiDialFailer{failures: 5} // one more than MaxRestarts: exhausts the budget
+		var delays []time.Duration
+		s := &core.Supervisor{
+			Transport:   func(int) core.Transport { return tr },
+			MaxRestarts: 4,
+			Backoff:     100 * time.Millisecond,
+			BackoffMax:  400 * time.Millisecond,
+			Seed:        seed,
+			OnRetry:     func(_ int, _ error, d time.Duration) { delays = append(delays, d) },
+		}
+		err := s.Run(context.Background(), plan, func(int, *core.Cluster) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "giving up") {
+			t.Fatalf("got %v, want a giving-up error", err)
+		}
+		return delays
+	}
+	first := delaySeq(42)
+	second := delaySeq(42)
+	other := delaySeq(43)
+	if len(first) != 4 {
+		t.Fatalf("observed %d delays, want 4", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("delay[%d] differs across runs with the same seed: %v vs %v", i, first[i], second[i])
+		}
+	}
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter sequences")
+	}
+	// Each delay within ±25% of its nominal exponential value.
+	nominal := []time.Duration{100, 200, 400, 400} // ms, doubling capped at BackoffMax
+	for i, d := range first {
+		lo := nominal[i] * time.Millisecond * 3 / 4
+		hi := nominal[i] * time.Millisecond * 5 / 4
+		if d < lo || d > hi {
+			t.Fatalf("delay[%d] = %v outside ±25%% of %v ms", i, d, nominal[i])
+		}
+	}
+}
+
+// faultmpiDialFailer is a minimal transport whose first N dials fail —
+// enough to drive the backoff loop without a world ever coming up.
+type faultmpiDialFailer struct{ failures int }
+
+func (f *faultmpiDialFailer) Dial(ctx context.Context, ranks int) (core.World, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, errors.New("injected dial failure")
+	}
+	return core.ChanTransport{}.Dial(ctx, ranks)
+}
+
+// TestSupervisorGiveUpSurfacesFirstCause pins the exhaustion diagnosis:
+// when MaxRestarts is burnt, the returned error wraps the FIRST epoch's
+// cause — the failure that started the chain — not whatever the final
+// backoff attempt happened to die of.
+func TestSupervisorGiveUpSurfacesFirstCause(t *testing.T) {
+	_, plan := supervisorPlan(t, 2)
+	firstWound := errors.New("rank 1 went dark")
+	laterWound := errors.New("rendezvous timed out")
+	s := &core.Supervisor{
+		MaxRestarts: 2,
+		Backoff:     time.Millisecond,
+	}
+	err := s.Run(context.Background(), plan, func(epoch int, cl *core.Cluster) error {
+		wound := firstWound
+		if epoch > 0 {
+			wound = laterWound
+		}
+		// Recoverable (a PeerError) so every epoch is retried until the
+		// restart budget runs out.
+		return &core.PeerError{RankLo: 1, RankHi: 2, Phase: core.PhaseSend, Err: wound}
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("got %v, want a giving-up error", err)
+	}
+	if !errors.Is(err, firstWound) {
+		t.Fatalf("give-up error %v does not wrap the first epoch's cause", err)
+	}
+	if errors.Is(err, laterWound) {
+		t.Fatalf("give-up error %v wraps the last attempt's error instead of reporting it as context", err)
+	}
+	if !strings.Contains(err.Error(), "rendezvous timed out") {
+		t.Fatalf("give-up error %v should still mention the last attempt for context", err)
+	}
+}

@@ -35,12 +35,16 @@ const (
 	PhaseHeartbeat  = "heartbeat"  // no traffic within the heartbeat timeout
 	PhaseCollective = "collective" // a rank missed a collective deadline
 	PhaseSend       = "send"       // an outbound operation failed (or was fault-injected)
+	PhaseSlow       = "slow"       // gray failure: the peer is alive but degraded past the slow-peer threshold
 )
 
 func (e *PeerError) Error() string {
 	who := fmt.Sprintf("rank %d", e.RankLo)
 	if e.RankHi > e.RankLo+1 {
 		who = fmt.Sprintf("ranks [%d,%d)", e.RankLo, e.RankHi)
+	}
+	if e.Phase == PhaseSlow {
+		return fmt.Sprintf("core: %s suspected slow (alive but degraded): %v", who, e.Err)
 	}
 	return fmt.Sprintf("core: %s suspected dead or hung during %s: %v", who, e.Phase, e.Err)
 }

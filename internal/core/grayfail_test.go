@@ -1,0 +1,93 @@
+package core_test
+
+// The end-to-end gray-failure drill: one rank's outbound halo frames are
+// made persistently late through a deterministic faultmpi Slowdown — the
+// rank is alive, its messages arrive, just slowly. A request with a
+// deadline shorter than the injected latency misses it with a typed
+// *core.DeadlineError; a request without one rides the slowness out and
+// still computes the exact answer; and after a rebuild on a healthy
+// transport (the supervisor's move: leave the degraded environment
+// behind) later traffic is bit-identical to the reference product.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultmpi"
+)
+
+func TestMulContextDeadlineUnderInjectedSlowRank(t *testing.T) {
+	const injected = 250 * time.Millisecond
+	a, plan := supervisorPlan(t, 3)
+	slowTr := &faultmpi.Transport{Sched: faultmpi.Schedule{Slowdowns: []faultmpi.Slowdown{
+		{Src: 1, Dst: faultmpi.Any, Tag: faultmpi.Any, Delay: injected},
+	}}}
+	cl, err := core.NewCluster(plan, core.WithTransport(slowTr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	n := a.NumRows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%11) - 5
+	}
+	want := make([]float64, n)
+	a.MulVec(want, x)
+
+	// An unaffected request — no deadline — completes exactly despite the
+	// slow rank: gray failures degrade latency, never correctness.
+	if err := cl.Mul(y, x, 1); err != nil {
+		t.Fatalf("deadline-free Mul on the slowed cluster: %v", err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("slowed y[%d] = %g, want %g (slowness must not change the numerics)", i, y[i], want[i])
+		}
+	}
+
+	// The affected request: a deadline far below the injected latency.
+	// Only THIS request fails, and with the typed final error.
+	ctx, cancel := context.WithTimeout(context.Background(), injected/5)
+	defer cancel()
+	err = cl.MulContext(ctx, y, x, 1)
+	var de *core.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("deadlined Mul against the slow rank returned %v, want a *core.DeadlineError", err)
+	}
+	if de.Op != "Mul" || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError = {Op:%q, Err:%v}, want Op Mul wrapping context.DeadlineExceeded", de.Op, de.Err)
+	}
+	if core.Recoverable(err) {
+		t.Fatal("the deadline verdict is final for the request — must not be Recoverable")
+	}
+	// The mid-job cut poisoned the world, as any interrupt does; the
+	// supervisor would rebuild for the NEXT request, not replay this one.
+	if cl.Failed() == nil {
+		t.Fatal("mid-job deadline should leave the cluster poisoned (Failed() == nil)")
+	}
+
+	// Rebuild on a healthy transport — the restart that leaves the
+	// degraded peer behind — and verify later traffic is bit-identical.
+	fresh, err := core.NewCluster(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	for i := range y {
+		y[i] = 0
+	}
+	if err := fresh.Mul(y, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("post-recovery y[%d] = %g, want %g (later traffic must be bit-identical)", i, y[i], want[i])
+		}
+	}
+}

@@ -54,7 +54,19 @@ type EpochFunc func(epoch int, cl *Cluster) error
 // death a fresh world and a checkpoint can recover from, as opposed to a
 // deterministic error (bad dimensions, a solver breakdown) that would
 // just fail again.
+//
+// A *DeadlineError anywhere in the chain overrides that: even though a
+// mid-job deadline kills the world through the interrupt path (and the
+// kill surfaces as a WorldError to the other ranks), re-running work
+// whose deadline has already passed just misses it again, so the request
+// that carried the deadline is final. The CLUSTER may still be worth
+// rebuilding — that decision belongs to its owner (e.g. a serve session
+// restarts the epoch for the batch-mates), not to the expired request.
 func Recoverable(err error) bool {
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		return false
+	}
 	var we *WorldError
 	var pe *PeerError
 	return errors.As(err, &we) || errors.As(err, &pe)
@@ -77,6 +89,7 @@ func (s *Supervisor) Run(ctx context.Context, plan *Plan, body EpochFunc) error 
 	jitter := uint64(s.Seed)*0x9e3779b97f4a7c15 + 0x1d8e4e27c47d124f
 
 	restarts := 0
+	var firstCause error // the failure that started the retry chain
 	for epoch := 0; ; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -117,8 +130,19 @@ func (s *Supervisor) Run(ctx context.Context, plan *Plan, body EpochFunc) error 
 		// that are themselves being restarted is inherently transient);
 		// a body failure only when it is world-level.
 		restarts++
+		if firstCause == nil {
+			firstCause = err
+		}
 		if restarts > maxRestarts {
-			return fmt.Errorf("core: supervisor giving up after %d restarts: %w", restarts-1, err)
+			// Surface the FIRST epoch's cause, not whatever the final
+			// backoff attempt happened to die of: once every restart has
+			// been burnt, the original failure is the diagnosis; the last
+			// error is usually just a rendezvous timeout against peers that
+			// gave up too.
+			if !errors.Is(err, firstCause) && err != nil {
+				return fmt.Errorf("core: supervisor giving up after %d restarts (last attempt: %v): %w", restarts-1, err, firstCause)
+			}
+			return fmt.Errorf("core: supervisor giving up after %d restarts: %w", restarts-1, firstCause)
 		}
 		delay := s.Backoff
 		if delay <= 0 {

@@ -111,6 +111,23 @@ func (s *Sim) Pending() bool {
 	return false
 }
 
+// NextAt returns the time of the next uncancelled event without firing
+// it, discarding cancelled events at the heap front on the way. ok is
+// false when no uncancelled event remains. Open-world drivers use it to
+// decide whether advancing the clock is safe (simnet's receive-deadline
+// cap).
+//
+//repro:noalloc
+func (s *Sim) NextAt() (t float64, ok bool) {
+	for len(s.events) > 0 {
+		if !s.events[0].cancelled {
+			return s.events[0].t, true
+		}
+		s.recycle(s.pop())
+	}
+	return 0, false
+}
+
 // Step pops and executes the next event, advancing the clock to its time.
 // It returns false if no uncancelled event remains. The fired event object
 // is recycled after its callback returns.

@@ -3,7 +3,12 @@
 // chanmpi runtime, the wire-level tcpmpi backend) and injects
 // deterministic faults from an explicit schedule — kill rank r at its k-th
 // outbound operation, drop / delay / duplicate the n-th frame matching a
-// (src, dst, tag) selector, fail Dial n times before succeeding.
+// (src, dst, tag) selector, fail Dial n times before succeeding, slow a
+// link down persistently (every matching frame delivered late), or stall
+// a persistent channel's Start synchronously. The one-shot faults model
+// crashes and mis-scheduled packets; Slowdowns and Stalls model gray
+// failures — peers that are alive but degraded — the shape the slow-peer
+// suspicion machinery (tcpmpi, simnet) must detect.
 //
 // Determinism is the whole point: because the SPMD programs running on a
 // cluster issue their communication operations in a fixed order, a
@@ -67,6 +72,37 @@ type FrameFault struct {
 	Delay         time.Duration // Delay action only
 }
 
+// Slowdown is the persistent counterpart of a Delay FrameFault: every
+// frame matching (Src, Dst, Tag) — from the FromNth matching frame on,
+// for Count frames (0 = all of them) — is delivered Delay late. One
+// FrameFault models a single mis-scheduled packet; a Slowdown models a
+// gray failure, a link or peer that is alive but degraded (throttled
+// core, sick NIC, oversubscribed switch port). Its counters live on the
+// Transport, so a bounded slowdown (Count > 0) spans supervised epochs
+// and then exhausts exactly like the one-shot faults — a restart can
+// deterministically leave the degradation behind. Frames delayed by the
+// same Slowdown keep their order only through their monotonically later
+// deadlines; the lockstep structure of the solvers prevents two matching
+// frames from ever racing in practice.
+type Slowdown struct {
+	Src, Dst, Tag int           // selector; Any matches every value
+	FromNth       int           // 1-based first delayed matching frame (0 means 1st)
+	Count         int           // matching frames delayed; 0 = every one from FromNth on
+	Delay         time.Duration // extra delivery latency per frame
+}
+
+// Stall blocks a sender synchronously: the NthStart-th Start of a
+// persistent channel matching (Src, Dst, Tag) sleeps for Delay before
+// proceeding — the rank is alive and its link healthy, but nothing makes
+// progress inside the communication call, the no-progress regime of the
+// paper's §3 turned into a deterministic fault. Each Stall fires exactly
+// once over the transport's lifetime.
+type Stall struct {
+	Src, Dst, Tag int           // selector; Any matches every value
+	NthStart      int           // 1-based index among matching Starts (0 means 1st)
+	Delay         time.Duration // how long the Start blocks
+}
+
 // Kill schedules the death of a rank: at its AtOp-th outbound operation
 // (1-based; Isend, a persistent send's Start, and each collective entry
 // all count), the rank's operation returns a *core.PeerError and the
@@ -85,6 +121,12 @@ type Schedule struct {
 	DialFailures int
 	Kills        []Kill
 	Frames       []FrameFault
+	// Slowdowns add persistent per-link delivery latency; Stalls block
+	// persistent-channel Starts. Both are the gray-failure half of the
+	// schedule. A frame claimed by a one-shot FrameFault never reaches
+	// the slowdown matcher (and does not advance its counters).
+	Slowdowns []Slowdown
+	Stalls    []Stall
 }
 
 // DeriveKill deterministically derives a Kill from a seed: a rank in
@@ -113,6 +155,9 @@ type Transport struct {
 	killDone   []bool
 	frameSeen  []int
 	frameDone  []bool
+	slowSeen   []int
+	stallSeen  []int
+	stallDone  []bool
 	stateReady bool
 }
 
@@ -123,6 +168,9 @@ func (t *Transport) ensureLocked() {
 		t.killDone = make([]bool, len(t.Sched.Kills))
 		t.frameSeen = make([]int, len(t.Sched.Frames))
 		t.frameDone = make([]bool, len(t.Sched.Frames))
+		t.slowSeen = make([]int, len(t.Sched.Slowdowns))
+		t.stallSeen = make([]int, len(t.Sched.Stalls))
+		t.stallDone = make([]bool, len(t.Sched.Stalls))
 		t.stateReady = true
 	}
 }
@@ -198,6 +246,57 @@ func (t *Transport) matchFrame(src, dst, tag int) (FrameFault, bool) {
 	return FrameFault{}, false
 }
 
+// matchSlowdown counts this frame against every Slowdown selector and
+// returns the delay of the first one whose active window
+// [FromNth, FromNth+Count) covers it. Every matching counter advances on
+// every frame — a slowdown's window position never depends on which
+// other slowdowns are active.
+func (t *Transport) matchSlowdown(src, dst, tag int) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d time.Duration
+	var ok bool
+	for i, s := range t.Sched.Slowdowns {
+		if s.Src != Any && s.Src != src || s.Dst != Any && s.Dst != dst || s.Tag != Any && s.Tag != tag {
+			continue
+		}
+		t.slowSeen[i]++
+		from := s.FromNth
+		if from < 1 {
+			from = 1
+		}
+		if n := t.slowSeen[i]; !ok && n >= from && (s.Count <= 0 || n < from+s.Count) {
+			d, ok = s.Delay, true
+		}
+	}
+	return d, ok
+}
+
+// matchStall consumes the first unfired Stall whose selector matches this
+// persistent-channel Start and whose NthStart this is.
+func (t *Transport) matchStall(src, dst, tag int) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range t.Sched.Stalls {
+		if s.Src != Any && s.Src != src || s.Dst != Any && s.Dst != dst || s.Tag != Any && s.Tag != tag {
+			continue
+		}
+		if t.stallDone[i] {
+			continue
+		}
+		t.stallSeen[i]++
+		nth := s.NthStart
+		if nth < 1 {
+			nth = 1
+		}
+		if t.stallSeen[i] == nth {
+			t.stallDone[i] = true
+			return s.Delay, true
+		}
+	}
+	return 0, false
+}
+
 // world wraps the inner world, counting each local rank's outbound
 // operations so scheduled kills fire at deterministic points.
 type world struct {
@@ -236,33 +335,45 @@ type droppedRequest struct{}
 func (droppedRequest) Wait() error { return nil }
 func (droppedRequest) Done() bool  { return true }
 
+// deliverLater re-sends a copy of the payload after d — the shared
+// delivery mechanism of the Delay action and of Slowdowns. Best effort:
+// by delivery time the world may have failed or closed, in which case
+// the frame is lost — exactly what a late packet on a torn-down
+// connection would be.
+func (c *comm) deliverLater(dst, tag int, data []float64, d time.Duration) {
+	cp := append([]float64(nil), data...)
+	inner := c.Comm
+	time.AfterFunc(d, func() {
+		if r, err := inner.Isend(dst, tag, cp); err == nil {
+			// A delayed frame is best-effort by construction: a Wait
+			// error here means the world died first and the frame is
+			// lost, which is exactly the fault being simulated.
+			//reprolint:ignore commerr delayed frames are lost with the world by design
+			r.Wait()
+		}
+	})
+}
+
 // sendFrame applies the frame schedule to one outbound payload and
 // returns (handled, err). When handled is false the caller performs the
 // normal send itself; Duplicate is implemented as "deliver one extra copy
-// now, then let the caller send normally".
+// now, then let the caller send normally". One-shot faults take
+// precedence; a frame none of them claims passes the persistent slowdown
+// matcher.
 func (c *comm) sendFrame(dst, tag int, data []float64) (bool, error) {
 	f, ok := c.w.t.matchFrame(c.rank, dst, tag)
 	if !ok {
+		if d, slow := c.w.t.matchSlowdown(c.rank, dst, tag); slow {
+			c.deliverLater(dst, tag, data, d)
+			return true, nil
+		}
 		return false, nil
 	}
 	switch f.Action {
 	case Drop:
 		return true, nil
 	case Delay:
-		cp := append([]float64(nil), data...)
-		inner := c.Comm
-		time.AfterFunc(f.Delay, func() {
-			// Best effort: by delivery time the world may have failed or
-			// closed, in which case the frame is lost — exactly what a
-			// delayed packet on a torn-down connection would be.
-			if r, err := inner.Isend(dst, tag, cp); err == nil {
-				// A delayed frame is best-effort by construction: a Wait
-				// error here means the world died first and the frame is
-				// lost, which is exactly the fault being simulated.
-				//reprolint:ignore commerr delayed frames are lost with the world by design
-				r.Wait()
-			}
-		})
+		c.deliverLater(dst, tag, data, f.Delay)
 		return true, nil
 	case Duplicate:
 		if r, err := c.Comm.Isend(dst, tag, data); err != nil {
@@ -312,6 +423,11 @@ func (p *psend) Start() error {
 	if err := p.c.w.beforeOp(p.c.rank); err != nil {
 		p.lastErr = err
 		return err
+	}
+	if d, ok := p.c.w.t.matchStall(p.c.rank, p.dst, p.tag); ok {
+		// The stall is the point: the calling rank sits inside Start making
+		// no progress while its peers' detectors watch the silence.
+		time.Sleep(d)
 	}
 	if handled, err := p.c.sendFrame(p.dst, p.tag, p.buf); err != nil {
 		p.lastErr = err

@@ -30,6 +30,10 @@ type OpRequest struct {
 	// Solve parameters.
 	Tol     float64 `json:"tol,omitempty"`
 	MaxIter int     `json:"maxiter,omitempty"`
+	// Gray-failure parameters: end-to-end deadline from admission
+	// (milliseconds, 0 = none) and brown-out shedding priority.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	Priority   int   `json:"priority,omitempty"`
 }
 
 type errorBody struct {
@@ -46,7 +50,8 @@ type errorBody struct {
 //	GET  /healthz            → 200 "ok"
 //
 // Admission rejections map to 429, unknown matrices to 404, malformed
-// requests to 400, a closed server to 503.
+// requests to 400, a missed deadline to 504, and a closed or draining
+// server, an open circuit breaker, or a brown-out shed to 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", s.handleRegister)
@@ -112,6 +117,7 @@ func (s *Server) handleOp(op Op) http.HandlerFunc {
 			Tenant: or.Tenant, Matrix: or.Matrix, Op: op,
 			Seed: or.Seed, X: or.X,
 			Iters: or.Iters, Tol: or.Tol, MaxIter: or.MaxIter,
+			DeadlineMs: or.DeadlineMs, Priority: or.Priority,
 		}
 		resp, err := s.Do(req)
 		if err != nil {
@@ -136,6 +142,9 @@ func writeError(w http.ResponseWriter, err error) {
 	var rej *RejectError
 	var unk *UnknownMatrixError
 	var val *ValidationError
+	var ddl *core.DeadlineError
+	var brk *BreakerError
+	var shd *ShedError
 	switch {
 	case errors.As(err, &rej):
 		status = http.StatusTooManyRequests
@@ -143,7 +152,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.As(err, &val):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrClosed):
+	case errors.As(err, &ddl):
+		status = http.StatusGatewayTimeout
+	case errors.As(err, &brk), errors.As(err, &shd),
+		errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -64,6 +64,15 @@ func (e *StatusError) Error() string { return fmt.Sprintf("serve: HTTP %d: %s", 
 // Rejected reports whether the error is an admission rejection (HTTP 429).
 func (e *StatusError) Rejected() bool { return e.Code == http.StatusTooManyRequests }
 
+// DeadlineExceeded reports whether the request missed its end-to-end
+// deadline (HTTP 504, a *core.DeadlineError server-side).
+func (e *StatusError) DeadlineExceeded() bool { return e.Code == http.StatusGatewayTimeout }
+
+// Shed reports whether the server refused the request to protect itself
+// (HTTP 503): brown-out shedding, an open circuit breaker, or a
+// draining/closed server.
+func (e *StatusError) Shed() bool { return e.Code == http.StatusServiceUnavailable }
+
 // Register registers a matrix and returns its geometry.
 func (c *Client) Register(req RegisterRequest) (MatrixInfo, error) {
 	var info MatrixInfo
@@ -241,13 +250,23 @@ type LoadConfig struct {
 	// Verify checks every successful response bit for bit against a
 	// reference cluster built from Spec.
 	Verify bool
+	// DeadlineMs, when positive, attaches an end-to-end deadline to every
+	// request; misses come back as HTTP 504 and are counted in
+	// LoadResult.Deadlined instead of Errors.
+	DeadlineMs int64
 }
 
 // LoadResult summarizes one load run.
 type LoadResult struct {
-	Requests       int     `json:"requests"`
-	Completed      int     `json:"completed"`
-	Rejected       int     `json:"rejected"`
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	// Deadlined counts HTTP 504 responses (missed end-to-end deadlines);
+	// Shed counts HTTP 503 fail-fast refusals (brown-out shedding, open
+	// circuit breaker, draining server). Both are the server degrading
+	// gracefully, kept apart from hard Errors.
+	Deadlined      int     `json:"deadlined,omitempty"`
+	Shed           int     `json:"shed,omitempty"`
 	Errors         int     `json:"errors"`
 	Dropped        int     `json:"dropped,omitempty"`
 	Verified       int     `json:"verified"`
@@ -327,9 +346,10 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		h ^= h >> 33
 		isMul := float64(h%1000)/1000.0 < cfg.MulFraction
 		req := OpRequest{
-			Tenant: fmt.Sprintf("tenant-%d", worker%cfg.Tenants),
-			Matrix: cfg.Matrix,
-			Seed:   seed,
+			Tenant:     fmt.Sprintf("tenant-%d", worker%cfg.Tenants),
+			Matrix:     cfg.Matrix,
+			Seed:       seed,
+			DeadlineMs: cfg.DeadlineMs,
 		}
 		start := time.Now()
 		var resp *Response
@@ -370,6 +390,10 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 			}
 		case errors.As(err, &se) && se.Rejected():
 			res.Rejected++
+		case errors.As(err, &se) && se.DeadlineExceeded():
+			res.Deadlined++
+		case errors.As(err, &se) && se.Shed():
+			res.Shed++
 		default:
 			res.Errors++
 		}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -43,17 +44,26 @@ func (r *ring) pop() *Request {
 func (r *ring) peek() *Request { return r.buf[r.head] }
 
 // tenant is one admission-controlled request stream: a bounded FIFO, an
-// in-flight count the dispatcher gates on, and counters.
+// in-flight count the dispatcher gates on, a transparent-retry token
+// bucket, and counters.
 type tenant struct {
 	name     string
 	q        ring
 	inflight int
 
-	accepted, rejected, completed, failed uint64
+	// retryTokens bounds how many supervised epoch retries this tenant's
+	// requests may consume before they fail to their callers: one token
+	// per transparent retry, replenished (up to Config.RetryBudget) by
+	// each successful completion. A tenant whose every request poisons
+	// the world drains its bucket and starts failing fast instead of
+	// burning restart epochs that delay everyone sharing the pool.
+	retryTokens int
+
+	accepted, rejected, completed, failed, shed uint64
 }
 
-func newTenant(name string, depth int) *tenant {
-	return &tenant{name: name, q: newRing(depth)}
+func newTenant(name string, depth, budget int) *tenant {
+	return &tenant{name: name, q: newRing(depth), retryTokens: budget}
 }
 
 // batch is one dispatch unit: up to Config.BatchMax requests for the same
@@ -91,6 +101,89 @@ type pool struct {
 	free     []*batch
 	nfree    int
 	sessions []*session
+
+	// Circuit breaker, under s.mu. Counts consecutive supervisor
+	// give-ups (a whole restart budget exhausted); at
+	// Config.BreakerThreshold the pool opens and admissions fail fast
+	// with a *BreakerError instead of queueing behind a matrix that
+	// cannot hold a world up. After Config.BreakerCooldown one probe
+	// request is admitted (half-open); a served batch closes the
+	// breaker, another give-up reopens it.
+	brkState    int
+	brkFails    int   // consecutive give-ups while closed/half-open
+	brkOpenedNs int64 // wall clock of the transition to open
+	brkProbe    bool  // half-open: the single probe slot is taken
+}
+
+const (
+	brkClosed = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// breakerAdmit gates one admission through the pool's circuit breaker.
+// Caller holds s.mu.
+//
+//repro:noalloc
+func (p *pool) breakerAdmit(nowNs int64) error {
+	switch p.brkState {
+	case brkClosed:
+		return nil
+	case brkOpen:
+		if nowNs-p.brkOpenedNs < int64(p.s.cfg.BreakerCooldown) {
+			return &BreakerError{Matrix: p.name, State: "open"} //repro:alloc-ok fail-fast path
+		}
+		p.brkState = brkHalfOpen
+		p.brkProbe = false
+		fallthrough
+	default: // brkHalfOpen
+		// One probe per cooldown window: if a probe neither serves nor
+		// gives up (it was shed, timed out in queue, …), the next window
+		// lets another through rather than wedging the pool half-open.
+		if p.brkProbe && nowNs-p.brkOpenedNs < int64(p.s.cfg.BreakerCooldown) {
+			return &BreakerError{Matrix: p.name, State: "half-open"} //repro:alloc-ok fail-fast path
+		}
+		p.brkProbe = true
+		p.brkOpenedNs = nowNs
+		return nil
+	}
+}
+
+// noteGiveUp records a supervisor exhausting its restart budget. A
+// give-up during the half-open probe reopens immediately; while closed,
+// Config.BreakerThreshold consecutive give-ups open the breaker.
+func (p *pool) noteGiveUp() {
+	s := p.s
+	s.mu.Lock()
+	p.brkFails++
+	if p.brkState == brkHalfOpen || p.brkFails >= s.cfg.BreakerThreshold {
+		p.brkState = brkOpen
+		p.brkOpenedNs = time.Now().UnixNano()
+	}
+	s.mu.Unlock()
+}
+
+// noteServedLocked records a batch served to completion without the
+// supervisor giving up: the breaker closes and the failure streak
+// resets. Caller holds s.mu.
+//
+//repro:noalloc
+func (p *pool) noteServedLocked() {
+	p.brkState = brkClosed
+	p.brkFails = 0
+	p.brkProbe = false
+}
+
+// breakerState renders the breaker for stats. Caller holds s.mu.
+func (p *pool) breakerState() string {
+	switch p.brkState {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 func newPool(s *Server, name string, plan *core.Plan, mode core.Mode) *pool {
@@ -216,6 +309,7 @@ func (ss *session) loop() {
 			ss.drainShutdown()
 			return
 		}
+		p.noteGiveUp()
 		hadPending := ss.pending != nil
 		ss.failPending(err)
 		if !hadPending {
@@ -238,7 +332,7 @@ func (ss *session) serveEpoch(_ int, cl *core.Cluster) error {
 			return err
 		}
 		ss.pending = nil
-		ss.complete(b)
+		ss.complete(b, true)
 	}
 	for {
 		select {
@@ -250,7 +344,7 @@ func (ss *session) serveEpoch(_ int, cl *core.Cluster) error {
 				return err
 			}
 			ss.pending = nil
-			ss.complete(b)
+			ss.complete(b, true)
 		}
 	}
 }
@@ -259,8 +353,16 @@ func (ss *session) serveEpoch(_ int, cl *core.Cluster) error {
 // warm cluster — the steady-state serving loop, riding the resident Mul
 // job's zero-allocation path. A world failure returns the error so the
 // supervisor can restart the epoch; requests that already finished are
-// skipped on retry, and a request out of attempts fails to its caller
-// while still triggering the restart (the world is poisoned either way).
+// skipped on retry, and a request out of attempts (or retry tokens)
+// fails to its caller while still triggering the restart (the world is
+// poisoned either way).
+//
+// Deadlines follow the core contract: a request whose deadline already
+// passed in the queue fails with Op "queue" without touching the
+// cluster (non-poisoning — batch-mates proceed on the warm world), and
+// a *core.DeadlineError from a running operation is final for that
+// request, never retried, though the interrupt's world damage still
+// restarts the epoch for the others.
 //
 //repro:noalloc
 func (ss *session) runBatch(cl *core.Cluster, b *batch) error {
@@ -269,12 +371,36 @@ func (ss *session) runBatch(cl *core.Cluster, b *batch) error {
 		if r.finished {
 			continue
 		}
+		now := time.Now().UnixNano()
+		if r.deadlineNs > 0 && now >= r.deadlineNs {
+			if r.startedNs == 0 {
+				r.startedNs = now
+			}
+			r.err = &core.DeadlineError{Op: "queue", Err: context.DeadlineExceeded} //repro:alloc-ok failure path
+			r.finishedNs = now
+			r.finished = true
+			ss.p.s.noteDeadline()
+			continue
+		}
 		if r.startedNs == 0 {
-			r.startedNs = time.Now().UnixNano()
+			r.startedNs = now
 		}
 		r.attempts++
-		err, fatal := execute(cl, r)
-		if err != nil && fatal && r.attempts < ss.p.s.cfg.MaxAttempts {
+		err, fatal := execute(ss.p.ctx, cl, r)
+		var de *core.DeadlineError
+		if errors.As(err, &de) {
+			r.err = err
+			r.finishedNs = time.Now().UnixNano()
+			r.finished = true
+			ss.p.s.noteDeadline()
+			if werr := cl.Failed(); werr != nil {
+				// The interrupt tore the world down mid-collective:
+				// restart for the batch-mates (this request stays final).
+				return werr
+			}
+			continue
+		}
+		if err != nil && fatal && r.attempts < ss.p.s.cfg.MaxAttempts && ss.p.s.takeRetryToken(r.tn) {
 			return err
 		}
 		r.err = err
@@ -290,8 +416,16 @@ func (ss *session) runBatch(cl *core.Cluster, b *batch) error {
 // execute runs one request on the cluster. fatal reports whether the error
 // poisoned the world (the epoch must restart); a request-level error — a
 // solver breakdown, a non-convergence — leaves the cluster warm and the
-// rest of the batch proceeds.
-func execute(cl *core.Cluster, r *Request) (err error, fatal bool) {
+// rest of the batch proceeds. A request with a deadline runs under a
+// context carrying it, so a gray-slow world surfaces a typed
+// *core.DeadlineError instead of hanging the session.
+func execute(ctx context.Context, cl *core.Cluster, r *Request) (err error, fatal bool) {
+	rctx := ctx
+	if r.deadlineNs > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithDeadline(ctx, time.Unix(0, r.deadlineNs))
+		defer cancel()
+	}
 	switch r.Op {
 	case OpSolve:
 		// Deterministic retry: CG starts from the zero guess on every
@@ -300,14 +434,23 @@ func execute(cl *core.Cluster, r *Request) (err error, fatal bool) {
 		for i := range r.y {
 			r.y[i] = 0
 		}
-		res, err := solver.DistCG(cl, r.x, r.y, r.Tol, r.MaxIter)
+		opt := solver.CGOptions{Tol: r.Tol, MaxIter: r.MaxIter}
+		if r.deadlineNs > 0 {
+			opt.Context = rctx
+		}
+		res, err := solver.DistCGOpt(cl, r.x, r.y, opt)
 		if err != nil {
 			return err, core.Recoverable(err) || cl.Failed() != nil
 		}
 		r.solveRes = res
 		return nil, false
 	default: // OpMul
-		if err := cl.Mul(r.y, r.x, r.Iters); err != nil {
+		if r.deadlineNs > 0 {
+			err = cl.MulContext(rctx, r.y, r.x, r.Iters)
+		} else {
+			err = cl.Mul(r.y, r.x, r.Iters)
+		}
+		if err != nil {
 			return err, core.Recoverable(err) || cl.Failed() != nil
 		}
 		return nil, false
@@ -316,12 +459,18 @@ func execute(cl *core.Cluster, r *Request) (err error, fatal bool) {
 
 // complete hands a finished batch back: callers are woken, tenant
 // in-flight gates reopen, the batch returns to the freelist, and the
-// dispatcher is signalled to refill the session.
+// dispatcher is signalled to refill the session. served distinguishes a
+// batch the session ran to completion (closes the pool's breaker and
+// lets successes replenish their tenant's retry tokens) from one failed
+// wholesale by a dead epoch.
 //
 //repro:noalloc
-func (ss *session) complete(b *batch) {
+func (ss *session) complete(b *batch, served bool) {
 	s := ss.p.s
 	s.mu.Lock()
+	if served {
+		ss.p.noteServedLocked()
+	}
 	for i := 0; i < b.n; i++ {
 		r := b.reqs[i]
 		b.reqs[i] = nil
@@ -332,6 +481,9 @@ func (ss *session) complete(b *batch) {
 		} else {
 			r.tn.completed++
 			s.completed++
+			if r.tn.retryTokens < s.cfg.RetryBudget {
+				r.tn.retryTokens++
+			}
 		}
 		if r.attempts > 1 {
 			s.retried++
@@ -344,7 +496,7 @@ func (ss *session) complete(b *batch) {
 	ss.p.free[ss.p.nfree] = b
 	ss.p.nfree++
 	s.dirty = true
-	s.cond.Signal()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -369,7 +521,7 @@ func (ss *session) failPending(cause error) {
 		r.finishedNs = now
 		r.finished = true
 	}
-	ss.complete(b)
+	ss.complete(b, false)
 }
 
 // drainShutdown fails batches already queued on the work channel at

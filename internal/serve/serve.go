@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,6 +93,34 @@ type Config struct {
 	// matrix's pool — the fault-injection hook (nil epochs fall back to
 	// the in-process chan transport).
 	Transport func(matrixName string) func(epoch int) core.Transport
+
+	// RetryBudget is each tenant's transparent-retry token bucket. A
+	// world failure consumes one token to re-run the request on a fresh
+	// epoch; a completed request restores one (capacity RetryBudget). An
+	// empty bucket fails requests on their first world failure instead of
+	// retrying, so a tenant whose traffic keeps poisoning worlds cannot
+	// burn unbounded epochs (default 8).
+	RetryBudget int
+	// BreakerThreshold opens a matrix pool's circuit breaker after that
+	// many consecutive supervisor give-ups; an open breaker fail-fasts
+	// admissions with a *BreakerError (HTTP 503) instead of queueing onto
+	// a pool that keeps losing worlds (default 2).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting
+	// a single half-open probe through; the probe's fate decides between
+	// closing the breaker and another cooldown (default 250ms).
+	BreakerCooldown time.Duration
+	// BrownoutHigh and BrownoutLow are the total-queued watermarks of
+	// brown-out mode: when the server-wide queue depth holds at or above
+	// High for BrownoutAfter, the lowest-priority queued requests are
+	// shed with a *ShedError (HTTP 503) until depth falls to Low — a
+	// deliberate partial outage instead of timing every request out.
+	// Defaults: 2×QueueDepth and QueueDepth/2.
+	BrownoutHigh int
+	BrownoutLow  int
+	// BrownoutAfter is how long overload must persist before shedding
+	// begins — a burst shorter than this rides the queues (default 100ms).
+	BrownoutAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,11 +148,60 @@ func (c Config) withDefaults() Config {
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = 3
 	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 2
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
+	if c.BrownoutHigh <= 0 {
+		c.BrownoutHigh = 2 * c.QueueDepth
+	}
+	if c.BrownoutLow <= 0 {
+		c.BrownoutLow = c.QueueDepth / 2
+	}
+	if c.BrownoutAfter <= 0 {
+		c.BrownoutAfter = 100 * time.Millisecond
+	}
 	return c
 }
 
 // ErrClosed reports a request against a server that has shut down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDraining reports an admission during graceful drain: the server is
+// finishing queued and in-flight work but accepts nothing new. The HTTP
+// layer maps it to 503.
+var ErrDraining = errors.New("serve: server draining (no new admissions)")
+
+// BreakerError is a fail-fast rejection from a matrix pool's circuit
+// breaker: the pool's supervisors kept giving up, so admissions are
+// refused until a cooldown elapses and a half-open probe succeeds. The
+// HTTP layer maps it to 503.
+type BreakerError struct {
+	Matrix string
+	State  string // "open" or "half-open"
+}
+
+func (e *BreakerError) Error() string {
+	return fmt.Sprintf("serve: matrix %q circuit breaker %s (pool keeps losing worlds); retry later", e.Matrix, e.State)
+}
+
+// ShedError reports a queued request shed by brown-out mode: the server
+// held at its overload watermark long enough that the lowest-priority
+// queued work was dropped to keep the rest inside its latency budget.
+// The HTTP layer maps it to 503.
+type ShedError struct {
+	Tenant   string
+	Priority int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: request from tenant %q (priority %d) shed under sustained overload; retry later", e.Tenant, e.Priority)
+}
 
 // RejectError is a fast admission rejection: the tenant's queue is at its
 // configured depth. The HTTP layer maps it to 429 Too Many Requests.
@@ -170,6 +248,17 @@ type Request struct {
 	// Tol and MaxIter configure a solve (defaults 1e-8 and 500).
 	Tol     float64
 	MaxIter int
+	// DeadlineMs, when positive, is the request's end-to-end budget in
+	// milliseconds from admission. A request still queued at expiry is
+	// failed without ever touching a cluster; one already executing is
+	// abandoned through the cluster's interrupt path. Both surface a
+	// *core.DeadlineError (HTTP 504), final for this request — it is
+	// never retried, though batch-mates of a mid-job expiry are.
+	DeadlineMs int64
+	// Priority orders requests under brown-out shedding: when sustained
+	// overload forces the server to drop queued work, lower priorities go
+	// first (default 0; higher is more important).
+	Priority int
 
 	// runtime state (owned by the server once admitted)
 	ent        *entry
@@ -180,6 +269,7 @@ type Request struct {
 	finished   bool
 	attempts   int
 	queuedNs   int64
+	deadlineNs int64 // absolute; 0 means no deadline
 	startedNs  int64
 	finishedNs int64
 	solveRes   solver.CGResult
@@ -212,15 +302,23 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tenants map[string]*tenant
-	order   []*tenant
-	rr      int
-	pools   []*pool
-	dirty   bool
-	paused  bool // test hook: freeze the dispatcher
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenant
+	order    []*tenant
+	rr       int
+	pools    []*pool
+	dirty    bool
+	paused   bool // test hook: freeze the dispatcher
+	closed   bool
+	draining bool
+
+	// brown-out state (under mu): total queued across all tenants, when
+	// the high watermark was first crossed, and a grow-once scratch for
+	// the shed pass.
+	queuedTotal     int
+	overloadSinceNs int64
+	shedScratch     []*Request
 
 	dispatchDone chan struct{}
 
@@ -228,6 +326,7 @@ type Server struct {
 	// global counters (under mu)
 	accepted, rejected, completed, failed, retried uint64
 	batches, batchedReqs, restarts                 uint64
+	shed, deadlined                                uint64
 }
 
 // NewServer builds a serving runtime and starts its dispatcher.
@@ -336,6 +435,9 @@ func (s *Server) prepare(req *Request) error {
 	default:
 		return &ValidationError{Msg: fmt.Sprintf("unknown op %d", int(req.Op))}
 	}
+	if req.DeadlineMs < 0 {
+		return &ValidationError{Msg: fmt.Sprintf("deadline must be ≥ 0 ms, got %d", req.DeadlineMs)}
+	}
 	ent, err := s.reg.pin(req.Matrix)
 	if err != nil {
 		return err
@@ -360,31 +462,115 @@ func (s *Server) prepare(req *Request) error {
 }
 
 // admit appends the request to its tenant's FIFO — or rejects immediately
-// when the queue is at depth — and wakes the dispatcher.
+// when the server is draining, the matrix's circuit breaker is open, or
+// the queue is at depth — and wakes the dispatcher. Admission is also
+// where the request's deadline is armed and where sustained overload is
+// re-evaluated (each arriving request gives brown-out a clock edge even
+// when nothing is completing).
 func (s *Server) admit(req *Request) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
+	if s.draining {
+		return ErrDraining
+	}
+	now := time.Now().UnixNano()
 	t := s.tenants[req.Tenant]
 	if t == nil {
-		t = newTenant(req.Tenant, s.cfg.QueueDepth)
+		t = newTenant(req.Tenant, s.cfg.QueueDepth, s.cfg.RetryBudget)
 		s.tenants[req.Tenant] = t
 		s.order = append(s.order, t)
 	}
-	if !t.q.push(req) {
+	// Queue capacity before the breaker, so a queue-full rejection can
+	// never consume the breaker's half-open probe slot.
+	if t.q.n == len(t.q.buf) {
 		t.rejected++
 		s.rejected++
 		return &RejectError{Tenant: req.Tenant, Depth: s.cfg.QueueDepth}
 	}
+	if err := req.ent.pool.breakerAdmit(now); err != nil {
+		return err
+	}
+	t.q.push(req)
 	req.tn = t
-	req.queuedNs = time.Now().UnixNano()
+	req.queuedNs = now
+	if req.DeadlineMs > 0 {
+		req.deadlineNs = now + req.DeadlineMs*int64(time.Millisecond)
+	} else {
+		req.deadlineNs = 0
+	}
 	t.accepted++
 	s.accepted++
+	s.queuedTotal++
+	s.checkBrownout(now)
 	s.dirty = true
-	s.cond.Signal()
+	s.cond.Broadcast()
 	return nil
+}
+
+// checkBrownout tracks how long the server has held at or above the high
+// watermark and sheds once the overload is sustained. Caller holds s.mu.
+func (s *Server) checkBrownout(nowNs int64) {
+	if s.queuedTotal < s.cfg.BrownoutHigh {
+		s.overloadSinceNs = 0
+		return
+	}
+	if s.overloadSinceNs == 0 {
+		s.overloadSinceNs = nowNs
+		return
+	}
+	if nowNs-s.overloadSinceNs >= int64(s.cfg.BrownoutAfter) {
+		s.shedLowest(nowNs)
+	}
+}
+
+// shedLowest drops queued requests — lowest priority first, newest first
+// within a priority — until the total backlog is back at the low
+// watermark. Shed requests fail with *ShedError; requests already
+// dispatched are never shed. Caller holds s.mu.
+func (s *Server) shedLowest(nowNs int64) {
+	sc := s.shedScratch[:0]
+	for _, t := range s.order {
+		for i := 0; i < t.q.n; i++ {
+			sc = append(sc, t.q.buf[(t.q.head+i)%len(t.q.buf)])
+		}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].Priority != sc[j].Priority {
+			return sc[i].Priority < sc[j].Priority
+		}
+		return sc[i].queuedNs > sc[j].queuedNs
+	})
+	for _, r := range sc {
+		if s.queuedTotal <= s.cfg.BrownoutLow {
+			break
+		}
+		r.err = &ShedError{Tenant: r.Tenant, Priority: r.Priority}
+		r.startedNs = nowNs
+		r.finishedNs = nowNs
+		r.finished = true
+		r.tn.shed++
+		s.shed++
+		s.queuedTotal--
+	}
+	// Compact every ring around the shed requests and release their
+	// callers. FIFO order of the survivors is preserved.
+	for _, t := range s.order {
+		for i, n := 0, t.q.n; i < n; i++ {
+			r := t.q.pop()
+			if r.finished {
+				close(r.done)
+				continue
+			}
+			t.q.push(r)
+		}
+	}
+	s.shedScratch = sc[:0]
+	if s.queuedTotal < s.cfg.BrownoutHigh {
+		s.overloadSinceNs = 0
+	}
 }
 
 // dispatchLoop is the single dispatcher goroutine: it sleeps until
@@ -402,6 +588,7 @@ func (s *Server) dispatchLoop() {
 			return
 		}
 		s.dirty = false
+		s.checkBrownout(time.Now().UnixNano())
 		s.drain()
 		s.flushOpen()
 	}
@@ -433,6 +620,7 @@ func (s *Server) drain() {
 				continue
 			}
 			t.q.pop()
+			s.queuedTotal--
 			t.inflight++
 			progress = true
 		}
@@ -467,6 +655,65 @@ func (s *Server) noteRestart() {
 	s.mu.Unlock()
 }
 
+// noteDeadline counts a request failed by its deadline.
+func (s *Server) noteDeadline() {
+	s.mu.Lock()
+	s.deadlined++
+	s.mu.Unlock()
+}
+
+// takeRetryToken consumes one of the tenant's transparent-retry tokens,
+// reporting false when the bucket is empty (the request must fail rather
+// than burn another epoch).
+func (s *Server) takeRetryToken(t *tenant) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.retryTokens <= 0 {
+		return false
+	}
+	t.retryTokens--
+	return true
+}
+
+// Drain puts the server into graceful-drain mode: every subsequent
+// admission fails fast with ErrDraining while queued and in-flight work
+// runs to completion. It blocks until the server is quiet or ctx
+// expires, returning ctx's error in the latter case; either way the
+// server stays in drain mode until Close.
+func (s *Server) Drain(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	for ctx.Err() == nil && !s.closed && !s.quietLocked() {
+		s.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// quietLocked reports whether no request is queued or in flight.
+func (s *Server) quietLocked() bool {
+	if s.queuedTotal > 0 {
+		return false
+	}
+	for _, t := range s.order {
+		if t.inflight > 0 {
+			return false
+		}
+	}
+	for _, p := range s.pools {
+		if b := p.open; b != nil && b.n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // addPool publishes a new matrix's pool to the dispatcher.
 func (s *Server) addPool(p *pool) {
 	s.mu.Lock()
@@ -498,7 +745,7 @@ func (s *Server) resumeDispatch() {
 	s.mu.Lock()
 	s.paused = false
 	s.dirty = true
-	s.cond.Signal()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -529,6 +776,7 @@ func (s *Server) Close() error {
 	for _, t := range s.order {
 		for t.q.n > 0 {
 			r := t.q.pop()
+			s.queuedTotal--
 			r.err = ErrClosed
 			r.finished = true
 			s.failed++

@@ -26,8 +26,12 @@ type TenantStats struct {
 	Rejected  uint64 `json:"rejected"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	Shed      uint64 `json:"shed,omitempty"`
 	Queued    int    `json:"queued"`
 	Inflight  int    `json:"inflight"`
+	// RetryTokens is the tenant's remaining transparent-retry budget
+	// (see Config.RetryBudget).
+	RetryTokens int `json:"retry_tokens"`
 }
 
 // MatrixStats is one registered matrix's residency and pool state.
@@ -36,6 +40,9 @@ type MatrixStats struct {
 	Bytes    int64  `json:"bytes"`
 	Pinned   int    `json:"pinned"`
 	Sessions int    `json:"sessions"`
+	// Breaker is the pool's circuit-breaker state: "closed",
+	// "half-open" or "open".
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Stats is a consistent snapshot of the server's counters.
@@ -49,6 +56,8 @@ type Stats struct {
 	Batches         uint64        `json:"batches"`
 	BatchedRequests uint64        `json:"batched_requests"`
 	Restarts        uint64        `json:"restarts"`
+	Shed            uint64        `json:"shed"`
+	Deadlined       uint64        `json:"deadlined"`
 	Evictions       uint64        `json:"evictions"`
 	ResidentBytes   int64         `json:"resident_bytes"`
 	Tenants         []TenantStats `json:"tenants,omitempty"`
@@ -68,17 +77,22 @@ func (s *Server) Stats() Stats {
 		Batches:         s.batches,
 		BatchedRequests: s.batchedReqs,
 		Restarts:        s.restarts,
+		Shed:            s.shed,
+		Deadlined:       s.deadlined,
 	}
 	for _, t := range s.order {
 		st.Tenants = append(st.Tenants, TenantStats{
 			Name: t.name, Accepted: t.accepted, Rejected: t.rejected,
-			Completed: t.completed, Failed: t.failed,
+			Completed: t.completed, Failed: t.failed, Shed: t.shed,
 			Queued: t.q.n, Inflight: t.inflight,
+			RetryTokens: t.retryTokens,
 		})
 	}
 	sessions := make(map[string]int, len(s.pools))
+	breakers := make(map[string]string, len(s.pools))
 	for _, p := range s.pools {
 		sessions[p.name] = len(p.sessions)
+		breakers[p.name] = p.breakerState()
 	}
 	s.mu.Unlock()
 
@@ -89,7 +103,7 @@ func (s *Server) Stats() Stats {
 	for _, e := range reg.entries {
 		st.Matrices = append(st.Matrices, MatrixStats{
 			Name: e.name, Bytes: e.bytes, Pinned: e.active,
-			Sessions: sessions[e.name],
+			Sessions: sessions[e.name], Breaker: breakers[e.name],
 		})
 	}
 	reg.mu.Unlock()

@@ -113,6 +113,7 @@ func (c *comm) Irecv(src, tag int, buf []float64) (core.Request, error) {
 	p := &rpost{c: c, src: src, tag: tag, buf: buf, sig: w.sim.NewSignal()} //repro:alloc-ok transient receive
 	p.queued = true
 	w.recv(p)
+	w.armRecvDeadline(p)
 	return &rreq{c: c, p: p}, nil //repro:alloc-ok transient receive
 }
 
@@ -271,9 +272,12 @@ func (r *precv) Start() error {
 	p.sig.Reset()
 	p.err = nil
 	p.matched = false
+	p.m = nil
 	p.queued = true
 	p.n = 0
+	p.gen++
 	w.recv(p)
+	w.armRecvDeadline(p)
 	if p.err != nil {
 		// Immediate-match truncation: report from Start, like chanmpi.
 		return p.err

@@ -1,0 +1,179 @@
+package simnet
+
+// Virtual-time receive deadlines, foreign-mode edition.
+//
+// The obvious implementation — schedule a des event at post+deadline that
+// fails the world if the receive hasn't completed — is wrong in foreign
+// mode. Rank goroutines enter the world on the OS scheduler's timetable,
+// and virtual time advances whenever SOME rank drives the event heap: an
+// armed expiry event lets the first-arriving rank fast-forward the clock
+// to the deadline while its peers' goroutines simply haven't been
+// scheduled yet, indicting perfectly healthy ranks. (Session mode has no
+// such race — procs run under the des token — but it also takes no
+// Transport, so deadlines never arm there.)
+//
+// The deadline is therefore a CAP on clock advancement, enforced by the
+// driver at each pop:
+//
+//   - If the next event's time is within every live deadline, pop it.
+//   - If it lies beyond an expired receive that is provably late — matched
+//     to a message whose transfer has started, so its delivery is itself
+//     an event at or beyond the next pop — fail the world exactly at the
+//     deadline instant, naming the source. Provable lateness is what makes
+//     attribution deterministic: a healthy transfer delivers in virtual
+//     microseconds and retires its watch entry long before any deadline,
+//     so only genuinely degraded sources ever qualify.
+//   - If it lies beyond an expired receive with no started transfer, the
+//     missing send may still be posted at the CURRENT virtual instant by a
+//     goroutine the OS hasn't run yet — so the driver yields instead of
+//     advancing, and the hand-off rotation retries as ranks arrive. A
+//     rotation budget backstops the one unresolvable case (the sender is
+//     never coming, e.g. its frame was dropped by fault injection while
+//     unrelated events keep the heap non-empty).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// armedRecv is one posted receive on the deadline watchlist.
+type armedRecv struct {
+	p   *rpost
+	gen int     // p.gen at arming; a re-posted persistent receive retires the entry
+	at  float64 // virtual instant the receive expires
+}
+
+// stuckSpins bounds the driver hand-off rotation while an expired receive
+// stays unattributable: each yielded pop attempt counts, and any real
+// progress (an event fired, a message or receive posted) resets the
+// count. The budget is generous — rotations are microseconds of wall
+// clock — so a rank merely stuck in a long compute phase posts again well
+// before it runs out.
+const stuckSpins = 1 << 16
+
+// armRecvDeadline registers a just-posted receive on the deadline
+// watchlist. No event is scheduled — see the file comment for why the
+// deadline caps clock advancement instead.
+func (w *world) armRecvDeadline(p *rpost) {
+	if w.recvDeadline <= 0 {
+		return
+	}
+	w.stuck = 0 // a fresh post is real progress for the rotation backstop
+	at := w.sim.Now() + w.recvDeadline
+	w.armed = append(w.armed, armedRecv{p: p, gen: p.gen, at: at})
+	if at < w.armedFloor {
+		w.armedFloor = at
+	}
+}
+
+// stepOrJudge advances the simulation by one event unless doing so would
+// carry virtual time past a posted receive's deadline; it is the driver's
+// replacement for sim.Step. Returns false when the driver should stop —
+// the heap is empty, the world just failed, or progress must wait for
+// rank goroutines that haven't been scheduled yet. Caller holds w.mu.
+//
+//repro:noalloc
+func (w *world) stepOrJudge() bool {
+	if w.recvDeadline > 0 {
+		if nt, ok := w.sim.NextAt(); ok && nt > w.armedFloor {
+			p, at, overdue := w.judgeOverdue(nt)
+			if p != nil {
+				return w.failOverdue(p, at)
+			}
+			if overdue {
+				w.stuck++
+				if w.stuck >= stuckSpins {
+					w.failUnattributed()
+				}
+				return false
+			}
+			// The floor was stale; judgeOverdue recomputed it. Fall
+			// through and pop.
+		}
+	}
+	w.stuck = 0
+	return w.sim.Step()
+}
+
+// judgeOverdue scans the watchlist: dead entries (delivered, errored, or
+// superseded by a re-post) are compacted away and the floor recomputed;
+// among live entries expiring before nt, the earliest provably-late one
+// (ties broken by channel key, so attribution does not depend on
+// goroutine scheduling) is returned with its expiry instant. overdue
+// reports whether ANY live entry has expired, attributable or not.
+// Caller holds w.mu.
+//
+//repro:noalloc
+func (w *world) judgeOverdue(nt float64) (*rpost, float64, bool) {
+	floor := math.Inf(1)
+	live := w.armed[:0]
+	var best *rpost
+	var bestAt float64
+	var bestKey ckey
+	overdue := false
+	for _, e := range w.armed {
+		if e.p.sig.Fired() || e.p.gen != e.gen || e.p.err != nil {
+			continue
+		}
+		live = append(live, e) //repro:alloc-ok in-place compaction, never grows
+		if e.at < floor {
+			floor = e.at
+		}
+		if e.at >= nt {
+			continue
+		}
+		overdue = true
+		if m := e.p.m; m == nil || !m.started {
+			continue // no transfer scheduled: a late goroutine could still post one
+		}
+		k := ckey{e.p.src, e.p.c.rank, e.p.tag}
+		if best == nil || e.at < bestAt || (e.at == bestAt && k.less(bestKey)) {
+			best, bestAt, bestKey = e.p, e.at, k
+		}
+	}
+	for i := len(live); i < len(w.armed); i++ {
+		w.armed[i] = armedRecv{}
+	}
+	w.armed = live
+	w.armedFloor = floor
+	return best, bestAt, overdue
+}
+
+// failOverdue lands the clock exactly on the expired deadline and fails
+// the world there, so time-to-detect is readable off the virtual clock.
+// The failure event is necessarily the heap minimum (the judged expiry
+// precedes every scheduled event), so the immediate Step pops it.
+func (w *world) failOverdue(p *rpost, at float64) bool {
+	w.sim.At(at, func() {
+		w.fail(&core.PeerError{
+			RankLo: p.src, RankHi: p.src + 1, Phase: core.PhaseSlow,
+			Err: fmt.Errorf("simnet: receive from rank %d undelivered after %gs of virtual time (alive but degraded)", p.src, w.recvDeadline),
+		})
+	})
+	return w.sim.Step()
+}
+
+// failUnattributed is the rotation-budget backstop: an expired receive
+// has no started transfer and no goroutine is posting one. Blame the
+// earliest expired entry's source (ties by channel key), mirroring the
+// virtual-deadlock suspect rule.
+func (w *world) failUnattributed() {
+	var best *rpost
+	var bestAt float64
+	var bestKey ckey
+	for _, e := range w.armed {
+		k := ckey{e.p.src, e.p.c.rank, e.p.tag}
+		if best == nil || e.at < bestAt || (e.at == bestAt && k.less(bestKey)) {
+			best, bestAt, bestKey = e.p, e.at, k
+		}
+	}
+	if best == nil {
+		return
+	}
+	w.fail(&core.PeerError{
+		RankLo: best.src, RankHi: best.src + 1, Phase: core.PhaseSlow,
+		Err: fmt.Errorf("simnet: receive from rank %d expired after %gs of virtual time and no matching transfer was ever started", best.src, w.recvDeadline),
+	})
+}

@@ -1,0 +1,154 @@
+package simnet
+
+// Virtual-time gray failures, in-package so the drills can read the
+// simulation clock: a Slowdown makes one rank's messages late without
+// killing it, and RecvDeadline turns that lateness into a deterministic,
+// attributed phase-"slow" failure — with time-to-detect measured in
+// virtual seconds, not wall-clock sleeps. This is the 1000+-rank arm of
+// the repo's gray-failure story: the same detection contract tcpmpi
+// implements with EWMAs is pinned here at a scale no real host could run.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/matrix"
+)
+
+// captureTransport keeps the last dialed world so a drill can read the
+// virtual clock after a failure surfaces through the cluster.
+type captureTransport struct {
+	Transport
+	last *world
+}
+
+func (t *captureTransport) Dial(ctx context.Context, size int) (core.World, error) {
+	w, err := t.Transport.Dial(ctx, size)
+	if err != nil {
+		return nil, err
+	}
+	t.last = w.(*world)
+	return w, nil
+}
+
+// clockNow reads the captured world's virtual clock.
+func (t *captureTransport) clockNow() float64 {
+	t.last.mu.Lock()
+	defer t.last.mu.Unlock()
+	return t.last.sim.Now()
+}
+
+func grayPlan(t *testing.T, ranks int) (*matrix.CSR, *core.Plan) {
+	t.Helper()
+	p, err := genmat.NewPoisson(genmat.PoissonConfig{Nx: 12, Ny: 10, Nz: 9, GradingZ: 1.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Materialize(p)
+	plan, err := core.BuildPlan(p, core.PartitionByNnz(p, ranks), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, plan
+}
+
+// TestSlowRankKeepsNumericsBitIdentical pins the "gray, not dead" half:
+// with no detection armed, a rank whose every message pays half a second
+// of extra virtual latency still produces the exact same product as a
+// healthy simulated cluster on an identically-built plan — the
+// degradation is pure time, visible on the clock, absent from the
+// payloads. (The reference is a healthy CLUSTER, not the serial MulVec:
+// distributing the rows changes summation order, which is allowed to
+// perturb last bits; a slowdown is not.)
+func TestSlowRankKeepsNumericsBitIdentical(t *testing.T) {
+	const extra = 0.5
+	a, planSlow := grayPlan(t, 4)
+	_, planRef := grayPlan(t, 4)
+	tr := &captureTransport{Transport: Transport{Slow: []Slowdown{{Rank: 1, Extra: extra}}}}
+	clSlow, err := core.NewCluster(planSlow, core.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clSlow.Close()
+	clRef, err := core.NewCluster(planRef, core.WithTransport(&Transport{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clRef.Close()
+
+	n := a.NumRows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	y := make([]float64, n)
+	if err := clSlow.Mul(y, x, 1); err != nil {
+		t.Fatalf("Mul with an undetected slow rank: %v", err)
+	}
+	want := make([]float64, n)
+	if err := clRef.Mul(want, x, 1); err != nil {
+		t.Fatalf("reference Mul: %v", err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g (a slowdown must never change the numerics)", i, y[i], want[i])
+		}
+	}
+	if now := tr.clockNow(); now < extra {
+		t.Fatalf("virtual clock at %gs after the solve, want ≥ %gs (the slow rank's latency must be paid in virtual time)", now, extra)
+	}
+}
+
+// TestSlowRankDrill1024 is the at-scale detection drill: 1024 virtual
+// ranks, rank 617 degraded far past the receive deadline. Exactly the
+// receives sourced at the slow rank can expire, so the failure names rank
+// 617 in phase "slow", is supervisor-recoverable, and lands within a
+// deadline's width of virtual time — the bounded time-to-detect the
+// gray-failure contract promises.
+func TestSlowRankDrill1024(t *testing.T) {
+	const (
+		ranks    = 1024
+		slowRank = 617
+		extra    = 0.5  // seconds of injected per-message latency
+		deadline = 0.05 // virtual receive deadline
+	)
+	a, plan := grayPlan(t, ranks)
+	tr := &captureTransport{Transport: Transport{
+		Slow:         []Slowdown{{Rank: slowRank, Extra: extra}},
+		RecvDeadline: deadline,
+	}}
+	cl, err := core.NewCluster(plan, core.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	n := a.NumRows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, n)
+	err = cl.Mul(y, x, 2)
+	var pe *core.PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Mul against the degraded rank returned %v, want a *core.PeerError cause", err)
+	}
+	if pe.Phase != core.PhaseSlow || pe.RankLo != slowRank || pe.RankHi != slowRank+1 {
+		t.Fatalf("suspect = [%d,%d) phase %q, want [%d,%d) phase %q",
+			pe.RankLo, pe.RankHi, pe.Phase, slowRank, slowRank+1, core.PhaseSlow)
+	}
+	if !core.Recoverable(err) {
+		t.Fatal("a slow-peer failure must be supervisor-recoverable (restart on a fresh world)")
+	}
+	detected := tr.clockNow()
+	if detected < deadline || detected > 2*deadline {
+		t.Fatalf("detected at t=%gs of virtual time, want within [%g, %g] — one deadline width after the degraded receive was posted", detected, deadline, 2*deadline)
+	}
+	if detected >= extra {
+		t.Fatalf("detection at t=%gs did not beat the slow frame's own arrival (%gs): the deadline added nothing", detected, extra)
+	}
+}

@@ -125,6 +125,8 @@ type rpost struct {
 	n        int // elements delivered
 	matched  bool
 	queued   bool // posted and not yet matched (precv in-flight guard)
+	gen      int  // posting generation; retires stale deadline watch entries
+	m        *msg // the matched message, for deadline attribution
 }
 
 // wireBytes is the modeled on-wire size of an n-element message: payload
@@ -141,10 +143,11 @@ func wireBytes(n int) float64 { return 8*float64(n) + msgHeaderB }
 //
 //repro:noalloc
 func (w *world) send(m *msg) {
+	w.stuck = 0 // a fresh post is real progress for the deadline backstop
 	m.path = w.pathFor(m.src, m.dst)
 	if m.eager {
 		m.started = true
-		w.sim.After(m.path.lat, m.flowStartFn)
+		w.sim.After(m.path.lat+w.extraLat(m.src), m.flowStartFn)
 	}
 	k := ckey{m.src, m.dst, m.tag}
 	if p, ok := w.rq(k).pop(); ok {
@@ -182,6 +185,7 @@ func (w *world) match(m *msg, p *rpost) {
 		return
 	}
 	m.post = p
+	p.m = m
 	if m.arrived {
 		w.deliver(m)
 		return
@@ -209,7 +213,22 @@ func (w *world) tryStart(m *msg) {
 		return
 	}
 	m.started = true
-	w.sim.After(w.rdvLat+m.path.lat, m.flowStartFn)
+	w.sim.After(w.rdvLat+m.path.lat+w.extraLat(m.src), m.flowStartFn)
+}
+
+// extraLat is the injected gray-failure latency of a message's source at
+// the current virtual time: 0 for healthy ranks and before a slowdown's
+// onset. Caller holds w.mu.
+//
+//repro:noalloc
+func (w *world) extraLat(src int) float64 {
+	if w.slowOf == nil {
+		return 0
+	}
+	if s := &w.slowOf[src]; s.Extra > 0 && w.sim.Now() >= s.After {
+		return s.Extra
+	}
+	return 0
 }
 
 // flowStart begins the wire transfer as a fluid flow over the message's

@@ -21,7 +21,7 @@ type Session struct {
 
 // NewSession creates a simulated world in session mode.
 func NewSession(cfg Config, size int) (*Session, error) {
-	w, err := newWorld(cfg, size, nil)
+	w, err := newWorld(cfg, size, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -86,6 +86,21 @@ type Kill struct {
 	At   float64 // seconds of virtual time
 }
 
+// Slowdown degrades one rank in virtual time: every message the rank
+// originates from After onward pays Extra additional seconds of latency
+// before its transfer begins. This is the gray-failure counterpart of
+// Kill — the rank stays alive and its payloads stay bit-identical, only
+// its transfers crawl — and it is the simulator-native analogue of
+// faultmpi's wall-clock Slowdown schedule (whose time.AfterFunc delivery
+// would be invisible to the virtual clock and trip the deadlock detector
+// here). Being an event-time perturbation, it is exactly reproducible at
+// any rank count.
+type Slowdown struct {
+	Rank  int
+	Extra float64 // seconds added to each originated message's start
+	After float64 // virtual-time offset at which the degradation begins
+}
+
 // Transport implements core.Transport: Dial returns a virtual-time world
 // with every rank local. The zero value simulates the Westmere cluster.
 type Transport struct {
@@ -93,6 +108,17 @@ type Transport struct {
 	// Kills fail the world at virtual-time offsets (deterministic fault
 	// injection; see also faultmpi for operation-count-based injection).
 	Kills []Kill
+	// Slow degrades ranks without killing them (one entry per rank; a
+	// later entry for the same rank wins). Pair with RecvDeadline to
+	// exercise detection, or leave RecvDeadline zero to measure how far
+	// an undetected gray failure drags the solve.
+	Slow []Slowdown
+	// RecvDeadline, when positive, bounds every posted point-to-point
+	// receive to that many seconds of VIRTUAL time: expiry fails the
+	// world with a *core.PeerError naming the receive's source rank in
+	// phase "slow" — the simulator's deterministic model of tcpmpi's
+	// slow-peer suspicion, with time-to-detect readable off the clock.
+	RecvDeadline float64
 }
 
 var _ core.Transport = (*Transport)(nil)
@@ -103,7 +129,7 @@ func (t *Transport) Dial(ctx context.Context, size int) (core.World, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return newWorld(t.Config, size, t.Kills)
+	return newWorld(t.Config, size, t.Kills, t.Slow, t.RecvDeadline)
 }
 
 // pathEnt caches one node pair's route.
@@ -137,6 +163,15 @@ type world struct {
 	stages  float64 // ⌈log₂ P⌉ collective stages
 	barCost float64
 
+	// slowOf (nil when no slowdowns) is indexed by rank; recvDeadline > 0
+	// puts every posted receive on the deadline watchlist (deadline.go).
+	// Both are the gray-failure injection/detection pair of this transport.
+	slowOf       []Slowdown
+	recvDeadline float64
+	armed        []armedRecv // posted receives under deadline watch
+	armedFloor   float64     // min live deadline (stale-low is safe)
+	stuck        int         // yielded pop attempts since last real progress
+
 	sendQ map[ckey]*queue[*msg]
 	recvQ map[ckey]*queue[*rpost]
 
@@ -154,7 +189,7 @@ type world struct {
 	kickScratch []*msg
 }
 
-func newWorld(cfg Config, size int, kills []Kill) (*world, error) {
+func newWorld(cfg Config, size int, kills []Kill, slow []Slowdown, recvDeadline float64) (*world, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("simnet: world size %d < 1", size)
 	}
@@ -226,6 +261,23 @@ func newWorld(cfg Config, size int, kills []Kill) (*world, error) {
 		}
 		c.g = g
 		w.comms[r] = c
+	}
+	if recvDeadline < 0 {
+		return nil, fmt.Errorf("simnet: negative receive deadline %g", recvDeadline)
+	}
+	w.recvDeadline = recvDeadline
+	w.armedFloor = math.Inf(1)
+	for _, s := range slow {
+		if s.Rank < 0 || s.Rank >= size {
+			return nil, &core.RankError{Op: "Slowdown", Rank: s.Rank, Size: size}
+		}
+		if s.Extra < 0 || s.After < 0 {
+			return nil, fmt.Errorf("simnet: negative slowdown (extra %g, after %g)", s.Extra, s.After)
+		}
+		if w.slowOf == nil {
+			w.slowOf = make([]Slowdown, size)
+		}
+		w.slowOf[s.Rank] = s
 	}
 	for _, k := range kills {
 		if k.Rank < 0 || k.Rank >= size {
@@ -360,7 +412,7 @@ func (c *comm) await(sig *des.Signal) {
 	for !sig.Fired() && w.err == nil {
 		if !w.driving {
 			w.driving = true
-			for !sig.Fired() && w.err == nil && w.sim.Step() {
+			for !sig.Fired() && w.err == nil && w.stepOrJudge() {
 			}
 			w.driving = false
 			w.handoff()

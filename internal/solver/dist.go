@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -42,12 +44,33 @@ func distDot(c core.Comm, a, b []float64) (float64, error) {
 	return c.AllreduceScalar(core.OpSum, Dot(a, b))
 }
 
+// runBody dispatches one SPMD body, under a deadline when the options
+// carry a context. A cut-short run is re-labelled with the solver's own
+// entry point, so callers see Op "DistCG"/"DistLanczos" rather than the
+// cluster-level "Run".
+func runBody(cl *core.Cluster, ctx context.Context, op string, body func(*core.Worker) error) error {
+	if ctx == nil {
+		return cl.Run(body)
+	}
+	err := cl.RunContext(ctx, body)
+	var de *core.DeadlineError
+	if errors.As(err, &de) {
+		return &core.DeadlineError{Op: op, Err: de.Err}
+	}
+	return err
+}
+
 // CGOptions configures DistCGOpt beyond the required tolerance and
 // iteration cap: checkpoint cadence and buffers, and a snapshot to
 // resume from.
 type CGOptions struct {
 	Tol     float64
 	MaxIter int
+	// Context, when non-nil, arms an end-to-end deadline over the whole
+	// solve via Cluster.RunContext: expiry or cancellation abandons the
+	// solve and surfaces a *core.DeadlineError with Op "DistCG" (final
+	// for this request — see the core package's deadline contract).
+	Context context.Context
 	// CheckpointEvery snapshots the solve state into Checkpoint every k
 	// iterations (0 disables). Snapshots happen at the top-of-iteration
 	// boundary, overwriting the previous snapshot in place.
@@ -111,7 +134,7 @@ func DistCGOpt(cl *core.Cluster, b, x []float64, opt CGOptions) (CGResult, error
 	results := make([]CGResult, cl.Ranks())
 	breakdowns := make([]error, cl.Ranks())
 
-	err := cl.Run(func(w *core.Worker) error {
+	err := runBody(cl, opt.Context, "DistCG", func(w *core.Worker) error {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi
@@ -274,6 +297,10 @@ type LanczosOptions struct {
 	Checkpoint      *LanczosCheckpoint
 	OnCheckpoint    func(*LanczosCheckpoint) error
 	Restore         *LanczosCheckpoint
+	// Context arms an end-to-end deadline over the sweep (see
+	// CGOptions.Context); a cut-short sweep surfaces a
+	// *core.DeadlineError with Op "DistLanczos".
+	Context context.Context
 }
 
 // DistLanczos runs the symmetric Lanczos iteration SPMD across the
@@ -327,7 +354,7 @@ func DistLanczosOpt(cl *core.Cluster, m int, seed int64, opt LanczosOptions) (La
 	results := make([]LanczosResult, cl.Ranks())
 	var alphas, betas []float64 // written by the first local rank only
 
-	err := cl.Run(func(w *core.Worker) error {
+	err := runBody(cl, opt.Context, "DistLanczos", func(w *core.Worker) error {
 		c := w.Comm
 		rank := c.Rank()
 		lo, hi := w.Plan.Rows.Lo, w.Plan.Rows.Hi

@@ -81,7 +81,10 @@ func grow(buf []float64, n int) []float64 {
 // the wait is bounded: a tree edge that stays silent past the deadline
 // fails the world with a *core.PeerError naming src as the hung rank —
 // the detection path for a peer that is alive (its connection pings) but
-// stuck outside the collective.
+// stuck outside the collective. With Transport.SlowFactor set, each
+// edge's wait duration feeds the channel's latency EWMA: a rank whose
+// contribution is suddenly far later than its own history is suspected
+// SLOW (phase "slow") long before any absolute deadline would fire.
 func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]float64, error) {
 	buf = grow(buf, want)
 	if *slot == nil {
@@ -90,6 +93,10 @@ func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]flo
 	p := *slot
 	if err := p.startInto(buf[:want]); err != nil {
 		return buf, err
+	}
+	var waitStart time.Time
+	if c.w.slow.enabled() {
+		waitStart = time.Now()
 	}
 	if d := c.w.collTimeout; d > 0 {
 		cs := &c.cs
@@ -113,6 +120,9 @@ func (c *comm) recvExact(slot **precv, src, tag, want int, buf []float64) ([]flo
 		}
 	} else if err := p.Wait(); err != nil {
 		return buf, err
+	}
+	if c.w.slow.enabled() {
+		c.w.observeLinkLatency(c.w.rankProc[src], src, src+1, "collective edge", &p.lat, time.Since(waitStart))
 	}
 	if p.req.n != want {
 		err := &core.MismatchError{Got: p.req.n, Want: want}

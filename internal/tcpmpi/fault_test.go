@@ -33,9 +33,9 @@ func fakeJoin(t *testing.T, addr string) net.Conn {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Proto 2 join for ranks [1,2) of a 2-rank world; the mesh address is
+	// Proto 3 join for ranks [1,2) of a 2-rank world; the mesh address is
 	// never used in a two-process world.
-	if _, err := fmt.Fprintf(conn, `{"proto":2,"size":2,"rank_lo":1,"rank_hi":2,"addr":"127.0.0.1:1"}`+"\n"); err != nil {
+	if _, err := fmt.Fprintf(conn, `{"proto":3,"size":2,"rank_lo":1,"rank_hi":2,"addr":"127.0.0.1:1"}`+"\n"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {

@@ -32,12 +32,16 @@ import (
 // connection that has been send-idle for a heartbeat interval, proving
 // the writing process is alive; the reader consumes it silently (every
 // successfully read frame, ping or not, refreshes the connection's
-// last-heard clock).
+// last-heard clock). kindPong is the ping's echo, written by the reader
+// that consumed the ping; the originator stamps each ping it writes, so
+// the echo yields one round-trip latency sample per idle interval — the
+// raw material of slow-peer suspicion (see slow.go).
 const (
 	kindUser byte = 0
 	kindColl byte = 1
 	kindBye  byte = 2
 	kindPing byte = 3
+	kindPong byte = 4
 )
 
 const frameHeaderLen = 17
@@ -72,6 +76,15 @@ type peerConn struct {
 	// when lastHeard exceeds the timeout.
 	lastSent  atomic.Int64
 	lastHeard atomic.Int64
+
+	// pingSentNs is the UnixNano stamp of the oldest unanswered ping (0:
+	// none outstanding). The heartbeat monitor CASes it from 0 when it
+	// writes a ping, the reader swaps it back to 0 on the kindPong echo,
+	// and the difference is one round-trip sample for rtt. At most one
+	// ping is ever measured at a time, so the pairing cannot skew.
+	pingSentNs atomic.Int64
+	// rtt is the link's ping round-trip EWMA (see slow.go).
+	rtt latEwma
 }
 
 func newPeerConn(c net.Conn, br *bufio.Reader) *peerConn {
@@ -142,7 +155,7 @@ func (p *peerConn) readFrame() (kind byte, src, dst, tag int, raw []byte, err er
 		err = fmt.Errorf("tcpmpi: frame length prefix %d exceeds the %d-element cap", count, maxFrameElems)
 		return
 	}
-	if kind > kindPing {
+	if kind > kindPong {
 		err = fmt.Errorf("tcpmpi: unknown frame kind %d", kind)
 		return
 	}

@@ -1,0 +1,145 @@
+package tcpmpi_test
+
+// End-to-end slow-peer suspicion over real loopback TCP: a rank that is
+// alive — its process responsive, its connection healthy — but whose
+// collective contributions suddenly crawl is the gray failure the paper's
+// §3 is about. These tests pin both policies: FailOnSlow (the world fails
+// with a phase-"slow" PeerError, so a supervisor restarts) and advisory
+// (the OnSlow hook observes the degradation while the world rides it out).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpmpi"
+)
+
+// dialPairWith brings up a 2-process world on loopback from the two given
+// transports (tr0 coordinates; addresses are wired here).
+func dialPairWith(t *testing.T, tr0, tr1 *tcpmpi.Transport) (w0, w1 core.World) {
+	t.Helper()
+	addr := freeAddr(t)
+	tr0.Addr, tr0.Coordinate, tr0.RankLo, tr0.RankHi = addr, true, 0, 1
+	tr1.Addr, tr1.RankLo, tr1.RankHi = addr, 1, 2
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	var wg sync.WaitGroup
+	var e0, e1 error
+	wg.Add(2)
+	go func() { defer wg.Done(); w0, e0 = tr0.Dial(ctx, 2) }()
+	go func() { defer wg.Done(); w1, e1 = tr1.Dial(ctx, 2) }()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatalf("dial: %v / %v", e0, e1)
+	}
+	t.Cleanup(func() { w0.Close(); w1.Close() })
+	return w0, w1
+}
+
+// runRank1Barriers drives rank 1 through barriers until its world dies or
+// rounds are exhausted, sleeping stallFor before round stallAt — the
+// injected gray failure: the rank is alive the whole time, just late.
+func runRank1Barriers(t *testing.T, w1 core.World, rounds, stallAt int, stallFor time.Duration) *sync.WaitGroup {
+	t.Helper()
+	c1, err := w1.Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if i == stallAt {
+				time.Sleep(stallFor)
+			}
+			if err := c1.Barrier(); err != nil {
+				return
+			}
+		}
+	}()
+	return &wg
+}
+
+// TestSlowPeerSuspicionFailsWorld pins the restart policy: with
+// FailOnSlow, a collective edge whose wait leaps past SlowFactor × its
+// own EWMA fails the world with a *core.PeerError in phase "slow" naming
+// the degraded rank — recoverable, so a core.Supervisor would redial.
+func TestSlowPeerSuspicionFailsWorld(t *testing.T) {
+	tr0 := &tcpmpi.Transport{
+		SlowFactor:     4,
+		SlowFloor:      50 * time.Millisecond,
+		SlowMinSamples: 4,
+		FailOnSlow:     true,
+	}
+	w0, w1 := dialPairWith(t, tr0, &tcpmpi.Transport{})
+	wg := runRank1Barriers(t, w1, 1000, 10, 400*time.Millisecond)
+	defer wg.Wait()
+
+	c0, err := w0.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var barrierErr error
+	for i := 0; i < 1000; i++ {
+		if barrierErr = c0.Barrier(); barrierErr != nil {
+			break
+		}
+	}
+	var pe *core.PeerError
+	if !errors.As(barrierErr, &pe) {
+		t.Fatalf("barriers against a crawling peer ended with %v, want a *core.PeerError cause", barrierErr)
+	}
+	if pe.Phase != core.PhaseSlow || pe.RankLo != 1 {
+		t.Fatalf("suspect = rank %d phase %q, want rank 1 phase %q (alive but degraded)", pe.RankLo, pe.Phase, core.PhaseSlow)
+	}
+	if !core.Recoverable(barrierErr) {
+		t.Fatal("a slow-peer failure must be supervisor-recoverable (restart on a fresh world)")
+	}
+}
+
+// TestSlowPeerAdvisoryHook pins the ride-it-out policy: without
+// FailOnSlow the same degradation is reported through OnSlow — once per
+// episode — while the world keeps completing collectives.
+func TestSlowPeerAdvisoryHook(t *testing.T) {
+	const rounds = 30
+	var mu sync.Mutex
+	var reports []*core.PeerError
+	tr0 := &tcpmpi.Transport{
+		SlowFactor:     4,
+		SlowFloor:      50 * time.Millisecond,
+		SlowMinSamples: 4,
+		OnSlow: func(pe *core.PeerError) {
+			mu.Lock()
+			reports = append(reports, pe)
+			mu.Unlock()
+		},
+	}
+	w0, w1 := dialPairWith(t, tr0, &tcpmpi.Transport{})
+	wg := runRank1Barriers(t, w1, rounds, 10, 400*time.Millisecond)
+
+	c0, err := w0.Comm(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := c0.Barrier(); err != nil {
+			t.Fatalf("advisory mode failed the world at round %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("the degraded round raised no OnSlow report")
+	}
+	for _, pe := range reports {
+		if pe.Phase != core.PhaseSlow || pe.RankLo != 1 {
+			t.Fatalf("report = rank %d phase %q, want rank 1 phase %q", pe.RankLo, pe.Phase, core.PhaseSlow)
+		}
+	}
+}

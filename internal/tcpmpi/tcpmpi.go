@@ -28,8 +28,9 @@ import (
 )
 
 // protoVersion guards against mismatched binaries rendezvousing.
-// Version 2 added the kindPing heartbeat frame.
-const protoVersion = 2
+// Version 2 added the kindPing heartbeat frame; version 3 its kindPong
+// echo (a v2 peer would fail a pong as an unknown frame kind).
+const protoVersion = 3
 
 // Transport joins (or coordinates) a multi-process world over TCP. It
 // implements core.Transport: Dial blocks until every process has joined
@@ -74,6 +75,33 @@ type Transport struct {
 	// enters the collective. Set it above the slowest legitimate
 	// inter-collective compute span.
 	CollectiveTimeout time.Duration
+	// SlowFactor, when positive, enables slow-peer suspicion — the
+	// gray-failure detector for peers that are alive but degraded (see
+	// slow.go). Every link keeps an EWMA of its ping round-trips and of
+	// each collective tree edge's receive wait; a sample exceeding
+	// SlowFactor × the link's prior EWMA (and at least SlowFloor, after
+	// SlowMinSamples of warm-up) declares the peer suspect with a
+	// *core.PeerError in phase "slow" — distinct from every dead-peer
+	// phase, so policy can differ. Typical values are 3–10: the factor is
+	// relative to the link's own history, not an absolute bound.
+	SlowFactor float64
+	// SlowFloor is the absolute latency below which a sample never raises
+	// suspicion, whatever the factor says — sub-millisecond jitter on a
+	// fast link is noise, not degradation (default 10ms).
+	SlowFloor time.Duration
+	// SlowMinSamples is the EWMA warm-up: suspicion is withheld until a
+	// link has this many samples of history (default 8).
+	SlowMinSamples int
+	// FailOnSlow selects the restart policy: a suspect peer fails the
+	// world with the phase-"slow" PeerError (recoverable — a Supervisor
+	// redials a fresh world, leaving the degraded peer behind). When
+	// false, suspicion is advisory: OnSlow observes it and the world
+	// keeps running (ride it out).
+	FailOnSlow bool
+	// OnSlow, when non-nil, observes each transition into suspicion —
+	// once per degradation episode per peer process, from a transport
+	// goroutine (it must be concurrency-safe and must not block).
+	OnSlow func(*core.PeerError)
 }
 
 var _ core.Transport = (*Transport)(nil)
@@ -166,6 +194,21 @@ func (t *Transport) Dial(ctx context.Context, size int) (core.World, error) {
 // it last, after every connection's reader is running.
 func (t *Transport) finishWorld(w *world) *world {
 	w.collTimeout = t.CollectiveTimeout
+	if t.SlowFactor > 0 {
+		w.slow = slowConfig{
+			factor:     t.SlowFactor,
+			floor:      t.SlowFloor,
+			minSamples: t.SlowMinSamples,
+			failOnSlow: t.FailOnSlow,
+			onSlow:     t.OnSlow,
+		}
+		if w.slow.floor <= 0 {
+			w.slow.floor = 10 * time.Millisecond
+		}
+		if w.slow.minSamples <= 0 {
+			w.slow.minSamples = 8
+		}
+	}
 	if t.HeartbeatInterval > 0 {
 		w.hbInterval = t.HeartbeatInterval
 		w.hbTimeout = t.HeartbeatTimeout

@@ -70,6 +70,12 @@ type world struct {
 	hbTimeout   time.Duration
 	collTimeout time.Duration
 
+	// slow is the slow-peer suspicion policy (see slow.go); slowSuspect,
+	// by process index, debounces the advisory hook per degradation
+	// episode.
+	slow        slowConfig
+	slowSuspect []atomic.Bool
+
 	failure   *failure
 	closing   atomic.Bool
 	closeOnce sync.Once
@@ -78,16 +84,17 @@ type world struct {
 
 func newWorld(size, lo, hi int, procs []procInfo, me int) (*world, error) {
 	w := &world{
-		size:     size,
-		lo:       lo,
-		hi:       hi,
-		procs:    procs,
-		me:       me,
-		rankProc: make([]int, size),
-		boxes:    make([]*mailbox, hi-lo),
-		conns:    make([]*peerConn, len(procs)),
-		departed: make([]atomic.Bool, len(procs)),
-		failure:  &failure{ch: make(chan struct{})},
+		size:        size,
+		lo:          lo,
+		hi:          hi,
+		procs:       procs,
+		me:          me,
+		rankProc:    make([]int, size),
+		boxes:       make([]*mailbox, hi-lo),
+		conns:       make([]*peerConn, len(procs)),
+		departed:    make([]atomic.Bool, len(procs)),
+		slowSuspect: make([]atomic.Bool, len(procs)),
+		failure:     &failure{ch: make(chan struct{})},
 	}
 	covered := 0
 	for p, pi := range procs {
@@ -239,6 +246,11 @@ func (w *world) startHeartbeat() {
 					return
 				}
 				if now-p.lastSent.Load() >= int64(w.hbInterval) {
+					// Stamp before writing so the echo's round-trip includes
+					// the write; only one ping is measured at a time (the CAS
+					// fails while one is outstanding — an unanswered ping is
+					// the heartbeat timeout's business, not a fresh sample).
+					p.pingSentNs.CompareAndSwap(0, now)
 					// Best effort: a write error here means the connection is
 					// dying, which the reader loop reports with the real cause.
 					p.writeFrame(kindPing, 0, 0, 0, nil)
@@ -293,9 +305,21 @@ func (w *world) readLoop(proc int, p *peerConn) {
 			}
 			return
 		}
-		p.lastHeard.Store(time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		p.lastHeard.Store(now)
 		if kind == kindPing {
-			continue // liveness only; the stamp above is the payload
+			// Echo so the originator gets a round-trip sample; best effort —
+			// a write error here means the connection is dying, which the
+			// next read reports with the real cause.
+			p.writeFrame(kindPong, 0, 0, 0, nil)
+			continue
+		}
+		if kind == kindPong {
+			if sent := p.pingSentNs.Swap(0); sent != 0 {
+				pi := w.procs[proc]
+				w.observeLinkLatency(proc, pi.RankLo, pi.RankHi, "ping round-trip", &p.rtt, time.Duration(now-sent))
+			}
+			continue
 		}
 		if kind == kindBye {
 			w.markDeparted(proc)
@@ -723,6 +747,9 @@ type precv struct {
 	w    *world
 	rank int
 	req  *request
+	// lat is the edge's receive-wait EWMA when the channel backs a
+	// collective tree edge under slow-peer suspicion (see slow.go).
+	lat latEwma
 }
 
 // newPrecv builds the resident request of a persistent receive; the
